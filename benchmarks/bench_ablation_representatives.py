@@ -1,0 +1,73 @@
+"""E12 (design ablation): arithmetic-mean vs DBA group representatives.
+
+ONEX summarises each similarity group by the arithmetic centroid — the
+natural average under ED, and cheap enough to maintain online during
+construction.  The alternative is a DTW-faithful average (DBA).  This
+ablation quantifies the trade-off on real groups from the MATTERS base:
+how much tighter is the DBA representative under DTW, and what does it
+cost to compute?  (DESIGN.md §3 S5 calls this choice out.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.distances.dtw import dtw_distance
+from repro.distances.variants import dtw_barycenter
+
+
+@pytest.fixture(scope="module")
+def populous_groups(matters_base):
+    """The largest groups (>= 4 members) across the indexed lengths."""
+    groups = [
+        (bucket, group)
+        for bucket in matters_base.buckets()
+        for group in bucket.groups
+        if group.cardinality >= 4
+    ]
+    groups.sort(key=lambda item: -item[1].cardinality)
+    assert groups, "base should contain populous groups at this ST"
+    return groups[:5]
+
+
+def mean_member_dtw(base, group, representative):
+    distances = [
+        dtw_distance(base.member_values(ref), representative)
+        for ref in group.members
+    ]
+    return float(np.mean(distances))
+
+
+def test_dba_representatives_tighter_under_dtw(benchmark, matters_base, populous_groups):
+    def run():
+        mean_gaps = []
+        for _, group in populous_groups:
+            members = [matters_base.member_values(ref) for ref in group.members]
+            dba = dtw_barycenter(members, iterations=8)
+            d_mean = mean_member_dtw(matters_base, group, group.centroid)
+            d_dba = mean_member_dtw(matters_base, group, dba)
+            mean_gaps.append((d_mean, d_dba))
+        return mean_gaps
+
+    gaps = benchmark.pedantic(run, rounds=1, iterations=1)
+    mean_rep = float(np.mean([g[0] for g in gaps]))
+    dba_rep = float(np.mean([g[1] for g in gaps]))
+    benchmark.extra_info["mean_centroid_dtw"] = round(mean_rep, 5)
+    benchmark.extra_info["dba_centroid_dtw"] = round(dba_rep, 5)
+    benchmark.extra_info["dba_improvement_pct"] = (
+        round(100 * (mean_rep - dba_rep) / mean_rep, 1) if mean_rep else 0.0
+    )
+    # DBA never does worse on average — it optimises exactly this metric.
+    assert dba_rep <= mean_rep + 1e-9
+
+
+def test_centroid_construction_cost(benchmark, matters_base, populous_groups):
+    """The cost side of the trade-off: mean is free, DBA is iterative."""
+    _, group = populous_groups[0]
+    members = [matters_base.member_values(ref) for ref in group.members]
+
+    benchmark(dtw_barycenter, members, iterations=8)
+    benchmark.extra_info["members"] = len(members)
+    benchmark.extra_info["note"] = (
+        "arithmetic centroid is maintained incrementally at ~zero cost "
+        "during the online scan; this is DBA's replacement cost per group"
+    )

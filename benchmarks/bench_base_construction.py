@@ -1,0 +1,51 @@
+"""E7 (§3.1): base compaction and construction-guarantee ablation.
+
+Sweeps the similarity threshold and records how the data reduction and
+the invariants behave: every member within ``ST/2`` of its representative
+(checked by ``validate()``), and compaction growing with ST.
+"""
+
+import pytest
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig
+
+
+@pytest.mark.parametrize("st", [0.02, 0.05, 0.10, 0.20, 0.40])
+def test_compaction_sweep(benchmark, matters_growth, st):
+    config = BuildConfig(similarity_threshold=st, min_length=5, max_length=8)
+
+    def build_and_validate():
+        base = OnexBase(matters_growth, config)
+        stats = base.build()
+        base.validate()  # raises InvariantError if any guarantee fails
+        return base, stats
+
+    base, stats = benchmark.pedantic(build_and_validate, rounds=3, iterations=1)
+    benchmark.extra_info["similarity_threshold"] = st
+    benchmark.extra_info["groups"] = stats.groups
+    benchmark.extra_info["compaction_ratio"] = round(stats.compaction_ratio, 2)
+    # Radii never exceed the construction radius.
+    worst = max(
+        float(bucket.ed_radii.max()) for bucket in base.buckets()
+    )
+    benchmark.extra_info["max_member_radius"] = round(worst, 5)
+    assert worst <= st / 2 + 1e-9
+
+
+def test_compaction_monotone_in_threshold(benchmark, matters_growth):
+    """Looser thresholds must never reduce the data-reduction factor."""
+
+    def sweep():
+        ratios = []
+        for st in (0.05, 0.10, 0.20):
+            base = OnexBase(
+                matters_growth,
+                BuildConfig(similarity_threshold=st, min_length=5, max_length=8),
+            )
+            ratios.append(base.build().compaction_ratio)
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["ratios"] = [round(r, 2) for r in ratios]
+    assert ratios == sorted(ratios)

@@ -1,0 +1,46 @@
+"""E1 (Fig. 1): the preprocessing pipeline — dataset to ONEX base.
+
+Measures the offline phase of the architecture diagram: loading the
+MATTERS GrowthRate collection and encoding it into similarity groups.
+The paper's claim is qualitative (preprocessing at load time buys
+interactive exploration later); we record build time and the compaction
+the online phase will enjoy.
+"""
+
+import pytest
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig
+
+
+@pytest.mark.parametrize("st", [0.05, 0.10, 0.20])
+def test_base_build(benchmark, matters_growth, st):
+    config = BuildConfig(similarity_threshold=st, min_length=5, max_length=8)
+
+    def build():
+        base = OnexBase(matters_growth, config)
+        return base.build()
+
+    stats = benchmark(build)
+    benchmark.extra_info["similarity_threshold"] = st
+    benchmark.extra_info["subsequences"] = stats.subsequences
+    benchmark.extra_info["groups"] = stats.groups
+    benchmark.extra_info["compaction_ratio"] = round(stats.compaction_ratio, 2)
+
+
+def test_full_pipeline_load(benchmark, matters_growth):
+    """Dataset -> normalise -> cluster -> queryable engine, end to end."""
+    from repro.core.engine import OnexEngine
+
+    def load():
+        engine = OnexEngine()
+        ds = matters_growth
+        # Engines reject duplicate names; fresh engine per round.
+        stats = engine.load_dataset(
+            ds, similarity_threshold=0.1, min_length=5, max_length=8
+        )
+        engine.unload_dataset(ds.name)
+        return stats
+
+    stats = benchmark(load)
+    benchmark.extra_info["groups"] = stats.groups

@@ -1,0 +1,61 @@
+"""E2 (Fig. 2): interactive similarity-search latency.
+
+The Similarity View's responsiveness rests on answering a brushed query
+against the compact base instead of the raw data.  We measure the
+brush-to-answer latency for ONEX (fast and exact modes) against the two
+non-indexed alternatives on the same collection and query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceSearcher
+from repro.baselines.ucr_suite import UcrSuiteSearcher
+from repro.data.dataset import SubsequenceRef
+from repro.viz.payloads import similarity_view_payload
+
+#: The brushed query: MA's recent growth-rate window (series index found
+#: by name in the fixtures' dataset; length 6 as in the demo narrative).
+QUERY_LENGTH = 6
+
+
+@pytest.fixture(scope="module")
+def query_ref(matters_base):
+    index = matters_base.dataset.index_of("MA/GrowthRate")
+    series_len = len(matters_base.dataset[index])
+    return SubsequenceRef(index, series_len - QUERY_LENGTH, QUERY_LENGTH)
+
+
+def test_onex_fast_query(benchmark, matters_fast_processor, query_ref):
+    match = benchmark(matters_fast_processor.best_match, query_ref)
+    benchmark.extra_info["distance"] = round(match.distance, 5)
+    benchmark.extra_info["match"] = match.series_name
+
+
+def test_onex_exact_query(benchmark, matters_exact_processor, query_ref):
+    match = benchmark(matters_exact_processor.best_match, query_ref)
+    benchmark.extra_info["distance"] = round(match.distance, 5)
+
+
+def test_brute_force_query(benchmark, matters_base, query_ref):
+    searcher = BruteForceSearcher(matters_base.dataset)
+    q = matters_base.dataset.values(query_ref)
+    match = benchmark(searcher.best_match, q, matters_base.lengths)
+    benchmark.extra_info["distance"] = round(match.distance, 5)
+
+
+def test_ucr_suite_query(benchmark, matters_base, query_ref):
+    """UCR Suite answers the fixed-length z-normalised variant."""
+    searcher = UcrSuiteSearcher(matters_base.dataset)
+    q = np.asarray(matters_base.dataset.values(query_ref))
+    match = benchmark(searcher.best_match, q)
+    benchmark.extra_info["match"] = match.series_name
+
+
+def test_results_pane_payload(benchmark, matters_base, matters_fast_processor, query_ref):
+    """Building the Fig. 2 Results Pane payload from a finished match."""
+    match = matters_fast_processor.best_match(query_ref)
+    q = matters_base.dataset.values(query_ref)
+    m = matters_base.member_values(match.ref)
+    payload = benchmark(similarity_view_payload, q, m, match)
+    benchmark.extra_info["connectors"] = len(payload["connectors"])

@@ -1,0 +1,50 @@
+"""E3 (Fig. 3): the linked-view payloads for a matched pair.
+
+Fig. 3 contrasts the same matched pair (the demo uses MA vs ARK tech
+employment) across the Radial Chart and Connected Scatter Plot.  We
+measure payload/SVG generation — the client-side interactivity budget —
+and record the scatter's diagonal-deviation closeness diagnostic.
+"""
+
+import pytest
+
+from repro.data.dataset import SubsequenceRef
+from repro.viz.payloads import connected_scatter_payload, radial_chart_payload
+from repro.viz.svg import svg_connected_scatter, svg_radial_chart
+
+
+@pytest.fixture(scope="module")
+def matched_pair(matters_base, matters_fast_processor):
+    index = matters_base.dataset.index_of("MA/GrowthRate")
+    ref = SubsequenceRef(index, 0, 8)
+    match = matters_fast_processor.best_match(ref)
+    return (
+        matters_base.dataset.values(ref),
+        matters_base.member_values(match.ref),
+        match,
+    )
+
+
+def test_radial_chart_payload(benchmark, matched_pair):
+    _, match_values, match = matched_pair
+    payload = benchmark(radial_chart_payload, match_values, label=match.series_name)
+    benchmark.extra_info["points"] = len(payload["points"])
+
+
+def test_connected_scatter_payload(benchmark, matched_pair):
+    query, match_values, match = matched_pair
+    payload = benchmark(connected_scatter_payload, query, match_values, match)
+    benchmark.extra_info["diagonal_deviation"] = round(
+        payload["diagonal_deviation"], 5
+    )
+
+
+def test_radial_chart_svg(benchmark, matched_pair, tmp_path):
+    _, match_values, _ = matched_pair
+    benchmark(svg_radial_chart, match_values, tmp_path / "radial.svg")
+
+
+def test_connected_scatter_svg(benchmark, matched_pair, tmp_path):
+    query, match_values, match = matched_pair
+    payload = connected_scatter_payload(query, match_values, match)
+    benchmark(svg_connected_scatter, payload["points"], tmp_path / "scatter.svg")

@@ -1,0 +1,56 @@
+"""E4 (Fig. 4): seasonal-pattern mining on a year of electricity data.
+
+The Seasonal View finds recurring monthly habits in one household's
+year.  We measure the end-to-end seasonal query and score recovered
+patterns against the generator's planted ground truth.
+"""
+
+import pytest
+
+from repro.core.seasonal import find_seasonal_patterns
+
+
+@pytest.fixture(scope="module")
+def household(electricity):
+    return electricity["household-0"]
+
+
+def test_seasonal_query(benchmark, household):
+    length = household.metadata["pattern_length"]
+
+    patterns = benchmark.pedantic(
+        find_seasonal_patterns,
+        args=(household, length, 0.06),
+        kwargs={"step": 2, "remove_level": True, "ed_threshold": 0.18,
+                "max_patterns": 5},
+        rounds=3,
+        iterations=1,
+    )
+    truth = household.metadata["pattern_starts"]
+
+    def planted_hits(pattern):
+        return sum(
+            any(abs(s - t) <= length // 3 for t in truth) for s in pattern.starts
+        )
+
+    benchmark.extra_info["patterns_found"] = len(patterns)
+    benchmark.extra_info["best_occurrences"] = (
+        patterns[0].occurrences if patterns else 0
+    )
+    benchmark.extra_info["planted_recovered"] = (
+        max((planted_hits(p) for p in patterns), default=0)
+    )
+    benchmark.extra_info["planted_total"] = len(truth)
+    assert patterns, "seasonal query must find recurring structure"
+
+
+def test_seasonal_query_weekly_scale(benchmark, household):
+    """Week-scale recurrences (the 'consistent manner' observation)."""
+    patterns = benchmark.pedantic(
+        find_seasonal_patterns,
+        args=(household, 7, 0.05),
+        kwargs={"step": 2, "remove_level": True, "max_patterns": 5},
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["patterns_found"] = len(patterns)

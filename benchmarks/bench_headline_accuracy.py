@@ -1,0 +1,125 @@
+"""E6 (headline): "up to 19% more accurate results".
+
+The accuracy claim concerns misaligned, variable-length exploration: the
+UCR Suite answers a *fixed-length, z-normalised* nearest neighbour, so on
+time-warped value-space workloads its returned window is systematically
+farther (under the analyst's normalised-DTW metric) from the query than
+ONEX's answer.  We score every searcher's returned match against the
+exact optimum from the brute-force scan:
+
+    error(system)  = mean over queries of (d_system - d_optimal)
+    accuracy gain  = (err_baseline - err_onex) / d_optimal-scale
+
+EXPERIMENTS.md records the measured gains next to the paper's "up to
+19%".
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.brute_force import BruteForceSearcher
+from repro.baselines.embedding import EmbeddingSearcher
+from repro.baselines.ucr_suite import UcrSuiteSearcher
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.distances.dtw import dtw_path
+
+from conftest import make_warped_workload
+
+LENGTHS = range(10, 15)  # candidate lengths indexed by ONEX / scanned by brute
+
+
+@pytest.fixture(scope="module")
+def workload():
+    dataset, queries = make_warped_workload(series=12, length=40, queries=6, seed=9)
+    normalized = dataset.normalized()
+    base = OnexBase(
+        dataset,
+        BuildConfig(
+            similarity_threshold=0.1,
+            min_length=min(LENGTHS),
+            max_length=max(LENGTHS),
+        ),
+    )
+    base.build()
+    lo, hi = dataset.global_bounds()
+    queries_norm = [(np.asarray(q) - lo) / (hi - lo) for q in queries]
+    return dataset, normalized, base, queries_norm
+
+
+def value_space_distance(query, dataset, ref) -> float:
+    """The analyst's metric: normalised DTW in the shared value space."""
+    return dtw_path(query, dataset.values(ref)).normalized_distance
+
+
+def evaluate(matcher, queries, dataset):
+    """Mean value-space distance of the matches a system returns."""
+    distances = []
+    for q in queries:
+        ref = matcher(q)
+        distances.append(value_space_distance(q, dataset, ref))
+    return float(np.mean(distances))
+
+
+def test_accuracy_comparison(benchmark, workload):
+    dataset, normalized, base, queries = workload
+    onex = QueryProcessor(base, QueryConfig(mode="fast", refine_groups=1))
+    brute = BruteForceSearcher(normalized)
+    ucr = UcrSuiteSearcher(normalized)
+    embed = EmbeddingSearcher(
+        normalized, LENGTHS, references=6, verify_fraction=0.02, seed=3
+    )
+
+    def run():
+        d_opt = evaluate(
+            lambda q: brute.best_match(q, LENGTHS).ref, queries, normalized
+        )
+        d_onex = evaluate(
+            lambda q: onex.best_match(q, normalize=False).ref, queries, normalized
+        )
+        d_ucr = evaluate(lambda q: ucr.best_match(q).ref, queries, normalized)
+        d_embed = evaluate(lambda q: embed.best_match(q).ref, queries, normalized)
+        return d_opt, d_onex, d_ucr, d_embed
+
+    d_opt, d_onex, d_ucr, d_embed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    benchmark.extra_info["optimal_mean_distance"] = round(d_opt, 5)
+    benchmark.extra_info["onex_mean_distance"] = round(d_onex, 5)
+    benchmark.extra_info["ucr_mean_distance"] = round(d_ucr, 5)
+    benchmark.extra_info["embedding_mean_distance"] = round(d_embed, 5)
+    gain_vs_ucr = (d_ucr - d_onex) / d_ucr if d_ucr > 0 else 0.0
+    benchmark.extra_info["onex_gain_vs_ucr_pct"] = round(100 * gain_vs_ucr, 1)
+
+    # The reproduction target: ONEX at least matches the exact optimum's
+    # neighbourhood while the fixed-length z-normalised baseline trails.
+    assert d_onex <= d_ucr + 1e-9, "ONEX should be at least as accurate as UCR"
+    assert d_onex - d_opt <= base.config.similarity_threshold
+
+
+def test_within_threshold_rate(benchmark, workload):
+    """How often each system's answer is within ST of the true optimum."""
+    dataset, normalized, base, queries = workload
+    st = base.config.similarity_threshold
+    onex = QueryProcessor(base, QueryConfig(mode="fast", refine_groups=1))
+    brute = BruteForceSearcher(normalized)
+    ucr = UcrSuiteSearcher(normalized)
+
+    def run():
+        onex_ok = ucr_ok = 0
+        for q in queries:
+            d_opt = value_space_distance(
+                q, normalized, brute.best_match(q, LENGTHS).ref
+            )
+            d_on = value_space_distance(
+                q, normalized, onex.best_match(q, normalize=False).ref
+            )
+            d_uc = value_space_distance(q, normalized, ucr.best_match(q).ref)
+            onex_ok += d_on <= d_opt + st
+            ucr_ok += d_uc <= d_opt + st
+        return onex_ok, ucr_ok
+
+    onex_ok, ucr_ok = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["onex_within_st"] = f"{onex_ok}/{len(queries)}"
+    benchmark.extra_info["ucr_within_st"] = f"{ucr_ok}/{len(queries)}"
+    assert onex_ok >= ucr_ok

@@ -1,0 +1,52 @@
+"""E10 (§1 challenge 1): scalability with data cardinality.
+
+Times ONEX's online query as the collection grows, against the raw-scan
+alternative, demonstrating that query cost tracks the (compact) group
+count rather than the raw subsequence count.
+"""
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceSearcher
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+
+SIZES = [10, 25, 50]
+
+
+@pytest.fixture(scope="module", params=SIZES)
+def sized_base(request):
+    states = request.param
+    dataset = build_matters_collection(
+        indicators=("GrowthRate",),
+        states=STATE_ABBREVIATIONS[:states],
+        years=16,
+        min_years=10,
+        seed=31,
+    )
+    base = OnexBase(
+        dataset, BuildConfig(similarity_threshold=0.1, min_length=5, max_length=8)
+    )
+    base.build()
+    return states, base
+
+
+def test_onex_query_scaling(benchmark, sized_base):
+    states, base = sized_base
+    processor = QueryProcessor(base, QueryConfig(mode="fast", refine_groups=1))
+    query = [0.2, 0.4, 0.5, 0.45, 0.3, 0.25]
+    benchmark(processor.best_match, query, normalize=False)
+    benchmark.extra_info["states"] = states
+    benchmark.extra_info["subsequences"] = base.stats.subsequences
+    benchmark.extra_info["groups"] = base.stats.groups
+
+
+def test_brute_scan_scaling(benchmark, sized_base):
+    states, base = sized_base
+    searcher = BruteForceSearcher(base.dataset)
+    query = [0.2, 0.4, 0.5, 0.45, 0.3, 0.25]
+    benchmark(searcher.best_match, query, base.lengths)
+    benchmark.extra_info["states"] = states
+    benchmark.extra_info["subsequences"] = base.stats.subsequences

@@ -1,0 +1,55 @@
+"""E11 (§2): parameter-sensitivity exploration latency.
+
+"Showing the changes in the similarity between sequences for varying
+parameters" must be interactive across a whole threshold grid.  The
+bounds-only profile answers from one representative pass; the verified
+profile additionally resolves ambiguous members with exact DTW.  Both
+are measured, plus how much of the collection the bounds decide for
+free.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sensitivity import similarity_profile
+from repro.data.dataset import SubsequenceRef
+
+GRID = (0.01, 0.02, 0.05, 0.1, 0.15, 0.2)
+
+
+@pytest.fixture(scope="module")
+def query(matters_base):
+    index = matters_base.dataset.index_of("MA/GrowthRate")
+    return SubsequenceRef(index, 0, 6)
+
+
+def test_bounds_only_profile(benchmark, matters_base, query):
+    profile = benchmark(similarity_profile, matters_base, query, GRID)
+    benchmark.extra_info["candidates"] = profile.candidates
+    benchmark.extra_info["knee"] = profile.knee()
+
+
+def test_verified_profile(benchmark, matters_base, query):
+    profile = benchmark(
+        similarity_profile, matters_base, query, GRID, verify=True
+    )
+    truthy = [p for p in profile.points if p.exact is not None]
+    assert len(truthy) == len(GRID)
+    benchmark.extra_info["exact_counts"] = [p.exact for p in profile.points]
+
+
+def test_bounds_decide_most_members(benchmark, matters_base, query):
+    """How tight are the transfer bounds in practice?"""
+
+    def run():
+        profile = similarity_profile(matters_base, query, GRID)
+        decided = 0
+        total = profile.candidates * len(GRID)
+        for point in profile.points:
+            ambiguous = point.possible - point.certain
+            decided += profile.candidates - ambiguous
+        return decided / total
+
+    rate = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["decided_fraction"] = round(rate, 3)
+    assert rate > 0.5, "bounds should decide most member/threshold pairs"

@@ -1,0 +1,40 @@
+"""E8 (§3.3): data-driven threshold recommendation.
+
+Measures the recommender's latency (it runs interactively when an analyst
+loads unfamiliar data) and records how its suggestions differ across the
+two demo domains — the motivation for the feature.
+"""
+
+from repro.core.threshold import recommend_thresholds
+
+
+def test_recommend_matters(benchmark, matters_growth):
+    rec = benchmark(recommend_thresholds, matters_growth, 6, samples=2000, seed=1)
+    benchmark.extra_info["default_st"] = round(rec.default, 5)
+    benchmark.extra_info["suggestions"] = {
+        f"{int(q * 100)}%": round(t, 5)
+        for q, t in zip(rec.quantiles, rec.thresholds)
+    }
+
+
+def test_recommend_electricity(benchmark, electricity):
+    rec = benchmark(recommend_thresholds, electricity, 30, samples=2000, seed=1)
+    benchmark.extra_info["default_st"] = round(rec.default, 5)
+
+
+def test_domains_need_different_settings(benchmark, matters_growth, electricity):
+    """The §3.3 narrative, quantified on raw (unnormalised) units."""
+
+    def run():
+        growth = recommend_thresholds(
+            matters_growth, 6, normalize=False, seed=2
+        ).default
+        load = recommend_thresholds(
+            electricity, 30, normalize=False, seed=2
+        ).default
+        return growth, load
+
+    growth, load = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["matters_raw_st"] = round(growth, 4)
+    benchmark.extra_info["electricity_raw_st"] = round(load, 4)
+    assert growth != load

@@ -1,0 +1,60 @@
+"""Quickstart: load a collection, build the ONEX base, run a query.
+
+Run with::
+
+    python examples/quickstart.py
+
+Loads a slice of the simulated MATTERS panel, builds the ONEX base
+server-side, and answers the demo's headline question — "which state has
+the most similar economic growth rate to Massachusetts?" — printing the
+matched pair as terminal charts.
+"""
+
+from repro import OnexEngine, QueryConfig, build_matters_collection
+from repro.viz.ascii_chart import multi_line_chart, sparkline
+
+
+def main() -> None:
+    # The demo's "Data Loading into ONEX": one call preprocesses the
+    # collection into similarity groups.
+    dataset = build_matters_collection(
+        indicators=("GrowthRate",), years=14, min_years=8, seed=7
+    )
+    engine = OnexEngine(QueryConfig(mode="fast", refine_groups=2))
+    stats = engine.load_dataset(
+        dataset, similarity_threshold=0.08, min_length=4, max_length=8
+    )
+    print(f"Loaded {len(dataset)} series from {dataset.name}")
+    print(
+        f"ONEX base: {stats.subsequences} subsequences -> {stats.groups} "
+        f"groups ({stats.compaction_ratio:.1f}x compaction) "
+        f"in {stats.build_seconds:.2f}s"
+    )
+
+    # Brush the most recent 6 years of MA's growth rate as the query.
+    ma = dataset["MA/GrowthRate"]
+    start = len(ma) - 6
+    query = engine.query_from_series(dataset.name, "MA/GrowthRate", start, 6)
+    print(f"\nQuery: MA/GrowthRate, last 6 years  {sparkline(ma.values[start:])}")
+
+    # Best matches under DTW over the compact base.
+    matches = engine.k_best_matches(dataset.name, query, 5)
+    print("\nTop matches (normalised DTW):")
+    for rank, match in enumerate(matches, start=1):
+        values = engine.base(dataset.name).member_values(match.ref)
+        print(
+            f"  {rank}. {match.series_name:<18} start={match.start:<3} "
+            f"len={match.length:<3} dist={match.distance:.4f}  "
+            f"{sparkline(values)}"
+        )
+
+    others = [m for m in matches if m.series_name != "MA/GrowthRate"]
+    best = others[0] if others else matches[0]
+    best_values = engine.base(dataset.name).member_values(best.ref)
+    query_values = engine.base(dataset.name).dataset.values(query)
+    print(f"\nQuery (*) vs {best.series_name} (o):")
+    print(multi_line_chart(query_values, best_values, width=48, height=10))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""A full client/server analyst session over HTTP.
+
+Run with::
+
+    python examples/server_demo.py
+
+Starts the ONEX HTTP server in-process (the demo's web backend), then
+plays an analyst session through the JSON API exactly as the browser
+front end would: load the MATTERS data, look at the overview pane, brush
+a query, run the similarity search, and ask for threshold suggestions.
+"""
+
+import json
+import urllib.request
+
+from repro.server.http import OnexHttpServer
+
+
+def call(url: str, op: str, **params):
+    body = json.dumps({"op": op, "params": params}).encode()
+    request = urllib.request.Request(
+        f"{url}/api", data=body, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        payload = json.loads(response.read())
+    if not payload["ok"]:
+        raise RuntimeError(f"{op} failed: {payload['error']}")
+    return payload["result"]
+
+
+def main() -> None:
+    with OnexHttpServer() as server:
+        print(f"ONEX server listening on {server.url}")
+
+        result = call(
+            server.url,
+            "load_dataset",
+            source="matters",
+            indicators=["GrowthRate"],  # the demo's "MATTERS GrowthRate"
+            similarity_threshold=0.1,
+            min_length=4,
+            max_length=7,
+            years=12,
+            min_years=8,
+        )
+        print(f"\nLoaded {result['dataset']}: {result['series']} series, "
+              f"{result['subsequences']} subsequences -> {result['groups']} groups "
+              f"({result['compaction_ratio']:.1f}x) in {result['build_seconds']:.2f}s")
+
+        overview = call(server.url, "overview", dataset="MATTERS-sim", limit=3)
+        print("\nOverview pane (top groups by cardinality):")
+        for entry in overview["groups"]:
+            print(f"  group {tuple(entry['group'])}: cardinality "
+                  f"{entry['cardinality']}, intensity {entry['intensity']:.2f}")
+
+        preview = call(
+            server.url,
+            "query_preview",
+            dataset="MATTERS-sim",
+            series="MA/GrowthRate",
+            start=0,
+            length=6,
+        )
+        print(f"\nBrushed {preview['series']} -> {len(preview['selection'])} points")
+
+        match = call(
+            server.url,
+            "best_match",
+            dataset="MATTERS-sim",
+            query={"series": "MA/GrowthRate", "start": 0, "length": 6},
+        )
+        print(f"Best match: {match['match_series']} at offset "
+              f"{match['match_start']}, distance {match['distance']:.4f}, "
+              f"{len(match['connectors'])} warped point pairs")
+
+        suggestions = call(server.url, "thresholds", dataset="MATTERS-sim", length=6)
+        print(f"\nThreshold suggestions: {suggestions['suggestions']}")
+        print(f"Recommended default: {suggestions['default']:.4f}")
+
+        health = json.loads(
+            urllib.request.urlopen(f"{server.url}/health", timeout=30).read()
+        )
+        print(f"\nServer health: {health}")
+    print("Server stopped.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""K-medoids clustering under an arbitrary sequence distance.
+
+Medoids (actual member sequences) rather than means are the right
+"centres" under elastic distances: the mean of warped sequences is not
+itself meaningful under DTW, but the member minimising the summed
+distance is always well-defined — even for variable-length collections.
+The implementation is the classic Voronoi-iteration PAM variant seeded
+deterministically with k-means++-style spread (farthest-point after a
+seeded first pick).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.distances.dtw import dtw_distance
+from repro.exceptions import ValidationError
+
+__all__ = ["ClusteringResult", "kmedoids"]
+
+
+def _default_distance(a, b) -> float:
+    return dtw_distance(a, b, normalized=True)
+
+
+@dataclass(frozen=True)
+class ClusteringResult:
+    """Outcome of a k-medoids run."""
+
+    medoid_indices: tuple[int, ...]
+    assignments: tuple[int, ...]
+    objective: float
+    iterations: int
+
+    @property
+    def k(self) -> int:
+        return len(self.medoid_indices)
+
+    def cluster_members(self, cluster: int) -> list[int]:
+        """Indices of items assigned to *cluster*."""
+        if not 0 <= cluster < self.k:
+            raise ValidationError(f"cluster {cluster} out of range 0..{self.k - 1}")
+        return [i for i, c in enumerate(self.assignments) if c == cluster]
+
+
+def kmedoids(
+    sequences,
+    k: int,
+    *,
+    distance: Callable | None = None,
+    max_iterations: int = 30,
+    seed: int = 0,
+) -> ClusteringResult:
+    """Cluster *sequences* into *k* groups around medoid members.
+
+    *distance* defaults to normalised DTW; any callable over two
+    sequences works (the E14 bench passes ED to contrast).  Pairwise
+    distances are computed once (O(n^2) calls) and the Voronoi iteration
+    runs on the cached matrix, so convergence is cheap afterwards.
+    """
+    items = list(sequences)
+    n = len(items)
+    if k < 1:
+        raise ValidationError(f"k must be >= 1, got {k}")
+    if n < k:
+        raise ValidationError(f"need at least k={k} sequences, got {n}")
+    if max_iterations < 1:
+        raise ValidationError("max_iterations must be >= 1")
+    dist_fn = distance or _default_distance
+
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(dist_fn(items[i], items[j]))
+            matrix[i, j] = matrix[j, i] = d
+
+    # Seeded farthest-point initialisation.
+    rng = np.random.default_rng(seed)
+    medoids = [int(rng.integers(n))]
+    while len(medoids) < k:
+        gaps = matrix[:, medoids].min(axis=1)
+        gaps[medoids] = -1.0
+        medoids.append(int(np.argmax(gaps)))
+
+    assignments = np.argmin(matrix[:, medoids], axis=1)
+    for iteration in range(1, max_iterations + 1):
+        # Update step: each cluster's best medoid is the member with the
+        # smallest summed distance to its cluster.
+        changed = False
+        for c in range(k):
+            members = np.nonzero(assignments == c)[0]
+            if members.size == 0:
+                continue
+            within = matrix[np.ix_(members, members)].sum(axis=1)
+            best = int(members[int(np.argmin(within))])
+            if best != medoids[c]:
+                medoids[c] = best
+                changed = True
+        new_assignments = np.argmin(matrix[:, medoids], axis=1)
+        if not changed and np.array_equal(new_assignments, assignments):
+            break
+        assignments = new_assignments
+    objective = float(matrix[np.arange(n), np.asarray(medoids)[assignments]].sum())
+    return ClusteringResult(
+        medoid_indices=tuple(int(m) for m in medoids),
+        assignments=tuple(int(a) for a in assignments),
+        objective=objective,
+        iterations=iteration,
+    )

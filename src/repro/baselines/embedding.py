@@ -1,0 +1,123 @@
+"""EBSM-style landmark embedding baseline (reference [1], S13).
+
+Athitsos et al., *Approximate embedding-based subsequence matching of time
+series* (SIGMOD 2008) speed up DTW search by embedding sequences into a
+vector space — each coordinate is the DTW distance to a fixed "reference"
+sequence — and ranking candidates by cheap vector distance, verifying only
+the top fraction with real DTW.  DTW to a common reference obeys a
+triangle-like relation, so near neighbours tend to embed nearby, but the
+method is *approximate*: the true best match can be ranked outside the
+verified set.  Its retrieval-accuracy-vs-speed trade-off is the
+"approximate camp" foil in experiment E6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.dtw import dtw_distance, dtw_path
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = ["EmbeddingMatch", "EmbeddingSearcher", "EmbeddingStats"]
+
+
+@dataclass(frozen=True)
+class EmbeddingMatch:
+    ref: SubsequenceRef
+    series_name: str
+    distance: float  # normalised DTW, same unit as ONEX reports
+
+
+@dataclass
+class EmbeddingStats:
+    candidates: int = 0
+    verified: int = 0
+    dtw_calls: int = 0
+
+
+class EmbeddingSearcher:
+    """Approximate DTW best-match via landmark embeddings."""
+
+    def __init__(
+        self,
+        dataset: TimeSeriesDataset,
+        lengths,
+        *,
+        references: int = 8,
+        verify_fraction: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        """Index all windows of the given *lengths*.
+
+        *references* landmark subsequences are sampled from the data; each
+        window's embedding is its vector of normalised DTW distances to
+        them.  At query time the closest ``verify_fraction`` of windows by
+        embedding L-infinity distance are verified with exact DTW.
+        """
+        if len(dataset) == 0:
+            raise ValidationError("dataset must be non-empty")
+        if references < 1:
+            raise ValidationError(f"references must be >= 1, got {references}")
+        if not 0.0 < verify_fraction <= 1.0:
+            raise ValidationError("verify_fraction must be in (0, 1]")
+        self._dataset = dataset
+        self._verify_fraction = verify_fraction
+        self._refs: list[SubsequenceRef] = []
+        for length in sorted(set(int(n) for n in lengths)):
+            self._refs.extend(dataset.iter_subsequences(length))
+        if not self._refs:
+            raise ValidationError("no windows for the requested lengths")
+
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(self._refs), size=min(references, len(self._refs)), replace=False)
+        self._landmarks = [dataset.values(self._refs[int(p)]).copy() for p in picks]
+        self._embeddings = np.empty((len(self._refs), len(self._landmarks)))
+        for i, ref in enumerate(self._refs):
+            values = dataset.values(ref)
+            for j, landmark in enumerate(self._landmarks):
+                self._embeddings[i, j] = dtw_distance(values, landmark, normalized=True)
+        self.last_stats = EmbeddingStats()
+
+    @property
+    def size(self) -> int:
+        return len(self._refs)
+
+    def embed(self, query) -> np.ndarray:
+        """Embedding of an arbitrary query sequence."""
+        q = as_sequence(query, name="query")
+        return np.array(
+            [dtw_distance(q, landmark, normalized=True) for landmark in self._landmarks]
+        )
+
+    def best_match(self, query) -> EmbeddingMatch:
+        """Approximate DTW nearest neighbour (verified top fraction)."""
+        q = as_sequence(query, name="query")
+        stats = EmbeddingStats(candidates=self.size)
+        q_emb = self.embed(q)
+        stats.dtw_calls += len(self._landmarks)
+        # L-infinity in embedding space: |DTW(q,l) - DTW(x,l)| lower-bounds
+        # nothing formally for DTW (no triangle inequality), hence the
+        # method's approximation; it is still a strong ranking signal.
+        scores = np.abs(self._embeddings - q_emb).max(axis=1)
+        n_verify = max(1, int(math.ceil(self._verify_fraction * self.size)))
+        candidates = np.argsort(scores)[:n_verify]
+        best: tuple[float, SubsequenceRef | None] = (math.inf, None)
+        for idx in candidates:
+            stats.verified += 1
+            stats.dtw_calls += 1
+            ref = self._refs[int(idx)]
+            res = dtw_path(q, self._dataset.values(ref))
+            if res.normalized_distance < best[0]:
+                best = (res.normalized_distance, ref)
+        self.last_stats = stats
+        distance, ref = best
+        return EmbeddingMatch(
+            ref=ref,
+            series_name=self._dataset[ref.series_index].name,
+            distance=distance,
+        )

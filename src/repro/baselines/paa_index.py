@@ -1,0 +1,159 @@
+"""FRM-style PAA feature index (reference [4], S12).
+
+Faloutsos, Ranganathan & Manolopoulos (SIGMOD 1994) pioneered subsequence
+matching by mapping windows to a low-dimensional feature space and pruning
+with a distance that underestimates the true one ("GEMINI" framework).  We
+use Piecewise Aggregate Approximation features — segment means — whose
+scaled L2 distance provably lower-bounds the true Euclidean distance, so
+range queries are exact: filter in feature space, verify survivors.
+
+This is the Euclidean-camp baseline: fast, exact *under ED* — and blind to
+time warping, which is what the E6 accuracy experiment demonstrates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = ["PaaIndex", "PaaMatch", "PaaStats"]
+
+
+def paa_transform(values: np.ndarray, segments: int) -> np.ndarray:
+    """Segment means of *values* split into *segments* near-equal parts."""
+    n = values.shape[0]
+    if segments > n:
+        raise ValidationError(f"segments ({segments}) exceed length ({n})")
+    bounds = np.linspace(0, n, segments + 1).round().astype(int)
+    return np.array(
+        [values[bounds[i] : bounds[i + 1]].mean() for i in range(segments)]
+    )
+
+
+@dataclass(frozen=True)
+class PaaMatch:
+    ref: SubsequenceRef
+    series_name: str
+    distance: float  # true Euclidean (L2) distance
+
+
+@dataclass
+class PaaStats:
+    candidates: int = 0
+    filtered_out: int = 0
+    verified: int = 0
+
+    @property
+    def filter_rate(self) -> float:
+        return self.filtered_out / self.candidates if self.candidates else 0.0
+
+
+class PaaIndex:
+    """PAA filter-and-verify index over all windows of one length."""
+
+    def __init__(
+        self, dataset: TimeSeriesDataset, length: int, *, segments: int = 8
+    ) -> None:
+        if len(dataset) == 0:
+            raise ValidationError("dataset must be non-empty")
+        if length < 2:
+            raise ValidationError(f"length must be >= 2, got {length}")
+        if segments < 1:
+            raise ValidationError(f"segments must be >= 1, got {segments}")
+        segments = min(segments, length)
+        self._dataset = dataset
+        self._length = length
+        self._segments = segments
+        self._refs = list(dataset.iter_subsequences(length))
+        if not self._refs:
+            raise ValidationError(f"no windows of length {length} in the dataset")
+        self._features = np.vstack(
+            [paa_transform(dataset.values(ref), segments) for ref in self._refs]
+        )
+        # Widths of the PAA segments, for the lower-bounding scale factor.
+        bounds = np.linspace(0, length, segments + 1).round().astype(int)
+        self._widths = np.diff(bounds).astype(np.float64)
+        self.last_stats = PaaStats()
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    @property
+    def size(self) -> int:
+        return len(self._refs)
+
+    def feature_lower_bound(self, q_features: np.ndarray) -> np.ndarray:
+        """Vector of PAA lower bounds on true ED for every indexed window.
+
+        ``sqrt(sum_i w_i * (qf_i - cf_i)^2) <= ED_L2(q, c)`` — the GEMINI
+        lower-bounding lemma for segment means (Keogh et al. 2001).
+        """
+        diff = self._features - q_features
+        return np.sqrt((self._widths * diff * diff).sum(axis=1))
+
+    def range_query(self, query, radius: float) -> list[PaaMatch]:
+        """All windows with true ED_L2 <= *radius* (exact, filter+verify)."""
+        q = self._check_query(query)
+        if not radius >= 0:
+            raise ValidationError(f"radius must be >= 0, got {radius}")
+        stats = PaaStats(candidates=self.size)
+        q_features = paa_transform(q, self._segments)
+        bounds = self.feature_lower_bound(q_features)
+        survivors = np.nonzero(bounds <= radius)[0]
+        stats.filtered_out = self.size - survivors.size
+        out = []
+        for idx in survivors:
+            stats.verified += 1
+            ref = self._refs[idx]
+            true = float(np.sqrt(((self._dataset.values(ref) - q) ** 2).sum()))
+            if true <= radius:
+                out.append(
+                    PaaMatch(
+                        ref=ref,
+                        series_name=self._dataset[ref.series_index].name,
+                        distance=true,
+                    )
+                )
+        self.last_stats = stats
+        return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    def best_match(self, query) -> PaaMatch:
+        """Exact ED nearest neighbour via ascending-bound verification."""
+        q = self._check_query(query)
+        stats = PaaStats(candidates=self.size)
+        q_features = paa_transform(q, self._segments)
+        bounds = self.feature_lower_bound(q_features)
+        order = np.argsort(bounds)
+        best = (math.inf, None)
+        for idx in order:
+            if bounds[idx] >= best[0]:
+                # Every remaining bound is larger; the answer is final.
+                stats.filtered_out = self.size - stats.verified
+                break
+            stats.verified += 1
+            ref = self._refs[idx]
+            true = float(np.sqrt(((self._dataset.values(ref) - q) ** 2).sum()))
+            if true < best[0]:
+                best = (true, ref)
+        self.last_stats = stats
+        distance, ref = best
+        return PaaMatch(
+            ref=ref,
+            series_name=self._dataset[ref.series_index].name,
+            distance=distance,
+        )
+
+    def _check_query(self, query) -> np.ndarray:
+        q = as_sequence(query, name="query")
+        if q.shape[0] != self._length:
+            raise ValidationError(
+                f"query length {q.shape[0]} != indexed length {self._length}"
+            )
+        return q

@@ -1,0 +1,246 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Wraps the engine and server for shell use.  Commands mirror the service
+operations so everything the HTTP API offers is scriptable:
+
+- ``describe`` — load a source and print collection + base statistics.
+- ``query`` — best matches for a brushed series window.
+- ``seasonal`` — recurring patterns within one series.
+- ``thresholds`` — data-driven similarity-threshold suggestions.
+- ``sensitivity`` — match-count curve across candidate thresholds.
+- ``serve`` — run the HTTP JSON API (the demo's web backend).
+
+Sources: ``matters`` / ``electricity`` (simulated demo collections) or
+``ucr:<path>`` for archive-format files.  Output is human-readable by
+default; ``--json`` emits machine-readable payloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.config import QueryConfig
+from repro.exceptions import OnexError
+from repro.server.http import OnexHttpServer
+from repro.server.protocol import Request
+from repro.server.service import OnexService
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ONEX interactive time series analytics (SIGMOD 2017 reproduction)",
+    )
+    parser.add_argument("--json", action="store_true", help="emit raw JSON payloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--source", default="matters",
+                       help="matters | electricity | ucr:<path>")
+        p.add_argument("--st", type=float, default=None,
+                       help="similarity threshold (default: data-driven)")
+        p.add_argument("--min-length", type=int, default=None)
+        p.add_argument("--max-length", type=int, default=None)
+        p.add_argument("--seed", type=int, default=2013)
+        p.add_argument("--indicators", nargs="*", default=None,
+                       help="MATTERS indicator subset (e.g. GrowthRate)")
+        p.add_argument("--years", type=int, default=16)
+        p.add_argument("--min-years", type=int, default=10)
+
+    p = sub.add_parser("describe", help="collection and base statistics")
+    add_source_options(p)
+
+    p = sub.add_parser("query", help="best matches for a brushed window")
+    add_source_options(p)
+    p.add_argument("--series", required=True)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--k", type=int, default=5)
+
+    p = sub.add_parser("seasonal", help="recurring patterns within one series")
+    add_source_options(p)
+    p.add_argument("--series", required=True)
+    p.add_argument("--length", type=int, required=True)
+    p.add_argument("--threshold", type=float, default=None)
+    p.add_argument("--step", type=int, default=1)
+    p.add_argument("--remove-level", action="store_true")
+
+    p = sub.add_parser("thresholds", help="similarity-threshold suggestions")
+    add_source_options(p)
+    p.add_argument("--length", type=int, required=True)
+
+    p = sub.add_parser("sensitivity", help="match counts across thresholds")
+    add_source_options(p)
+    p.add_argument("--series", required=True)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--length", type=int, default=None)
+    p.add_argument("--grid", nargs="+", type=float,
+                   default=[0.02, 0.05, 0.1, 0.2])
+    p.add_argument("--verify", action="store_true")
+
+    p = sub.add_parser("serve", help="run the HTTP JSON API")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8765)
+
+    return parser
+
+
+def _load_params(args: argparse.Namespace) -> dict:
+    params: dict = {"source": args.source, "seed": args.seed}
+    if args.source == "matters":
+        params["years"] = args.years
+        params["min_years"] = args.min_years
+        if args.indicators:
+            params["indicators"] = args.indicators
+    if args.st is not None:
+        params["similarity_threshold"] = args.st
+    if args.min_length is not None:
+        params["min_length"] = args.min_length
+    if args.max_length is not None:
+        params["max_length"] = args.max_length
+    return params
+
+
+def _call(service: OnexService, op: str, params: dict) -> dict:
+    response = service.handle(Request(op, params))
+    if not response.ok:
+        raise OnexError(f"{response.error_type}: {response.error_message}")
+    return response.result
+
+
+def _emit(payload, args, human) -> None:
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        human(payload)
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except OnexError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "serve":
+        server = OnexHttpServer(OnexService(), host=args.host, port=args.port)
+        print(f"ONEX server listening on {server.url} (Ctrl-C to stop)")
+        try:
+            server.start()._thread.join()
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            server.stop()
+        return 0
+
+    service = OnexService(QueryConfig(mode="fast", refine_groups=3))
+    loaded = _call(service, "load_dataset", _load_params(args))
+    dataset = loaded["dataset"]
+
+    if args.command == "describe":
+        info = _call(service, "describe", {"dataset": dataset})
+
+        def human(payload):
+            print(f"{payload['name']}: {payload['series']} series, "
+                  f"{payload['total_points']} points, lengths "
+                  f"{payload['min_length']}..{payload['max_length']}")
+            print(f"base: {payload['groups']} groups, "
+                  f"{payload['compaction_ratio']:.1f}x compaction")
+
+        _emit(info, args, human)
+        return 0
+
+    if args.command == "query":
+        result = _call(
+            service,
+            "k_best",
+            {
+                "dataset": dataset,
+                "query": {"series": args.series, "start": args.start,
+                          "length": args.length},
+                "k": args.k,
+            },
+        )
+
+        def human(payload):
+            print(f"top {len(payload['matches'])} matches for "
+                  f"{args.series}[{args.start}:]:")
+            for m in payload["matches"]:
+                print(f"  {m['match_series']:<24} start={m['match_start']:<4}"
+                      f" dist={m['distance']:.4f}")
+
+        _emit(result, args, human)
+        return 0
+
+    if args.command == "seasonal":
+        params = {
+            "dataset": dataset,
+            "series": args.series,
+            "length": args.length,
+            "step": args.step,
+            "remove_level": args.remove_level,
+        }
+        if args.threshold is not None:
+            params["threshold"] = args.threshold
+        result = _call(service, "seasonal", params)
+
+        def human(payload):
+            print(f"{len(payload['patterns'])} recurring pattern(s) in "
+                  f"{payload['series']}:")
+            for p in payload["patterns"]:
+                starts = [s["start"] for s in p["segments"]]
+                print(f"  {len(starts)} occurrences at {starts} "
+                      f"(max pairwise DTW {p['max_pairwise_dtw']:.4f})")
+
+        _emit(result, args, human)
+        return 0
+
+    if args.command == "thresholds":
+        result = _call(
+            service, "thresholds", {"dataset": dataset, "length": args.length}
+        )
+
+        def human(payload):
+            print(f"suggested thresholds for length {payload['length']}:")
+            for label, value in payload["suggestions"].items():
+                print(f"  {label:>4}: {value:.5f}")
+            print(f"default: {payload['default']:.5f}")
+
+        _emit(result, args, human)
+        return 0
+
+    if args.command == "sensitivity":
+        result = _call(
+            service,
+            "sensitivity",
+            {
+                "dataset": dataset,
+                "query": {"series": args.series, "start": args.start,
+                          "length": args.length},
+                "thresholds": args.grid,
+                "verify": args.verify,
+            },
+        )
+
+        def human(payload):
+            print(f"match counts over {payload['candidates']} candidates:")
+            for i, st in enumerate(payload["thresholds"]):
+                exact = payload["exact"][i]
+                exact_txt = f" exact={exact}" if exact is not None else ""
+                print(f"  ST={st:<6g} certain={payload['certain'][i]:<6}"
+                      f" possible={payload['possible'][i]:<6}{exact_txt}")
+            print(f"knee: ST={payload['knee']}")
+
+        _emit(result, args, human)
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

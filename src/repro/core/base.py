@@ -1,0 +1,434 @@
+"""The ONEX base: compact, Euclidean-prepared index of similarity groups.
+
+Offline phase (§3.1 / Fig. 1 top): every subsequence of the loaded
+collection within the configured length range is clustered, per length,
+into similarity groups using the cheap ``ED_n`` distance.  The base keeps
+only the group representatives (centroids), radii, and member handles —
+typically orders of magnitude fewer representatives than raw subsequences,
+which is what makes DTW-based online exploration interactive.
+
+The base can be persisted with :meth:`OnexBase.save` and reattached to the
+same dataset with :meth:`OnexBase.load`, mirroring the demo's server-side
+preprocessing-on-load workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import BuildConfig
+from repro.core.grouping import SimilarityGroup, cluster_subsequences
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.normalize import minmax_normalize
+from repro.exceptions import DatasetError, NotBuiltError, ValidationError
+
+__all__ = ["BaseStats", "LengthBucket", "OnexBase"]
+
+
+@dataclass(frozen=True)
+class BaseStats:
+    """Construction summary (reported by E1/E7 benchmarks)."""
+
+    subsequences: int
+    groups: int
+    lengths: int
+    build_seconds: float
+
+    @property
+    def compaction_ratio(self) -> float:
+        """Raw subsequences per representative — the data-reduction factor."""
+        return self.subsequences / self.groups if self.groups else float("nan")
+
+
+class LengthBucket:
+    """All similarity groups for one subsequence length.
+
+    Keeps the group centroids stacked in one matrix so the query processor
+    can evaluate cheap bounds against every representative of a length in
+    a single vectorised operation.
+    """
+
+    def __init__(self, length: int, groups: list[SimilarityGroup]) -> None:
+        self.length = length
+        self.groups = groups
+        if groups:
+            self.centroids = np.vstack([g.centroid for g in groups])
+            self.ed_radii = np.array([g.ed_radius for g in groups])
+            self.cheb_radii = np.array([g.cheb_radius for g in groups])
+        else:  # pragma: no cover - empty buckets are dropped by the builder
+            self.centroids = np.empty((0, length))
+            self.ed_radii = np.empty(0)
+            self.cheb_radii = np.empty(0)
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def member_count(self) -> int:
+        return sum(g.cardinality for g in self.groups)
+
+
+class OnexBase:
+    """The compact ONEX base over one dataset."""
+
+    def __init__(self, dataset: TimeSeriesDataset, config: BuildConfig) -> None:
+        if len(dataset) == 0:
+            raise DatasetError("cannot build a base over an empty dataset")
+        self._config = config
+        self._raw_dataset = dataset
+        self._norm_bounds = dataset.global_bounds() if config.normalize else None
+        self._dataset = dataset.normalized() if config.normalize else dataset
+        self._buckets: dict[int, LengthBucket] = {}
+        self._stats: BaseStats | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def build(self) -> BaseStats:
+        """Run the offline clustering; idempotent (rebuilds from scratch)."""
+        started = time.perf_counter()
+        self._buckets = {}
+        total_subsequences = 0
+        total_groups = 0
+        cfg = self._config
+        for length in range(cfg.min_length, cfg.max_length + 1):
+            matrix, refs = self._dataset.subsequence_matrix(length, step=cfg.step)
+            if not refs:
+                continue
+            groups = cluster_subsequences(matrix, refs, cfg.group_radius)
+            bucket = LengthBucket(length, groups)
+            self._buckets[length] = bucket
+            total_subsequences += len(refs)
+            total_groups += bucket.group_count
+        if not self._buckets:
+            raise DatasetError(
+                "no subsequences in the configured length range "
+                f"[{cfg.min_length}, {cfg.max_length}]"
+            )
+        self._stats = BaseStats(
+            subsequences=total_subsequences,
+            groups=total_groups,
+            lengths=len(self._buckets),
+            build_seconds=time.perf_counter() - started,
+        )
+        return self._stats
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> BuildConfig:
+        return self._config
+
+    @property
+    def dataset(self) -> TimeSeriesDataset:
+        """The (normalised, when configured) dataset the base indexes."""
+        return self._dataset
+
+    @property
+    def raw_dataset(self) -> TimeSeriesDataset:
+        """The dataset exactly as loaded, before normalisation."""
+        return self._raw_dataset
+
+    @property
+    def normalization_bounds(self) -> tuple[float, float] | None:
+        """The (lo, hi) captured at build time, or None when unnormalised.
+
+        Queries must map raw values with *these* bounds — not the current
+        dataset extremes, which :meth:`add_series` may have widened.
+        """
+        return self._norm_bounds
+
+    @property
+    def is_built(self) -> bool:
+        return bool(self._buckets)
+
+    @property
+    def stats(self) -> BaseStats:
+        if self._stats is None:
+            raise NotBuiltError("base not built yet; call build()")
+        return self._stats
+
+    @property
+    def lengths(self) -> list[int]:
+        """Indexed subsequence lengths, ascending."""
+        self._require_built()
+        return sorted(self._buckets)
+
+    def bucket(self, length: int) -> LengthBucket:
+        self._require_built()
+        try:
+            return self._buckets[length]
+        except KeyError:
+            raise DatasetError(
+                f"length {length} not indexed (available: "
+                f"{self.lengths[0]}..{self.lengths[-1]})"
+            ) from None
+
+    def buckets(self) -> list[LengthBucket]:
+        self._require_built()
+        return [self._buckets[length] for length in self.lengths]
+
+    def group(self, length: int, index: int) -> SimilarityGroup:
+        bucket = self.bucket(length)
+        if not 0 <= index < bucket.group_count:
+            raise DatasetError(
+                f"group index {index} out of range for length {length}"
+            )
+        return bucket.groups[index]
+
+    def member_values(self, ref: SubsequenceRef) -> np.ndarray:
+        """Resolve a member handle against the indexed dataset."""
+        return self._dataset.values(ref)
+
+    def validate(self) -> None:
+        """Re-check every group invariant (slow; used by tests/debugging)."""
+        self._require_built()
+        for bucket in self.buckets():
+            for group in bucket.groups:
+                group.validate(self._dataset, self._config.group_radius)
+
+    def _require_built(self) -> None:
+        if not self._buckets:
+            raise NotBuiltError("base not built yet; call build()")
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+
+    def add_series(self, series) -> dict:
+        """Index one new series into the built base without a rebuild.
+
+        New windows are assigned with **fixed** representatives: a window
+        joins the nearest existing group when it sits within the
+        construction radius of that group's centroid (which is *not*
+        moved, so every existing member's guarantee is untouched and the
+        new member's holds by the assignment test); otherwise it seeds a
+        new singleton group.  Radii are updated exactly.  Compared to a
+        full rebuild this can only produce extra groups, never invariant
+        violations — ``validate()`` passes afterwards.
+
+        Values are normalised with the bounds captured at build time, so
+        distances remain comparable with the existing base; a series
+        exceeding those bounds maps outside [0, 1] (documented, allowed).
+
+        Returns a summary dict (windows indexed, groups joined/created).
+        """
+        from dataclasses import replace
+
+        from repro.data.timeseries import TimeSeries
+
+        self._require_built()
+        if not isinstance(series, TimeSeries):
+            raise ValidationError(
+                f"expected TimeSeries, got {type(series).__name__}"
+            )
+        if series.name in self._raw_dataset:
+            raise DatasetError(f"duplicate series name: {series.name!r}")
+        self._raw_dataset.add(series)
+        if self._norm_bounds is not None:
+            lo, hi = self._norm_bounds
+            normalized = series.with_values(
+                minmax_normalize(series.values, lo=lo, hi=hi)
+            )
+            self._dataset.add(normalized)
+        series_index = self._dataset.index_of(series.name)
+
+        cfg = self._config
+        radius = cfg.group_radius
+        windows = 0
+        joined = 0
+        created = 0
+        values = self._dataset[series_index].values
+        for length in range(cfg.min_length, cfg.max_length + 1):
+            if len(series) < length:
+                continue
+            starts = range(0, len(series) - length + 1, cfg.step)
+            rows = [values[s : s + length] for s in starts]
+            if not rows:
+                continue
+            bucket = self._buckets.get(length)
+            groups = list(bucket.groups) if bucket is not None else []
+            centroids = bucket.centroids if bucket is not None else np.empty((0, length))
+            for start, row in zip(starts, rows):
+                windows += 1
+                ref = SubsequenceRef(series_index, start, length)
+                g_idx = -1
+                best = np.inf
+                if centroids.shape[0]:
+                    dists = np.abs(centroids - row).mean(axis=1)
+                    g_idx = int(np.argmin(dists))
+                    best = float(dists[g_idx])
+                if g_idx >= 0 and best <= radius:
+                    group = groups[g_idx]
+                    deviation = np.abs(row - group.centroid)
+                    groups[g_idx] = replace(
+                        group,
+                        members=group.members + (ref,),
+                        ed_radius=max(group.ed_radius, float(deviation.mean())),
+                        cheb_radius=max(group.cheb_radius, float(deviation.max())),
+                    )
+                    joined += 1
+                else:
+                    groups.append(
+                        SimilarityGroup(
+                            length=length,
+                            centroid=row.copy(),
+                            members=(ref,),
+                            ed_radius=0.0,
+                            cheb_radius=0.0,
+                        )
+                    )
+                    centroids = np.vstack([centroids, row[None, :]])
+                    created += 1
+            self._buckets[length] = LengthBucket(length, groups)
+
+        old = self.stats
+        self._stats = BaseStats(
+            subsequences=old.subsequences + windows,
+            groups=old.groups + created,
+            lengths=len(self._buckets),
+            build_seconds=old.build_seconds,
+        )
+        return {
+            "series": series.name,
+            "windows": windows,
+            "joined_existing_groups": joined,
+            "new_groups": created,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Serialise the built base to a single ``.npz`` file.
+
+        Stores config, group centroids, radii, and member handles — not the
+        dataset itself; :meth:`load` re-attaches to an equal dataset.
+        """
+        self._require_built()
+        path = Path(path)
+        payload: dict[str, np.ndarray] = {}
+        meta = {
+            "config": {
+                "similarity_threshold": self._config.similarity_threshold,
+                "min_length": self._config.min_length,
+                "max_length": self._config.max_length,
+                "step": self._config.step,
+                "normalize": self._config.normalize,
+            },
+            "stats": {
+                "subsequences": self.stats.subsequences,
+                "groups": self.stats.groups,
+                "lengths": self.stats.lengths,
+                "build_seconds": self.stats.build_seconds,
+            },
+            "dataset_fingerprint": self._fingerprint(),
+            "lengths": self.lengths,
+            "norm_bounds": list(self._norm_bounds) if self._norm_bounds else None,
+        }
+        payload["meta"] = np.array(json.dumps(meta))
+        for length in self.lengths:
+            bucket = self._buckets[length]
+            prefix = f"len{length}"
+            payload[f"{prefix}_centroids"] = bucket.centroids
+            payload[f"{prefix}_ed_radii"] = bucket.ed_radii
+            payload[f"{prefix}_cheb_radii"] = bucket.cheb_radii
+            offsets = [0]
+            members = []
+            for g in bucket.groups:
+                members.extend((m.series_index, m.start) for m in g.members)
+                offsets.append(len(members))
+            payload[f"{prefix}_members"] = np.array(members, dtype=np.int64)
+            payload[f"{prefix}_offsets"] = np.array(offsets, dtype=np.int64)
+        np.savez_compressed(path, **payload)
+
+    @classmethod
+    def load(cls, path, dataset: TimeSeriesDataset) -> "OnexBase":
+        """Load a saved base and attach it to *dataset*.
+
+        The dataset must be the one the base was built from (checked with a
+        content fingerprint) — the base stores member *handles*, not values.
+        """
+        path = Path(path)
+        with np.load(path, allow_pickle=False) as archive:
+            meta = json.loads(str(archive["meta"]))
+            config = BuildConfig(**meta["config"])
+            base = cls(dataset, config)
+            saved_bounds = meta.get("norm_bounds")
+            if saved_bounds is not None and tuple(saved_bounds) != base._norm_bounds:
+                # The saved base was normalised with earlier bounds (e.g.
+                # add_series widened the collection afterwards); reproduce
+                # exactly the value space it was built in.
+                lo, hi = saved_bounds
+                base._norm_bounds = (lo, hi)
+                renormalized = TimeSeriesDataset(name=dataset.name)
+                for s in dataset:
+                    renormalized.add(
+                        s.with_values(minmax_normalize(s.values, lo=lo, hi=hi))
+                    )
+                base._dataset = renormalized
+            if base._fingerprint() != meta["dataset_fingerprint"]:
+                raise DatasetError(
+                    "dataset does not match the one this base was built from"
+                )
+            for length in meta["lengths"]:
+                prefix = f"len{length}"
+                centroids = archive[f"{prefix}_centroids"]
+                ed_radii = archive[f"{prefix}_ed_radii"]
+                cheb_radii = archive[f"{prefix}_cheb_radii"]
+                members = archive[f"{prefix}_members"]
+                offsets = archive[f"{prefix}_offsets"]
+                groups = []
+                for g in range(len(offsets) - 1):
+                    chunk = members[offsets[g] : offsets[g + 1]]
+                    refs = tuple(
+                        SubsequenceRef(int(si), int(st), int(length))
+                        for si, st in chunk
+                    )
+                    groups.append(
+                        SimilarityGroup(
+                            length=int(length),
+                            centroid=centroids[g],
+                            members=refs,
+                            ed_radius=float(ed_radii[g]),
+                            cheb_radius=float(cheb_radii[g]),
+                        )
+                    )
+                base._buckets[int(length)] = LengthBucket(int(length), groups)
+        stats = meta["stats"]
+        base._stats = BaseStats(
+            subsequences=stats["subsequences"],
+            groups=stats["groups"],
+            lengths=stats["lengths"],
+            build_seconds=stats["build_seconds"],
+        )
+        return base
+
+    def _fingerprint(self) -> str:
+        """Cheap content hash binding a saved base to its dataset."""
+        import hashlib
+
+        digest = hashlib.sha256()
+        for series in self._dataset:
+            digest.update(series.name.encode())
+            digest.update(np.ascontiguousarray(series.values).tobytes())
+        return digest.hexdigest()
+
+    def __repr__(self) -> str:
+        if not self._buckets:
+            return "OnexBase(unbuilt)"
+        return (
+            f"OnexBase(lengths={self.lengths[0]}..{self.lengths[-1]}, "
+            f"groups={self.stats.groups}, "
+            f"compaction={self.stats.compaction_ratio:.1f}x)"
+        )

@@ -1,0 +1,203 @@
+"""The ONEX engine facade — Fig. 1's architecture as one object.
+
+The engine owns named datasets and their bases (preprocessing layer),
+routes exploratory operations to the query processor (middle layer), and
+exposes the summaries the visual-analytics layer consumes.  The demo's
+client/server module (:mod:`repro.server`) is a thin JSON wrapper around
+this class; examples and benchmarks drive it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.base import BaseStats, OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import Match, QueryProcessor
+from repro.core.seasonal import SeasonalPattern, find_seasonal_patterns
+from repro.core.sensitivity import SensitivityProfile, similarity_profile
+from repro.core.threshold import ThresholdRecommendation, recommend_thresholds
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.exceptions import DatasetError, ValidationError
+
+__all__ = ["LoadedDataset", "OnexEngine"]
+
+
+@dataclass
+class LoadedDataset:
+    """One dataset registered with the engine, plus its built base."""
+
+    dataset: TimeSeriesDataset
+    base: OnexBase
+    processor: QueryProcessor
+    stats: BaseStats
+
+
+class OnexEngine:
+    """Facade over preprocessing, querying, and analytics summaries."""
+
+    def __init__(self, query_config: QueryConfig | None = None) -> None:
+        self._query_config = query_config or QueryConfig()
+        self._loaded: dict[str, LoadedDataset] = {}
+
+    # ------------------------------------------------------------------
+    # Data loading (the demo's "Data Loading into ONEX" step)
+    # ------------------------------------------------------------------
+
+    def load_dataset(
+        self,
+        dataset: TimeSeriesDataset,
+        *,
+        similarity_threshold: float | None = None,
+        min_length: int | None = None,
+        max_length: int | None = None,
+        step: int = 1,
+        normalize: bool = True,
+    ) -> BaseStats:
+        """Register *dataset* and build its ONEX base.
+
+        When *similarity_threshold* is omitted it is chosen data-driven via
+        the threshold recommender at a mid-range subsequence length.  The
+        length range defaults to the collection's shortest series length on
+        both ends widened down to half of it — a pragmatic default that
+        keeps preprocessing proportional to the data.
+        """
+        if dataset.name in self._loaded:
+            raise DatasetError(f"dataset {dataset.name!r} already loaded")
+        shortest, _ = dataset.length_range()
+        if max_length is None:
+            max_length = shortest
+        if min_length is None:
+            min_length = max(2, max_length // 2)
+        if similarity_threshold is None:
+            probe = max(2, min(max_length, (min_length + max_length) // 2))
+            similarity_threshold = recommend_thresholds(
+                dataset, probe, normalize=normalize
+            ).default
+        config = BuildConfig(
+            similarity_threshold=similarity_threshold,
+            min_length=min_length,
+            max_length=max_length,
+            step=step,
+            normalize=normalize,
+        )
+        base = OnexBase(dataset, config)
+        stats = base.build()
+        self._loaded[dataset.name] = LoadedDataset(
+            dataset=dataset,
+            base=base,
+            processor=QueryProcessor(base, self._query_config),
+            stats=stats,
+        )
+        return stats
+
+    def add_series(self, dataset_name: str, series) -> dict:
+        """Index one new series into a loaded dataset incrementally.
+
+        Uses the base's fixed-representative update (invariant-safe, no
+        rebuild); the series becomes immediately queryable.
+        """
+        return self._entry(dataset_name).base.add_series(series)
+
+    def unload_dataset(self, name: str) -> None:
+        self._entry(name)
+        del self._loaded[name]
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return sorted(self._loaded)
+
+    def base(self, name: str) -> OnexBase:
+        return self._entry(name).base
+
+    def stats(self, name: str) -> BaseStats:
+        return self._entry(name).stats
+
+    # ------------------------------------------------------------------
+    # Exploratory operations (§3.3)
+    # ------------------------------------------------------------------
+
+    def best_match(self, dataset_name: str, query, **kwargs) -> Match:
+        """Best match for a sample sequence (Fig. 2's similarity search)."""
+        return self._entry(dataset_name).processor.best_match(query, **kwargs)
+
+    def k_best_matches(self, dataset_name: str, query, k: int, **kwargs) -> list[Match]:
+        return self._entry(dataset_name).processor.k_best_matches(query, k, **kwargs)
+
+    def matches_within(self, dataset_name: str, query, threshold: float, **kwargs) -> list[Match]:
+        return self._entry(dataset_name).processor.matches_within(
+            query, threshold, **kwargs
+        )
+
+    def seasonal_patterns(
+        self, dataset_name: str, series_name: str, length: int, threshold: float | None = None, **kwargs
+    ) -> list[SeasonalPattern]:
+        """Recurring patterns within one series (Fig. 4's Seasonal View)."""
+        entry = self._entry(dataset_name)
+        if threshold is None:
+            threshold = entry.base.config.similarity_threshold
+        series = entry.dataset[series_name]
+        return find_seasonal_patterns(series, length, threshold, **kwargs)
+
+    def recommend_thresholds(
+        self, dataset_name: str, length: int, **kwargs
+    ) -> ThresholdRecommendation:
+        return recommend_thresholds(self._entry(dataset_name).dataset, length, **kwargs)
+
+    def similarity_profile(
+        self, dataset_name: str, query, thresholds, **kwargs
+    ) -> SensitivityProfile:
+        """Match-count sensitivity across thresholds (§2's "varying
+        parameters" exploration)."""
+        return similarity_profile(
+            self._entry(dataset_name).base, query, thresholds, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries for the visual layer
+    # ------------------------------------------------------------------
+
+    def overview(self, dataset_name: str, *, length: int | None = None, limit: int = 50) -> list[dict]:
+        """Overview Pane payload: representatives with group cardinality.
+
+        Groups are sorted by cardinality (the pane's colour intensity) and
+        truncated to *limit*; *length* picks one indexed length (default:
+        the longest, matching the demo's full-series overview).
+        """
+        base = self._entry(dataset_name).base
+        if length is None:
+            length = base.lengths[-1]
+        bucket = base.bucket(length)
+        ranked = sorted(
+            range(bucket.group_count),
+            key=lambda g: -bucket.groups[g].cardinality,
+        )[:limit]
+        return [
+            {
+                "group": (length, g),
+                "cardinality": bucket.groups[g].cardinality,
+                "representative": bucket.groups[g].centroid.tolist(),
+            }
+            for g in ranked
+        ]
+
+    def query_from_series(
+        self, dataset_name: str, series_name: str, start: int = 0, length: int | None = None
+    ) -> SubsequenceRef:
+        """Build a query ref by brushing a stored series (Query Preview)."""
+        entry = self._entry(dataset_name)
+        series = entry.dataset[series_name]
+        if length is None:
+            length = len(series) - start
+        if length < 2:
+            raise ValidationError("brushed query must have at least 2 points")
+        series.subsequence(start, length)  # validates the window
+        return SubsequenceRef(entry.dataset.index_of(series_name), start, length)
+
+    def _entry(self, name: str) -> LoadedDataset:
+        try:
+            return self._loaded[name]
+        except KeyError:
+            raise DatasetError(
+                f"dataset {name!r} not loaded (loaded: {self.dataset_names})"
+            ) from None

@@ -1,0 +1,262 @@
+"""ONEX similarity groups (§3.1) and the per-length online clustering.
+
+A :class:`SimilarityGroup` collects same-length subsequences that are
+mutually similar under the cheap length-normalised L1 distance ``ED_n``
+and summarises them by their centroid ("representative").  Construction
+follows the paper: scan subsequences in order, assign each to the nearest
+existing group whose centroid is within ``ST/2``, else seed a new group.
+
+Because the centroid moves as members join, the strict invariant *every
+member within ``ST/2`` of the final representative* is re-established by a
+finalize/repair pass (:func:`cluster_subsequences` → ``_repair``): members
+that drifted outside the radius are pulled out and re-clustered, with
+singleton groups as the guaranteed-terminating fallback.  After repair the
+triangle inequality of ``ED_n`` gives the paper's pairwise guarantee: any
+two members of one group are within ``ST`` of each other.  Both properties
+are asserted by the test suite on randomised inputs.
+
+Each finalized group also records two radii the query processor needs:
+
+- ``ed_radius`` — max ``ED_n(member, representative)`` (``<= ST/2``),
+- ``cheb_radius`` — max ``max_j |member_j - rep_j|``, which feeds the
+  transfer-inequality group pruning (:mod:`repro.distances.bounds`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.exceptions import InvariantError, ValidationError
+
+__all__ = ["SimilarityGroup", "cluster_subsequences"]
+
+#: Tolerance added to radius checks to absorb float round-off.
+_EPS = 1e-9
+
+
+@dataclass
+class SimilarityGroup:
+    """A finalized ONEX similarity group of same-length subsequences."""
+
+    length: int
+    centroid: np.ndarray
+    members: tuple[SubsequenceRef, ...]
+    ed_radius: float
+    cheb_radius: float
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.members)
+
+    def validate(self, dataset: TimeSeriesDataset, group_radius: float) -> None:
+        """Assert the construction invariants against *dataset*.
+
+        Raises :class:`InvariantError` when any member sits farther than
+        ``group_radius`` (= ``ST/2``) from the representative or when the
+        recorded radii understate reality.  Used by tests and debug paths;
+        O(members * length).
+        """
+        for ref in self.members:
+            values = dataset.values(ref)
+            ed = float(np.abs(values - self.centroid).mean())
+            cheb = float(np.abs(values - self.centroid).max())
+            if ed > group_radius + _EPS:
+                raise InvariantError(
+                    f"member {ref} at ED_n {ed:.6g} exceeds group radius "
+                    f"{group_radius:.6g}"
+                )
+            if ed > self.ed_radius + _EPS or cheb > self.cheb_radius + _EPS:
+                raise InvariantError(
+                    f"member {ref} outside recorded radii (ed={ed:.6g}, "
+                    f"cheb={cheb:.6g})"
+                )
+
+
+class _DraftGroup:
+    """Mutable group used during the online scan, before finalisation."""
+
+    __slots__ = ("refs", "row_indices", "total", "count")
+
+    def __init__(self, length: int) -> None:
+        self.refs: list[SubsequenceRef] = []
+        self.row_indices: list[int] = []
+        self.total = np.zeros(length, dtype=np.float64)
+        self.count = 0
+
+    def add(self, ref: SubsequenceRef, row_index: int, values: np.ndarray) -> None:
+        self.refs.append(ref)
+        self.row_indices.append(row_index)
+        self.total += values
+        self.count += 1
+
+    @property
+    def centroid(self) -> np.ndarray:
+        return self.total / self.count
+
+
+class _CentroidTable:
+    """Growable matrix of current centroids for vectorised assignment."""
+
+    def __init__(self, length: int) -> None:
+        self._length = length
+        self._capacity = 16
+        self._matrix = np.empty((self._capacity, length), dtype=np.float64)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, centroid: np.ndarray) -> None:
+        if self._count == self._capacity:
+            self._capacity *= 2
+            grown = np.empty((self._capacity, self._length), dtype=np.float64)
+            grown[: self._count] = self._matrix[: self._count]
+            self._matrix = grown
+        self._matrix[self._count] = centroid
+        self._count += 1
+
+    def update(self, index: int, centroid: np.ndarray) -> None:
+        self._matrix[index] = centroid
+
+    def nearest(self, row: np.ndarray) -> tuple[int, float]:
+        """(index, ED_n) of the closest current centroid to *row*."""
+        if self._count == 0:
+            return -1, np.inf
+        dists = np.abs(self._matrix[: self._count] - row).mean(axis=1)
+        idx = int(np.argmin(dists))
+        return idx, float(dists[idx])
+
+
+def _online_scan(
+    matrix: np.ndarray,
+    refs: list[SubsequenceRef],
+    row_order: np.ndarray,
+    group_radius: float,
+    length: int,
+) -> list[_DraftGroup]:
+    """One pass of the paper's online clustering over the given rows."""
+    drafts: list[_DraftGroup] = []
+    table = _CentroidTable(length)
+    for k in row_order:
+        row = matrix[k]
+        idx, dist = table.nearest(row)
+        if idx >= 0 and dist <= group_radius:
+            draft = drafts[idx]
+            draft.add(refs[k], int(k), row)
+            table.update(idx, draft.centroid)
+        else:
+            draft = _DraftGroup(length)
+            draft.add(refs[k], int(k), row)
+            drafts.append(draft)
+            table.append(draft.centroid)
+    return drafts
+
+
+def cluster_subsequences(
+    matrix: np.ndarray,
+    refs: list[SubsequenceRef],
+    group_radius: float,
+    *,
+    max_repair_rounds: int = 4,
+) -> list[SimilarityGroup]:
+    """Cluster equal-length subsequences into finalized similarity groups.
+
+    *matrix* rows are the subsequence values, *refs* their handles (same
+    order).  *group_radius* is ``ST/2``.  Returns groups whose invariants
+    (see module docstring) hold strictly.
+    """
+    if matrix.ndim != 2:
+        raise ValidationError(f"matrix must be 2-D, got shape {matrix.shape}")
+    if matrix.shape[0] != len(refs):
+        raise ValidationError(
+            f"matrix rows ({matrix.shape[0]}) != refs ({len(refs)})"
+        )
+    if group_radius <= 0:
+        raise ValidationError(f"group_radius must be > 0, got {group_radius}")
+    if matrix.shape[0] == 0:
+        return []
+    length = matrix.shape[1]
+
+    drafts = _online_scan(
+        matrix, refs, np.arange(matrix.shape[0]), group_radius, length
+    )
+
+    final: list[SimilarityGroup] = []
+
+    def finalize(draft: _DraftGroup, centroid: np.ndarray, rows: np.ndarray, eds: np.ndarray) -> None:
+        chebs = np.abs(rows - centroid).max(axis=1)
+        final.append(
+            SimilarityGroup(
+                length=length,
+                centroid=centroid,
+                members=tuple(draft.refs),
+                ed_radius=float(eds.max()),
+                cheb_radius=float(chebs.max()),
+            )
+        )
+
+    # Repair: re-establish the strict member-to-final-centroid invariant.
+    # Each round keeps the conforming core of every violating draft and
+    # re-clusters the evicted members from scratch; after the round budget
+    # is spent, remaining violators become singleton groups (which satisfy
+    # the invariant trivially), so the procedure always terminates with
+    # strict guarantees.
+    pending = drafts
+    for round_no in range(max_repair_rounds):
+        violator_rows: list[int] = []
+        next_pending: list[_DraftGroup] = []
+        for draft in pending:
+            centroid = draft.centroid
+            rows = matrix[draft.row_indices]
+            eds = np.abs(rows - centroid).mean(axis=1)
+            bad = eds > group_radius + _EPS
+            if not bad.any():
+                finalize(draft, centroid, rows, eds)
+                continue
+            core = _DraftGroup(length)
+            for j in np.nonzero(~bad)[0]:
+                core.add(draft.refs[j], draft.row_indices[j], rows[j])
+            if core.count:
+                next_pending.append(core)
+            violator_rows.extend(draft.row_indices[j] for j in np.nonzero(bad)[0])
+        if violator_rows:
+            next_pending.extend(
+                _online_scan(
+                    matrix, refs, np.array(violator_rows), group_radius, length
+                )
+            )
+        if not next_pending:
+            return final
+        pending = next_pending
+
+    # Round budget exhausted: shrink each remaining draft to a conforming
+    # core, evicting persistent violators as singletons.
+    for draft in pending:
+        indices = list(draft.row_indices)
+        group_refs = list(draft.refs)
+        while indices:
+            rows = matrix[indices]
+            centroid = rows.mean(axis=0)
+            eds = np.abs(rows - centroid).mean(axis=1)
+            bad = eds > group_radius + _EPS
+            if not bad.any():
+                core = _DraftGroup(length)
+                for ref, row_idx, row in zip(group_refs, indices, rows):
+                    core.add(ref, row_idx, row)
+                finalize(core, centroid, rows, eds)
+                break
+            # Evict the worst member as a singleton and retry the rest.
+            worst = int(np.argmax(eds))
+            single = _DraftGroup(length)
+            single.add(group_refs[worst], indices[worst], rows[worst])
+            finalize(
+                single,
+                rows[worst],
+                rows[worst][None, :],
+                np.zeros(1),
+            )
+            del indices[worst], group_refs[worst]
+    return final

@@ -1,0 +1,357 @@
+"""ONEX online query processor (§3.2/§3.3).
+
+Queries run DTW against the compact base instead of the raw data.  Two
+strategies are provided (:class:`repro.core.config.QueryConfig`):
+
+``fast`` (the paper's demo behaviour)
+    Rank every group representative by length-normalised DTW to the query,
+    then exhaustively refine only the best ``refine_groups`` groups.  The
+    transfer upper bound guarantees the returned match's DTW is within the
+    group radius slack of the representative-level optimum.
+
+``exact``
+    Never skip a group unless a *provable* lower bound (LB_Kim on the
+    representative, or the ED→DTW transfer lower bound fed by the group's
+    Chebyshev radius) shows it cannot contain a better match.  Returns the
+    true DTW best match over all indexed subsequences, usually still far
+    cheaper than a raw scan.
+
+Distances reported to callers are **normalised DTW** (cost divided by
+warping-path length), the unit in which ONEX similarity thresholds are
+expressed; ``raw_distance`` carries the unnormalised sum.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.base import LengthBucket, OnexBase
+from repro.core.config import QueryConfig
+from repro.data.dataset import SubsequenceRef
+from repro.distances.dtw import (
+    dtw_distance_batch,
+    dtw_distance_early_abandon,
+    dtw_path,
+)
+from repro.distances.lower_bounds import lb_kim
+from repro.distances.metrics import as_sequence
+from repro.distances.normalize import minmax_normalize
+from repro.exceptions import ValidationError
+
+__all__ = ["Match", "QueryProcessor", "QueryStats"]
+
+_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Match:
+    """One retrieved subsequence with its similarity to the query."""
+
+    ref: SubsequenceRef
+    series_name: str
+    distance: float
+    raw_distance: float
+    path: tuple[tuple[int, int], ...]
+    group: tuple[int, int]
+
+    @property
+    def start(self) -> int:
+        return self.ref.start
+
+    @property
+    def length(self) -> int:
+        return self.ref.length
+
+
+@dataclass
+class QueryStats:
+    """Work counters for one query — the ablation benchmarks read these."""
+
+    representatives_total: int = 0
+    rep_lb_prunes: int = 0
+    rep_dtw_calls: int = 0
+    groups_pruned: int = 0
+    groups_refined: int = 0
+    members_scanned: int = 0
+    member_lb_prunes: int = 0
+    member_dtw_calls: int = 0
+
+    def merge(self, other: "QueryStats") -> None:
+        for name in vars(other):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+@dataclass(order=True)
+class _Candidate:
+    """Heap entry; ordered by (distance, ref) for deterministic ties."""
+
+    distance: float
+    ref: SubsequenceRef = field(compare=True)
+    raw: float = field(compare=False)
+    path: tuple = field(compare=False)
+    group: tuple = field(compare=False)
+
+
+class QueryProcessor:
+    """Executes similarity queries against a built :class:`OnexBase`."""
+
+    def __init__(self, base: OnexBase, config: QueryConfig | None = None) -> None:
+        base.stats  # raises NotBuiltError early when unbuilt
+        self._base = base
+        self._config = config or QueryConfig()
+        self.last_stats = QueryStats()
+
+    @property
+    def config(self) -> QueryConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Public query API
+    # ------------------------------------------------------------------
+
+    def best_match(self, query, *, lengths=None, normalize: bool = True) -> Match:
+        """The most similar indexed subsequence to *query* (§3.3).
+
+        *query* is an array of raw-unit values (normalised into the base's
+        value space when the base was built normalised, unless *normalize*
+        is false) or a :class:`SubsequenceRef` into the indexed dataset.
+        *lengths* optionally restricts candidate subsequence lengths.
+        """
+        matches = self.k_best_matches(query, 1, lengths=lengths, normalize=normalize)
+        return matches[0]
+
+    def k_best_matches(
+        self, query, k: int, *, lengths=None, normalize: bool = True
+    ) -> list[Match]:
+        """The *k* most similar indexed subsequences, best first."""
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        q = self._resolve_query(query, normalize)
+        buckets = self._select_buckets(lengths)
+        stats = QueryStats()
+        if self._config.mode == "fast":
+            heap = self._search_fast(q, buckets, k, stats)
+        else:
+            heap = self._search_exact(q, buckets, k, stats)
+        self.last_stats = stats
+        if not heap:
+            raise ValidationError("no indexed subsequences matched the query")
+        candidates = sorted(wrapper.candidate for wrapper in heap)
+        return [self._to_match(c) for c in candidates]
+
+    def matches_within(
+        self, query, threshold: float, *, lengths=None, normalize: bool = True
+    ) -> list[Match]:
+        """Every indexed subsequence with normalised DTW <= *threshold*.
+
+        Uses the transfer bounds in both directions: groups whose lower
+        bound exceeds the threshold are skipped without any member DTW, and
+        every surviving member is verified exactly.
+        """
+        if not threshold > 0:
+            raise ValidationError(f"threshold must be > 0, got {threshold}")
+        q = self._resolve_query(query, normalize)
+        qlen = q.shape[0]
+        stats = QueryStats()
+        out: list[Match] = []
+        for bucket in self._select_buckets(lengths):
+            max_path = qlen + bucket.length - 1
+            stats.representatives_total += bucket.group_count
+            rep_raws = dtw_distance_batch(
+                q, bucket.centroids, window=self._config.window
+            )
+            stats.rep_dtw_calls += bucket.group_count
+            for g_idx, group in enumerate(bucket.groups):
+                lower = (rep_raws[g_idx] - max_path * group.cheb_radius) / max_path
+                if lower > threshold:
+                    stats.groups_pruned += 1
+                    continue
+                stats.groups_refined += 1
+                raw_cut = threshold * max_path
+                for ref in group.members:
+                    stats.members_scanned += 1
+                    values = self._base.member_values(ref)
+                    raw = dtw_distance_early_abandon(
+                        q, values, raw_cut, window=self._config.window
+                    )
+                    if math.isinf(raw):
+                        stats.member_lb_prunes += 1
+                        continue
+                    stats.member_dtw_calls += 1
+                    res = dtw_path(q, values, window=self._config.window)
+                    if res.normalized_distance <= threshold:
+                        out.append(
+                            self._to_match(
+                                _Candidate(
+                                    distance=res.normalized_distance,
+                                    ref=ref,
+                                    raw=res.distance,
+                                    path=res.path,
+                                    group=(bucket.length, g_idx),
+                                )
+                            )
+                        )
+        self.last_stats = stats
+        return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    # ------------------------------------------------------------------
+    # Search strategies
+    # ------------------------------------------------------------------
+
+    def _search_fast(
+        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+    ) -> list[_Negated]:
+        cfg = self._config
+        qlen = q.shape[0]
+        # Phase 1: rank representatives by (estimated) normalised DTW.
+        # The batched anti-diagonal kernel evaluates the query against
+        # every representative of a length at once; the normaliser is the
+        # minimum possible warping-path length, a consistent estimator
+        # that is exact whenever the optimal path takes no detours.
+        ranked: list[tuple[float, LengthBucket, int]] = []
+        for bucket in buckets:
+            stats.representatives_total += bucket.group_count
+            raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
+            stats.rep_dtw_calls += bucket.group_count
+            est = raw / max(qlen, bucket.length)
+            ranked.extend(
+                (float(est[g_idx]), bucket, g_idx)
+                for g_idx in range(bucket.group_count)
+            )
+        ranked.sort(key=lambda item: item[0])
+        # Phase 2: exhaustively refine the selected groups; keep refining
+        # past `refine_groups` only while fewer than k matches were found.
+        heap: list[_Negated] = []
+        for rank, (_, bucket, g_idx) in enumerate(ranked):
+            if rank >= cfg.refine_groups and len(heap) >= k:
+                break
+            self._refine_group(q, bucket, g_idx, k, heap, stats)
+        return heap
+
+    def _search_exact(
+        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+    ) -> list[_Candidate]:
+        cfg = self._config
+        qlen = q.shape[0]
+        heap: list[_Candidate] = []
+
+        # Evaluate every representative with the batched kernel, then
+        # visit groups in ascending transfer-inequality lower bound so the
+        # pruning cutoff tightens as quickly as possible.
+        order: list[tuple[float, LengthBucket, int]] = []
+        for bucket in buckets:
+            stats.representatives_total += bucket.group_count
+            max_path = qlen + bucket.length - 1
+            rep_raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
+            stats.rep_dtw_calls += bucket.group_count
+            lower = np.maximum(rep_raw - max_path * bucket.cheb_radii, 0.0) / max_path
+            order.extend(
+                (float(lower[g_idx]), bucket, g_idx)
+                for g_idx in range(bucket.group_count)
+            )
+        order.sort(key=lambda item: item[0])
+
+        for lower, bucket, g_idx in order:
+            cutoff = self._cutoff(heap, k)
+            if cfg.use_group_pruning and lower > cutoff:
+                stats.groups_pruned += 1
+                continue
+            self._refine_group(q, bucket, g_idx, k, heap, stats)
+        return heap
+
+    def _refine_group(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        g_idx: int,
+        k: int,
+        heap: list[_Candidate],
+        stats: QueryStats,
+    ) -> None:
+        cfg = self._config
+        group = bucket.groups[g_idx]
+        qlen = q.shape[0]
+        max_path = qlen + bucket.length - 1
+        stats.groups_refined += 1
+        for ref in group.members:
+            stats.members_scanned += 1
+            cutoff = self._cutoff(heap, k)
+            values = self._base.member_values(ref)
+            if cfg.use_lower_bounds and math.isfinite(cutoff):
+                if lb_kim(q, values) / max_path > cutoff:
+                    stats.member_lb_prunes += 1
+                    continue
+            if math.isfinite(cutoff):
+                raw = dtw_distance_early_abandon(
+                    q, values, cutoff * max_path, window=cfg.window
+                )
+                if math.isinf(raw):
+                    stats.member_lb_prunes += 1
+                    continue
+            stats.member_dtw_calls += 1
+            res = dtw_path(q, values, window=cfg.window)
+            candidate = _Candidate(
+                distance=res.normalized_distance,
+                ref=ref,
+                raw=res.distance,
+                path=res.path,
+                group=(bucket.length, g_idx),
+            )
+            if len(heap) < k:
+                heapq.heappush(heap, _Negated(candidate))
+            elif candidate < heap[0].candidate:
+                heapq.heapreplace(heap, _Negated(candidate))
+
+    @staticmethod
+    def _cutoff(heap: list, k: int) -> float:
+        """Current k-th best normalised distance (inf until k found)."""
+        if len(heap) < k:
+            return _INF
+        return heap[0].candidate.distance
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_query(self, query, normalize: bool) -> np.ndarray:
+        if isinstance(query, SubsequenceRef):
+            return self._base.dataset.values(query)
+        q = as_sequence(query, name="query")
+        bounds = self._base.normalization_bounds
+        if normalize and bounds is not None:
+            q = minmax_normalize(q, lo=bounds[0], hi=bounds[1])
+        return q
+
+    def _select_buckets(self, lengths) -> list[LengthBucket]:
+        if lengths is None:
+            return self._base.buckets()
+        chosen = sorted(set(int(n) for n in lengths))
+        return [self._base.bucket(n) for n in chosen]
+
+    def _to_match(self, candidate) -> Match:
+        inner = candidate.candidate if isinstance(candidate, _Negated) else candidate
+        series = self._base.dataset[inner.ref.series_index]
+        return Match(
+            ref=inner.ref,
+            series_name=series.name,
+            distance=inner.distance,
+            raw_distance=inner.raw,
+            path=inner.path,
+            group=inner.group,
+        )
+
+
+class _Negated:
+    """Max-heap adapter so ``heap[0]`` is the *worst* kept candidate."""
+
+    __slots__ = ("candidate",)
+
+    def __init__(self, candidate: _Candidate) -> None:
+        self.candidate = candidate
+
+    def __lt__(self, other: "_Negated") -> bool:
+        return other.candidate < self.candidate

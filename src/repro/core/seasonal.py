@@ -1,0 +1,176 @@
+"""Seasonal similarity: recurring patterns within a single time series.
+
+The paper's Seasonal View (Fig. 4) highlights repeated patterns inside one
+series — e.g. a household using electricity the same way across summer
+months.  ONEX answers this with the same machinery as cross-series search:
+the windows of the *single* series are clustered into similarity groups
+with ED, and groups containing several non-overlapping windows are
+reported as recurring patterns, verified pairwise under DTW.
+
+:func:`find_seasonal_patterns` is self-contained (it builds its own
+per-series groups) so the seasonal operation does not require the whole
+collection's base to cover the requested window length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grouping import cluster_subsequences
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.distances.dtw import dtw_distance
+from repro.exceptions import ValidationError
+
+__all__ = ["SeasonalPattern", "find_seasonal_patterns"]
+
+
+@dataclass(frozen=True)
+class SeasonalPattern:
+    """A recurring pattern: non-overlapping occurrences of similar shape.
+
+    Attributes
+    ----------
+    starts:
+        Window start offsets within the series, ascending.
+    length:
+        Window length shared by all occurrences.
+    centroid:
+        The pattern's representative shape (group centroid).
+    max_pairwise_dtw:
+        Largest normalised DTW between any two occurrences — the verified
+        tightness of the pattern (``<=`` the requested threshold).
+    """
+
+    starts: tuple[int, ...]
+    length: int
+    centroid: np.ndarray
+    max_pairwise_dtw: float
+
+    @property
+    def occurrences(self) -> int:
+        return len(self.starts)
+
+    def segments(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` index pairs of the occurrences."""
+        return [(s, s + self.length) for s in self.starts]
+
+
+def _select_nonoverlapping(
+    refs: list[SubsequenceRef], centroid: np.ndarray, values_of
+) -> list[SubsequenceRef]:
+    """Greedy maximum set of non-overlapping members, closest-first."""
+    scored = sorted(
+        refs, key=lambda ref: float(np.abs(values_of(ref) - centroid).mean())
+    )
+    chosen: list[SubsequenceRef] = []
+    for ref in scored:
+        if all(not ref.overlaps(kept) for kept in chosen):
+            chosen.append(ref)
+    return sorted(chosen, key=lambda ref: ref.start)
+
+
+def find_seasonal_patterns(
+    series: TimeSeries,
+    length: int,
+    threshold: float,
+    *,
+    step: int = 1,
+    min_occurrences: int = 2,
+    max_patterns: int | None = None,
+    window: int | None = None,
+    normalize: bool = True,
+    remove_level: bool = False,
+    ed_threshold: float | None = None,
+) -> list[SeasonalPattern]:
+    """Find recurring patterns of *length* within one series.
+
+    Windows are clustered with ED at radius ``ed_threshold/2`` (the ONEX
+    construction), then each group's best non-overlapping occurrence set is
+    verified pairwise under normalised DTW; occurrences violating
+    *threshold* against the rest are dropped (farthest first).  Patterns
+    are ranked by occurrence count, then tightness.
+
+    *ed_threshold* defaults to ``2 * threshold``: recurrences that are
+    DTW-similar can be phase-jittered and therefore farther apart under
+    pointwise ED, so the grouping stage needs a looser net (recall) while
+    the DTW verification stage enforces *threshold* exactly (precision).
+
+    With *normalize*, the series is min–max scaled to [0, 1] first so
+    *threshold* means the same thing as in base construction.  With
+    *remove_level*, each window's mean is subtracted before comparison, so
+    a habit recurring at different seasonal levels (winter vs summer
+    electricity usage, as in the paper's Fig. 4 narrative) still matches on
+    shape.
+    """
+    if length < 2:
+        raise ValidationError(f"length must be >= 2, got {length}")
+    if length > len(series):
+        raise ValidationError(
+            f"length {length} exceeds series length {len(series)}"
+        )
+    if not threshold > 0:
+        raise ValidationError(f"threshold must be > 0, got {threshold}")
+    if min_occurrences < 2:
+        raise ValidationError("min_occurrences must be >= 2")
+    if ed_threshold is None:
+        ed_threshold = 2.0 * threshold
+    if not ed_threshold > 0:
+        raise ValidationError(f"ed_threshold must be > 0, got {ed_threshold}")
+
+    dataset = TimeSeriesDataset([series], name="seasonal")
+    if normalize:
+        dataset = dataset.normalized()
+    matrix, refs = dataset.subsequence_matrix(length, step=step)
+    if remove_level:
+        matrix = matrix - matrix.mean(axis=1, keepdims=True)
+    row_of = {ref: k for k, ref in enumerate(refs)}
+
+    def values_of(ref: SubsequenceRef) -> np.ndarray:
+        return matrix[row_of[ref]]
+
+    groups = cluster_subsequences(matrix, refs, ed_threshold / 2.0)
+
+    patterns: list[SeasonalPattern] = []
+    for group in groups:
+        if group.cardinality < min_occurrences:
+            continue
+        chosen = _select_nonoverlapping(
+            list(group.members), group.centroid, values_of
+        )
+        # Verify pairwise DTW, dropping the farthest-from-centroid
+        # occurrences until the set is tight or too small.
+        while len(chosen) >= min_occurrences:
+            values = [values_of(ref) for ref in chosen]
+            worst = 0.0
+            worst_pair = None
+            for i in range(len(values)):
+                for j in range(i + 1, len(values)):
+                    d = dtw_distance(
+                        values[i], values[j], window=window, normalized=True
+                    )
+                    if d > worst:
+                        worst, worst_pair = d, (i, j)
+            if worst <= threshold:
+                patterns.append(
+                    SeasonalPattern(
+                        starts=tuple(ref.start for ref in chosen),
+                        length=length,
+                        centroid=group.centroid,
+                        max_pairwise_dtw=worst,
+                    )
+                )
+                break
+            # Drop whichever of the offending pair is farther from the
+            # centroid and retry with the remainder.
+            i, j = worst_pair
+            di = float(np.abs(values[i] - group.centroid).mean())
+            dj = float(np.abs(values[j] - group.centroid).mean())
+            chosen.pop(i if di >= dj else j)
+
+    patterns.sort(key=lambda p: (-p.occurrences, p.max_pairwise_dtw))
+    if max_patterns is not None:
+        patterns = patterns[:max_patterns]
+    return patterns

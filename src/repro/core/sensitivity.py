@@ -1,0 +1,184 @@
+"""Parameter-sensitivity exploration (§2: "showing the changes in the
+similarity between sequences for varying parameters").
+
+Analysts rarely know the right similarity threshold up front; the demo
+lets them see how the answer set changes as ``ST`` varies.  Recomputing a
+range query per candidate threshold would be wasteful, so ONEX exploits
+its own machinery: one batched DTW pass over the group representatives
+yields, via the transfer inequality, a **certain** interval and a
+**possible** interval of match counts for *every* threshold at once:
+
+- a member is *certainly* within ``ST`` when its transfer upper bound is
+  ``<= ST`` — no member DTW needed;
+- a member is *certainly not* within ``ST`` when its group's transfer
+  lower bound exceeds ``ST``;
+- members between the bounds are ambiguous until verified.
+
+:func:`similarity_profile` returns both count curves over a threshold
+grid (plus exact counts when ``verify=True``), which the Similarity View
+renders as a sensitivity band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import OnexBase
+from repro.data.dataset import SubsequenceRef
+from repro.distances.bounds import path_multiplicities
+from repro.distances.dtw import dtw_path
+from repro.distances.metrics import as_sequence
+from repro.distances.normalize import minmax_normalize
+from repro.exceptions import ValidationError
+
+__all__ = ["SensitivityPoint", "SensitivityProfile", "similarity_profile"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Match-count information at one candidate threshold."""
+
+    threshold: float
+    certain: int
+    possible: int
+    exact: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.certain > self.possible:
+            raise ValidationError(
+                f"certain ({self.certain}) cannot exceed possible ({self.possible})"
+            )
+        if self.exact is not None and not self.certain <= self.exact <= self.possible:
+            raise ValidationError(
+                f"exact ({self.exact}) outside [{self.certain}, {self.possible}]"
+            )
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Match-count curves for one query over a threshold grid."""
+
+    thresholds: tuple[float, ...]
+    points: tuple[SensitivityPoint, ...]
+    candidates: int
+
+    def knee(self) -> float:
+        """The threshold with the largest jump in certain matches.
+
+        A pragmatic "interesting setting" suggestion: below the knee the
+        answer set is stable, above it matches flood in.
+        """
+        counts = [p.certain for p in self.points]
+        jumps = np.diff([0] + counts)
+        return self.points[int(np.argmax(jumps))].threshold
+
+    def as_dict(self) -> dict:
+        return {
+            "view": "sensitivity",
+            "candidates": self.candidates,
+            "thresholds": list(self.thresholds),
+            "certain": [p.certain for p in self.points],
+            "possible": [p.possible for p in self.points],
+            "exact": [p.exact for p in self.points],
+            "knee": self.knee(),
+        }
+
+
+def similarity_profile(
+    base: OnexBase,
+    query,
+    thresholds,
+    *,
+    lengths=None,
+    window: int | None = None,
+    verify: bool = False,
+    normalize: bool = True,
+) -> SensitivityProfile:
+    """Match-count bounds for *query* across candidate *thresholds*.
+
+    One DTW per group representative (with its warping path) bounds every
+    member's normalised DTW from both sides; ``verify=True`` additionally
+    resolves the ambiguous members with exact DTW so ``exact`` counts are
+    populated (still only touching members the bounds cannot decide).
+    """
+    grid = tuple(sorted(float(t) for t in thresholds))
+    if not grid or grid[0] <= 0:
+        raise ValidationError("thresholds must be positive and non-empty")
+    q = _resolve_query(base, query, normalize)
+    qlen = q.shape[0]
+
+    chosen = base.buckets() if lengths is None else [
+        base.bucket(int(n)) for n in sorted(set(lengths))
+    ]
+    lowers: list[np.ndarray] = []
+    uppers: list[np.ndarray] = []
+    members: list[SubsequenceRef] = []
+    for bucket in chosen:
+        length = bucket.length
+        max_path = qlen + length - 1
+        min_path = max(qlen, length)
+        for group in bucket.groups:
+            rep = dtw_path(q, group.centroid, window=window)
+            mult = path_multiplicities(rep.path, length, axis=1)
+            rows = np.vstack([base.member_values(ref) for ref in group.members])
+            diffs = np.abs(rows - group.centroid)
+            slack = diffs @ mult  # per-member transfer slack
+            cheb = diffs.max(axis=1)
+            # Normalised-DTW interval per member (DESIGN.md §2): the raw
+            # interval scaled by the extreme feasible path lengths.
+            upper = (rep.distance + slack) / min_path
+            lower = np.maximum(rep.distance - max_path * cheb, 0.0) / max_path
+            lowers.append(lower)
+            uppers.append(upper)
+            members.extend(group.members)
+
+    lower = np.concatenate(lowers) if lowers else np.empty(0)
+    upper = np.concatenate(uppers) if uppers else np.empty(0)
+
+    exact_distance: np.ndarray | None = None
+    if verify:
+        exact_distance = np.empty(lower.shape[0])
+        for i, ref in enumerate(members):
+            # Bounds that already agree on every grid threshold need no
+            # verification; resolve only genuinely ambiguous members.
+            if _decided_everywhere(lower[i], upper[i], grid):
+                exact_distance[i] = (lower[i] + upper[i]) / 2.0
+            else:
+                exact_distance[i] = dtw_path(
+                    q, base.member_values(ref), window=window
+                ).normalized_distance
+
+    points = []
+    for st in grid:
+        certain = int((upper <= st).sum())
+        possible = int((lower <= st).sum())
+        exact = None
+        if exact_distance is not None:
+            decided = (upper <= st) | (lower > st)
+            ambiguous = ~decided
+            exact = int(certain + (exact_distance[ambiguous] <= st).sum())
+        points.append(
+            SensitivityPoint(
+                threshold=st, certain=certain, possible=possible, exact=exact
+            )
+        )
+    return SensitivityProfile(
+        thresholds=grid, points=tuple(points), candidates=lower.shape[0]
+    )
+
+
+def _decided_everywhere(lo: float, hi: float, grid: tuple[float, ...]) -> bool:
+    """True when no grid threshold falls inside the open interval (lo, hi]."""
+    return all(hi <= st or lo > st for st in grid)
+
+
+def _resolve_query(base: OnexBase, query, normalize: bool) -> np.ndarray:
+    if isinstance(query, SubsequenceRef):
+        return base.dataset.values(query)
+    q = as_sequence(query, name="query")
+    bounds = base.normalization_bounds
+    if normalize and bounds is not None:
+        q = minmax_normalize(q, lo=bounds[0], hi=bounds[1])
+    return q

@@ -1,0 +1,109 @@
+"""Data-driven similarity-threshold recommendation (§3.3).
+
+"Threshold recommendations help analysts to select appropriate parameter
+settings in a data-driven fashion" — growth-rate percentages need tiny
+thresholds while unemployment counts need huge ones.  ONEX recommends
+thresholds by sampling the distribution of pairwise subsequence distances
+in the (normalised) collection and reporting low quantiles: a threshold at
+the q-th quantile makes roughly a q fraction of random subsequence pairs
+"similar", which is the operational meaning analysts care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.distances.normalize import RunningStats
+from repro.exceptions import DatasetError, ValidationError
+
+__all__ = ["ThresholdRecommendation", "recommend_thresholds"]
+
+#: Quantiles reported as candidate similarity thresholds, tightest first.
+_DEFAULT_QUANTILES = (0.01, 0.05, 0.10, 0.25)
+
+
+@dataclass(frozen=True)
+class ThresholdRecommendation:
+    """Suggested similarity thresholds for one dataset/length regime."""
+
+    length: int
+    samples: int
+    quantiles: tuple[float, ...]
+    thresholds: tuple[float, ...]
+    mean_distance: float
+    std_distance: float
+
+    @property
+    def default(self) -> float:
+        """The recommended starting point (5% quantile when available)."""
+        if 0.05 in self.quantiles:
+            return self.thresholds[self.quantiles.index(0.05)]
+        return self.thresholds[0]
+
+    def as_dict(self) -> dict:
+        return {
+            "length": self.length,
+            "samples": self.samples,
+            "suggestions": {
+                f"{int(q * 100)}%": t
+                for q, t in zip(self.quantiles, self.thresholds)
+            },
+            "mean_distance": self.mean_distance,
+            "std_distance": self.std_distance,
+            "default": self.default,
+        }
+
+
+def recommend_thresholds(
+    dataset: TimeSeriesDataset,
+    length: int,
+    *,
+    samples: int = 2000,
+    quantiles: tuple[float, ...] = _DEFAULT_QUANTILES,
+    normalize: bool = True,
+    seed: int = 0,
+) -> ThresholdRecommendation:
+    """Recommend similarity thresholds for windows of *length*.
+
+    Samples up to *samples* random pairs of distinct length-*length*
+    subsequences, computes their length-normalised L1 distances, and
+    returns the requested distribution *quantiles* as candidate thresholds.
+    """
+    if length < 2:
+        raise ValidationError(f"length must be >= 2, got {length}")
+    if samples < 10:
+        raise ValidationError(f"samples must be >= 10, got {samples}")
+    if not quantiles or any(not 0.0 < q < 1.0 for q in quantiles):
+        raise ValidationError("quantiles must lie strictly inside (0, 1)")
+
+    if normalize:
+        dataset = dataset.normalized()
+    matrix, refs = dataset.subsequence_matrix(length)
+    if len(refs) < 2:
+        raise DatasetError(
+            f"need >= 2 subsequences of length {length} to sample distances"
+        )
+
+    rng = np.random.default_rng(seed)
+    n = matrix.shape[0]
+    count = min(samples, n * (n - 1) // 2)
+    left = rng.integers(0, n, size=count)
+    right = rng.integers(0, n - 1, size=count)
+    right = np.where(right >= left, right + 1, right)  # distinct partner
+    distances = np.abs(matrix[left] - matrix[right]).mean(axis=1)
+
+    stats = RunningStats()
+    stats.extend(distances)
+    ordered = tuple(sorted(quantiles))
+    values = tuple(float(v) for v in np.quantile(distances, ordered))
+    return ThresholdRecommendation(
+        length=length,
+        samples=count,
+        quantiles=ordered,
+        thresholds=values,
+        mean_distance=stats.mean,
+        std_distance=stats.std,
+    )

@@ -1,0 +1,124 @@
+"""Simulated MATTERS collection (DESIGN.md substitution S3).
+
+The real MATTERS dashboard (matters.mhtc.org) aggregates economic, social,
+and education indicators for the fifty US states; it is not downloadable in
+this offline environment.  This module builds a statistically faithful
+stand-in: for each indicator, states belong to a handful of regional
+"archetype" clusters that share a base trajectory (trend + business-cycle
+wiggle + shocks), on top of which each state gets idiosyncratic noise, a
+level offset, and — crucially for ONEX — its own reporting span, so series
+lengths vary and are misaligned exactly like the paper's motivating data.
+
+Series are named ``"<STATE>/<Indicator>"`` (e.g. ``"MA/GrowthRate"``) and
+carry ``state``/``indicator``/``start_year`` metadata the visual panes use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import ValidationError
+
+__all__ = ["DEFAULT_INDICATORS", "STATE_ABBREVIATIONS", "build_matters_collection"]
+
+#: The fifty US states, as displayed in the Query Selection Pane.
+STATE_ABBREVIATIONS = (
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+    "HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+    "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ",
+    "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC",
+    "SD", "TN", "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+)
+
+#: Indicator name -> (base level, annual trend, cycle amplitude, noise,
+#: shock scale).  Scales deliberately differ by orders of magnitude — the
+#: paper's §3.3 point about growth-rate percentages vs unemployment counts.
+DEFAULT_INDICATORS = {
+    "GrowthRate": (2.0, 0.02, 1.2, 0.35, 0.9),
+    "Unemployment": (60_000.0, 500.0, 12_000.0, 3_000.0, 5_000.0),
+    "TechEmployment": (80_000.0, 2_500.0, 8_000.0, 2_500.0, 4_000.0),
+    "TaxRate": (6.0, 0.01, 0.4, 0.15, 0.5),
+    "EducationSpending": (9_000.0, 180.0, 600.0, 250.0, 700.0),
+}
+
+#: Number of regional archetype clusters states are assigned to.
+_N_CLUSTERS = 6
+
+
+def build_matters_collection(
+    *,
+    years: int = 25,
+    indicators: tuple[str, ...] | None = None,
+    states: tuple[str, ...] = STATE_ABBREVIATIONS,
+    min_years: int = 8,
+    seed: int = 2013,
+) -> TimeSeriesDataset:
+    """Build the simulated MATTERS panel.
+
+    Parameters
+    ----------
+    years:
+        Maximum reporting span (yearly observations).
+    indicators:
+        Subset of :data:`DEFAULT_INDICATORS` names; all five by default.
+    min_years:
+        Shortest reporting span; states report between this and *years*
+        observations, producing the variable-length, misaligned collection
+        ONEX is designed for.
+    seed:
+        Seeds everything; identical seeds give identical collections.
+    """
+    if years < 4:
+        raise ValidationError("years must be >= 4")
+    if not 2 <= min_years <= years:
+        raise ValidationError("min_years must be in [2, years]")
+    chosen = tuple(DEFAULT_INDICATORS) if indicators is None else tuple(indicators)
+    unknown = [ind for ind in chosen if ind not in DEFAULT_INDICATORS]
+    if unknown:
+        raise ValidationError(f"unknown indicators: {unknown}")
+    if not states:
+        raise ValidationError("states must be non-empty")
+
+    rng = np.random.default_rng(seed)
+    dataset = TimeSeriesDataset(name="MATTERS-sim")
+    cluster_of = {state: int(rng.integers(_N_CLUSTERS)) for state in states}
+    t = np.arange(years, dtype=np.float64)
+
+    for indicator in chosen:
+        level, trend, cycle_amp, noise, shock_scale = DEFAULT_INDICATORS[indicator]
+        # Shared archetype trajectories: one per regional cluster.
+        archetypes = []
+        for _ in range(_N_CLUSTERS):
+            period = float(rng.uniform(5.0, 11.0))  # business-cycle length
+            phase = float(rng.uniform(0.0, 2.0 * np.pi))
+            slope = trend * float(rng.uniform(0.5, 1.8))
+            cycle = cycle_amp * np.sin(2.0 * np.pi * t / period + phase)
+            shocks = np.where(
+                rng.random(years) < 0.08,
+                rng.normal(scale=shock_scale, size=years),
+                0.0,
+            )
+            archetypes.append(slope * t + cycle + np.cumsum(shocks))
+
+        for state in states:
+            base = archetypes[cluster_of[state]]
+            offset = level * float(rng.uniform(0.7, 1.3))
+            idio = rng.normal(scale=noise, size=years)
+            values = offset + base + idio
+            span = int(rng.integers(min_years, years + 1))
+            start_year = 2016 - span + 1
+            dataset.add(
+                TimeSeries(
+                    f"{state}/{indicator}",
+                    values[years - span :],
+                    metadata={
+                        "state": state,
+                        "indicator": indicator,
+                        "start_year": start_year,
+                        "cluster": cluster_of[state],
+                    },
+                )
+            )
+    return dataset

@@ -1,0 +1,66 @@
+"""Resampling and smoothing utilities.
+
+Small, composable transforms the examples and experiments keep needing:
+linear-interpolation resampling (comparing series recorded at different
+granularities), centred moving averages, and moving-average detrending
+(isolating habit shapes from seasonal level drift, as the stream
+monitoring demo does).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = ["detrend_moving_average", "moving_average", "resample_linear"]
+
+
+def resample_linear(values, length: int) -> np.ndarray:
+    """Resample *values* to exactly *length* points by linear interpolation.
+
+    Endpoint-preserving: the first and last samples always survive.  Used
+    to put series recorded at different granularities on a common grid
+    before pointwise operations (DTW itself does not need this).
+    """
+    arr = as_sequence(values, name="values")
+    if length < 1:
+        raise ValidationError(f"length must be >= 1, got {length}")
+    if arr.shape[0] == 1:
+        return np.full(length, arr[0])
+    positions = np.linspace(0.0, arr.shape[0] - 1, length)
+    return np.interp(positions, np.arange(arr.shape[0]), arr)
+
+
+def moving_average(values, window: int) -> np.ndarray:
+    """Centred moving average with edge shrinkage (same length out).
+
+    Near the edges the window is truncated to what exists rather than
+    padded, so flat inputs stay exactly flat and no phantom values leak
+    in.
+    """
+    arr = as_sequence(values, name="values")
+    if window < 1:
+        raise ValidationError(f"window must be >= 1, got {window}")
+    if window == 1:
+        return arr.copy()
+    half_left = (window - 1) // 2
+    half_right = window - 1 - half_left
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    n = arr.shape[0]
+    idx = np.arange(n)
+    lo = np.maximum(idx - half_left, 0)
+    hi = np.minimum(idx + half_right + 1, n)
+    return (csum[hi] - csum[lo]) / (hi - lo)
+
+
+def detrend_moving_average(values, window: int) -> np.ndarray:
+    """Subtract the centred moving average — shape minus slow level.
+
+    The stream-monitoring example uses this to strip the annual
+    electricity swing so SPRING matches the habit's shape, not its
+    seasonal level.
+    """
+    arr = as_sequence(values, name="values")
+    return arr - moving_average(arr, window)

@@ -1,0 +1,84 @@
+"""Read and write UCR-archive-style time series files.
+
+The UCR/UEA archive format the paper's footnote 5 points at is plain text:
+one series per line, first field a class label, remaining fields the
+observations, separated by commas or whitespace.  Variable-length series
+are supported (lines simply have different field counts); ``NaN`` padding
+— used by some archive exports — is stripped from the tail.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import DatasetError
+
+__all__ = ["load_ucr_file", "save_ucr_file"]
+
+
+def _split_line(line: str) -> list[str]:
+    if "," in line:
+        return [field for field in line.strip().split(",") if field]
+    return line.split()
+
+
+def load_ucr_file(path, *, name: str | None = None, has_labels: bool = True) -> TimeSeriesDataset:
+    """Load a UCR-style text file into a :class:`TimeSeriesDataset`.
+
+    With *has_labels* (default) the first field of each line becomes the
+    series' ``label`` metadata.  Series are named ``"<stem>-<lineno>"``.
+    Blank lines are skipped; unparsable fields raise :class:`DatasetError`
+    with the offending line number.
+    """
+    path = Path(path)
+    dataset = TimeSeriesDataset(name=name or path.stem)
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            fields = _split_line(line)
+            try:
+                numbers = [float(field) for field in fields]
+            except ValueError as exc:
+                raise DatasetError(f"{path}:{lineno}: unparsable field ({exc})") from exc
+            label: float | None = None
+            if has_labels:
+                if len(numbers) < 2:
+                    raise DatasetError(
+                        f"{path}:{lineno}: labelled line needs >= 2 fields"
+                    )
+                label, numbers = numbers[0], numbers[1:]
+            # Strip trailing NaN padding, then reject interior NaNs.
+            while numbers and math.isnan(numbers[-1]):
+                numbers.pop()
+            if not numbers:
+                raise DatasetError(f"{path}:{lineno}: no observations")
+            if any(math.isnan(v) for v in numbers):
+                raise DatasetError(f"{path}:{lineno}: interior NaN values")
+            metadata = {"line": lineno}
+            if label is not None:
+                metadata["label"] = label
+            dataset.add(TimeSeries(f"{dataset.name}-{lineno}", numbers, metadata))
+    if len(dataset) == 0:
+        raise DatasetError(f"{path}: file contains no series")
+    return dataset
+
+
+def save_ucr_file(dataset: TimeSeriesDataset, path, *, with_labels: bool = True) -> None:
+    """Write a dataset in UCR text format (comma separated).
+
+    The ``label`` metadata (default ``0``) becomes the first field when
+    *with_labels* is set, making round-trips through :func:`load_ucr_file`
+    lossless up to series names.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        for series in dataset:
+            fields = []
+            if with_labels:
+                fields.append(repr(float(series.metadata.get("label", 0.0))))
+            fields.extend(repr(float(v)) for v in series.values)
+            handle.write(",".join(fields) + "\n")

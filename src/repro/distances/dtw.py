@@ -1,0 +1,322 @@
+"""Dynamic time warping: distances, optimal paths, bands, early abandoning.
+
+Conventions (DESIGN.md §2): the ground cost between two points is
+``|a - b|`` by default (``ground="l1"``); ``ground="squared"`` is provided
+for the UCR Suite baseline, which follows Rakthanmanon et al. and works on
+sums of squared differences.  ``DTW(x, y)`` is the minimum over warping
+paths of the summed ground cost; the *normalised* DTW divides by the length
+of the optimal path, which is what makes a single similarity threshold
+``ST`` comparable across sequence lengths in ONEX.
+
+Three implementations are deliberately kept side by side:
+
+- :func:`dtw_distance` — anti-diagonal vectorised DP (no path), the fast
+  kernel used by the ONEX query processor.
+- :func:`dtw_cost_matrix` / :func:`dtw_path` — straightforward row-scan DP
+  with traceback, used where the warping path itself is needed (the visual
+  "matched points" connectors of Fig. 2 and the ED→DTW transfer bounds).
+- :func:`dtw_distance_early_abandon` — row-scan with a best-so-far
+  threshold and optional cumulative lower bounds, used by the UCR Suite
+  baseline and by ONEX's in-group refinement.
+
+The row-scan and vectorised kernels are cross-checked against each other in
+the property-test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "DtwResult",
+    "dtw_cost_matrix",
+    "dtw_distance",
+    "dtw_distance_batch",
+    "dtw_distance_early_abandon",
+    "dtw_path",
+    "effective_band",
+]
+
+_INF = math.inf
+
+
+def _ground_is_squared(ground: str) -> bool:
+    if ground == "l1":
+        return False
+    if ground == "squared":
+        return True
+    raise ValidationError(f"ground must be 'l1' or 'squared', got {ground!r}")
+
+
+def effective_band(n: int, m: int, window: int | None) -> int | None:
+    """Resolve a Sakoe–Chiba radius for an ``n`` x ``m`` alignment.
+
+    ``None`` means unconstrained.  A finite *window* is widened to at least
+    ``|n - m|`` so that the corner cell stays reachable — the standard
+    convention for banded DTW on different-length inputs.
+    """
+    if window is None:
+        return None
+    if window < 0:
+        raise ValidationError(f"window must be >= 0, got {window}")
+    return max(window, abs(n - m))
+
+
+@dataclass(frozen=True)
+class DtwResult:
+    """Outcome of a path-producing DTW computation.
+
+    Attributes
+    ----------
+    distance:
+        Summed ground cost along the optimal warping path.
+    path:
+        Tuple of ``(i, j)`` index pairs, monotone in both coordinates,
+        starting at ``(0, 0)`` and ending at ``(n-1, m-1)``.
+    """
+
+    distance: float
+    path: tuple[tuple[int, int], ...]
+
+    @property
+    def path_length(self) -> int:
+        return len(self.path)
+
+    @property
+    def normalized_distance(self) -> float:
+        """Distance divided by warping-path length (ONEX's comparable DTW)."""
+        return self.distance / len(self.path)
+
+    def multiplicities(self, axis: int, length: int) -> np.ndarray:
+        """How many path entries touch each index along *axis* (0=x, 1=y).
+
+        This is the ``m_j`` vector of the ED→DTW transfer lemma
+        (DESIGN.md §2).
+        """
+        counts = np.zeros(length, dtype=np.int64)
+        for pair in self.path:
+            counts[pair[axis]] += 1
+        return counts
+
+
+def dtw_cost_matrix(x, y, *, window: int | None = None, ground: str = "l1") -> np.ndarray:
+    """Full cumulative-cost matrix ``C`` with ``C[i, j] = DTW(x[:i+1], y[:j+1])``.
+
+    Cells outside the Sakoe–Chiba band are ``inf``.  Quadratic memory; use
+    :func:`dtw_distance` when only the final distance is needed.
+    """
+    a = as_sequence(x, name="x")
+    b = as_sequence(y, name="y")
+    squared = _ground_is_squared(ground)
+    n, m = a.shape[0], b.shape[0]
+    band = effective_band(n, m, window)
+
+    cost = np.full((n, m), _INF, dtype=np.float64)
+    for i in range(n):
+        j_lo, j_hi = 0, m - 1
+        if band is not None:
+            j_lo, j_hi = max(0, i - band), min(m - 1, i + band)
+        row_prev = cost[i - 1] if i > 0 else None
+        running = _INF  # cost[i, j-1] as the scan moves right
+        xi = a[i]
+        for j in range(j_lo, j_hi + 1):
+            diff = xi - b[j]
+            d = diff * diff if squared else abs(diff)
+            if i == 0 and j == 0:
+                best = 0.0
+            else:
+                up = row_prev[j] if row_prev is not None else _INF
+                diag = row_prev[j - 1] if (row_prev is not None and j > 0) else _INF
+                best = min(up, diag, running)
+            value = d + best
+            cost[i, j] = value
+            running = value
+    return cost
+
+
+def dtw_distance_batch(
+    x,
+    rows,
+    *,
+    window: int | None = None,
+    ground: str = "l1",
+) -> np.ndarray:
+    """DTW from *x* to every row of *rows* in one vectorised dynamic program.
+
+    Each anti-diagonal of the cost matrix depends only elementwise on the
+    two previous anti-diagonals, and the recurrence is identical across
+    candidates, so evaluating the query against a whole stack of
+    equal-length sequences (e.g. every group representative of a length in
+    the ONEX base) costs ``n + m - 1`` vector operations total.  This is
+    the kernel that makes "DTW over the compact base" interactive.
+    """
+    a = as_sequence(x, name="x")
+    mat = np.asarray(rows, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValidationError(f"rows must be 2-D, got shape {mat.shape}")
+    if mat.shape[0] == 0:
+        return np.empty(0)
+    if mat.shape[1] == 0:
+        raise ValidationError("rows must have at least one column")
+    if not np.all(np.isfinite(mat)):
+        raise ValidationError("rows contain NaN or infinite values")
+    squared = _ground_is_squared(ground)
+    n, m = a.shape[0], mat.shape[1]
+    g = mat.shape[0]
+    band = effective_band(n, m, window)
+
+    # prev / prevprev hold anti-diagonals k-1 and k-2; axis 0 is the
+    # candidate, axis 1 the row index i of the cost matrix.
+    prev = np.full((g, n), _INF)
+    prevprev = np.full((g, n), _INF)
+    pad = np.full((g, 1), _INF)
+    for k in range(n + m - 1):
+        i_lo = max(0, k - m + 1)
+        i_hi = min(n - 1, k)
+        idx = np.arange(i_lo, i_hi + 1)
+        # Ground costs for cells (i, k-i) on this diagonal.
+        d = a[i_lo : i_hi + 1][None, :] - mat[:, k - idx]
+        d = d * d if squared else np.abs(d)
+
+        cur = np.full((g, n), _INF)
+        if k == 0:
+            cur[:, 0] = d[:, 0]
+        else:
+            if i_lo > 0:
+                up = prev[:, idx - 1]
+                diag = prevprev[:, idx - 1]
+            else:
+                up = np.concatenate([pad, prev[:, idx[1:] - 1]], axis=1)
+                diag = np.concatenate([pad, prevprev[:, idx[1:] - 1]], axis=1)
+            left = prev[:, idx]
+            best = np.minimum(np.minimum(up, left), diag)
+            cur[:, idx] = d + best
+        if band is not None:
+            outside = np.abs(idx - (k - idx)) > band
+            if outside.any():
+                cur[:, idx[outside]] = _INF
+        prevprev, prev = prev, cur
+    return prev[:, n - 1]
+
+
+def dtw_distance(
+    x,
+    y,
+    *,
+    window: int | None = None,
+    ground: str = "l1",
+    normalized: bool = False,
+) -> float:
+    """DTW distance via the vectorised anti-diagonal kernel.
+
+    With ``normalized=True`` the summed cost is divided by the optimal
+    warping-path length (requires a traceback, so it delegates to
+    :func:`dtw_path`).
+    """
+    if normalized:
+        return dtw_path(x, y, window=window, ground=ground).normalized_distance
+    b = as_sequence(y, name="y")
+    return float(dtw_distance_batch(x, b[None, :], window=window, ground=ground)[0])
+
+
+def dtw_path(x, y, *, window: int | None = None, ground: str = "l1") -> DtwResult:
+    """DTW distance plus the optimal warping path (traceback).
+
+    Tie-breaking prefers the diagonal step, then the vertical, then the
+    horizontal — producing the shortest path among optimal ones in the
+    common case, which keeps the Fig. 2 "matched points" connectors tidy.
+    """
+    a = as_sequence(x, name="x")
+    b = as_sequence(y, name="y")
+    cost = dtw_cost_matrix(a, b, window=window, ground=ground)
+    n, m = cost.shape
+    distance = float(cost[n - 1, m - 1])
+    if not math.isfinite(distance):
+        raise ValidationError(
+            "no feasible warping path (window too narrow for these lengths)"
+        )
+    path: list[tuple[int, int]] = [(n - 1, m - 1)]
+    i, j = n - 1, m - 1
+    while (i, j) != (0, 0):
+        candidates: list[tuple[float, tuple[int, int]]] = []
+        if i > 0 and j > 0:
+            candidates.append((cost[i - 1, j - 1], (i - 1, j - 1)))
+        if i > 0:
+            candidates.append((cost[i - 1, j], (i - 1, j)))
+        if j > 0:
+            candidates.append((cost[i, j - 1], (i, j - 1)))
+        _, (i, j) = min(candidates, key=lambda item: item[0])
+        path.append((i, j))
+    path.reverse()
+    return DtwResult(distance=distance, path=tuple(path))
+
+
+def dtw_distance_early_abandon(
+    x,
+    y,
+    threshold: float,
+    *,
+    window: int | None = None,
+    ground: str = "l1",
+    cumulative_bound: np.ndarray | None = None,
+) -> float:
+    """Banded DTW that abandons once the distance provably exceeds *threshold*.
+
+    Returns the exact DTW distance if it is ``<= threshold`` and ``inf``
+    otherwise.  After each row the minimum feasible cell is compared against
+    the threshold; with *cumulative_bound* (an array where entry ``i`` lower
+    bounds the cost still to be paid after row ``i``, as in the UCR Suite's
+    reversed LB_Keogh trick) the comparison is tightened to
+    ``row_min + cumulative_bound[i + 1]``.
+    """
+    a = as_sequence(x, name="x")
+    b = as_sequence(y, name="y")
+    if not math.isfinite(threshold):
+        raise ValidationError("threshold must be finite")
+    squared = _ground_is_squared(ground)
+    n, m = a.shape[0], b.shape[0]
+    band = effective_band(n, m, window)
+    if cumulative_bound is not None and len(cumulative_bound) < n + 1:
+        raise ValidationError(
+            "cumulative_bound must have at least len(x) + 1 entries"
+        )
+
+    prev = [_INF] * m
+    xs = a.tolist()
+    ys = b.tolist()
+    for i in range(n):
+        j_lo, j_hi = 0, m - 1
+        if band is not None:
+            j_lo, j_hi = max(0, i - band), min(m - 1, i + band)
+        cur = [_INF] * m
+        running = _INF
+        row_min = _INF
+        xi = xs[i]
+        for j in range(j_lo, j_hi + 1):
+            diff = xi - ys[j]
+            d = diff * diff if squared else abs(diff)
+            if i == 0 and j == 0:
+                best = 0.0
+            else:
+                up = prev[j]
+                diag = prev[j - 1] if j > 0 else _INF
+                best = min(up, diag, running)
+            value = d + best
+            cur[j] = value
+            running = value
+            if value < row_min:
+                row_min = value
+        remaining = (
+            float(cumulative_bound[i + 1]) if cumulative_bound is not None and i + 1 < n else 0.0
+        )
+        if row_min + remaining > threshold:
+            return _INF
+        prev = cur
+    final = prev[m - 1]
+    return final if final <= threshold else _INF

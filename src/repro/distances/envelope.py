@@ -1,0 +1,76 @@
+"""Keogh bounding envelopes.
+
+The envelope of a sequence ``q`` with Sakoe–Chiba radius ``r`` is the pair
+of sequences ``upper[i] = max(q[i-r : i+r+1])`` and ``lower[i] = min(...)``.
+LB_Keogh (``repro.distances.lower_bounds``) measures how far a candidate
+escapes this tube, which lower-bounds banded DTW — the "indexing of time
+series using bounding envelopes" optimisation named in §3.3 of the paper.
+
+The sliding min/max uses the standard monotonic-deque algorithm
+(Lemire 2009), so building an envelope is O(n) regardless of the radius.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = ["keogh_envelope", "sliding_max", "sliding_min"]
+
+
+def _sliding_extreme(arr: np.ndarray, radius: int, *, take_max: bool) -> np.ndarray:
+    """Windowed max (or min) over ``[i - radius, i + radius]`` for every i."""
+    n = arr.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    window: deque[int] = deque()  # indices, values monotone from the front
+
+    def dominates(a: float, b: float) -> bool:
+        return a >= b if take_max else a <= b
+
+    # The window for position i covers indices [i - radius, i + radius].
+    for k in range(n + radius):
+        if k < n:
+            while window and dominates(arr[k], arr[window[-1]]):
+                window.pop()
+            window.append(k)
+        i = k - radius
+        if i >= 0:
+            while window[0] < i - radius:
+                window.popleft()
+            out[i] = arr[window[0]]
+    return out
+
+
+def sliding_max(values, radius: int) -> np.ndarray:
+    """Centred sliding maximum with the given radius, O(n)."""
+    arr = as_sequence(values, name="values")
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    return _sliding_extreme(arr, radius, take_max=True)
+
+
+def sliding_min(values, radius: int) -> np.ndarray:
+    """Centred sliding minimum with the given radius, O(n)."""
+    arr = as_sequence(values, name="values")
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    return _sliding_extreme(arr, radius, take_max=False)
+
+
+def keogh_envelope(values, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(lower, upper)`` Keogh envelope arrays for *values*.
+
+    ``radius`` is the Sakoe–Chiba band radius the envelope must cover; with
+    ``radius=0`` both envelopes equal the input.  Guaranteed pointwise:
+    ``lower <= values <= upper``.
+    """
+    arr = as_sequence(values, name="values")
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    return _sliding_extreme(arr, radius, take_max=False), _sliding_extreme(
+        arr, radius, take_max=True
+    )

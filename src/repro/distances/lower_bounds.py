@@ -1,0 +1,120 @@
+"""Cheap-to-expensive lower bounds for DTW: LB_Kim and LB_Keogh.
+
+These implement the "early pruning of unpromising candidates" optimisation
+of §3.3 and are the core of the UCR Suite baseline (Rakthanmanon et al.,
+SIGKDD 2012).  Every function here returns a value that provably never
+exceeds the corresponding (banded) DTW distance, which the property-test
+suite checks exhaustively; pruning with them therefore never changes
+results, only speed.
+
+All bounds take a ``ground`` argument matching :mod:`repro.distances.dtw`:
+``"l1"`` (ONEX convention) or ``"squared"`` (UCR convention).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distances.dtw import _ground_is_squared
+from repro.distances.envelope import keogh_envelope
+from repro.distances.metrics import as_sequence
+from repro.exceptions import ValidationError
+
+__all__ = ["lb_cascade", "lb_keogh", "lb_keogh_terms", "lb_kim"]
+
+
+def _cost(diff: np.ndarray, squared: bool) -> np.ndarray:
+    return diff * diff if squared else np.abs(diff)
+
+
+def lb_kim(x, y, *, ground: str = "l1") -> float:
+    """Constant-time bound from the endpoints of both sequences.
+
+    Every warping path matches ``x[0]`` with ``y[0]`` and ``x[-1]`` with
+    ``y[-1]``, so those two ground costs are always paid.  When both
+    sequences have at least three points the second and penultimate path
+    cells contribute as well: the second cell is one of (1,0), (1,1), (0,1)
+    and is distinct from both endpoint cells, so its cheapest realisation
+    can be added (symmetrically for the penultimate cell).
+    """
+    a = as_sequence(x, name="x")
+    b = as_sequence(y, name="y")
+    squared = _ground_is_squared(ground)
+
+    def d(u: float, v: float) -> float:
+        diff = u - v
+        return diff * diff if squared else abs(diff)
+
+    bound = d(a[0], b[0])
+    if a.shape[0] > 1 or b.shape[0] > 1:
+        bound += d(a[-1], b[-1])
+    n, m = a.shape[0], b.shape[0]
+    if n >= 3 and m >= 3 and (n >= 4 or m >= 4):
+        # With 3x3 alignments the second and penultimate path cells can both
+        # be (1, 1); requiring one side >= 4 keeps the candidate sets
+        # disjoint so the two extra terms never double count a cell.
+        bound += min(d(a[1], b[0]), d(a[1], b[1]), d(a[0], b[1]))
+        bound += min(d(a[-2], b[-1]), d(a[-2], b[-2]), d(a[-1], b[-2]))
+    return float(bound)
+
+
+def lb_keogh_terms(candidate, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1") -> np.ndarray:
+    """Per-point envelope breach costs (the summands of LB_Keogh).
+
+    The UCR Suite accumulates these in a best-order traversal and also
+    reuses the suffix sums as cumulative bounds for DTW early abandoning,
+    so the raw terms are exposed separately from their sum.
+    """
+    c = as_sequence(candidate, name="candidate")
+    lo = np.asarray(lower, dtype=np.float64)
+    hi = np.asarray(upper, dtype=np.float64)
+    if lo.shape != c.shape or hi.shape != c.shape:
+        raise ValidationError(
+            "envelope and candidate lengths differ: "
+            f"{lo.shape[0]}/{hi.shape[0]} vs {c.shape[0]}"
+        )
+    squared = _ground_is_squared(ground)
+    breach = np.where(c > hi, c - hi, np.where(c < lo, lo - c, 0.0))
+    return _cost(breach, squared)
+
+
+def lb_keogh(candidate, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1") -> float:
+    """LB_Keogh: total cost of a candidate escaping the query envelope.
+
+    *lower*/*upper* must come from :func:`repro.distances.envelope.keogh_envelope`
+    of the query with radius >= the DTW band radius, and *candidate* must
+    have the same length as the query; under those conditions
+    ``lb_keogh(c, l, u) <= DTW_banded(q, c)``.
+    """
+    return float(lb_keogh_terms(candidate, lower, upper, ground=ground).sum())
+
+
+def lb_cascade(
+    query,
+    candidate,
+    threshold: float,
+    *,
+    radius: int = 0,
+    ground: str = "l1",
+    envelope: tuple[np.ndarray, np.ndarray] | None = None,
+) -> tuple[bool, float]:
+    """Apply LB_Kim then LB_Keogh against a pruning *threshold*.
+
+    Returns ``(pruned, tightest_bound)``.  ``pruned=True`` means the banded
+    DTW distance provably exceeds *threshold* and the candidate can be
+    skipped.  The query envelope is computed on demand unless supplied
+    (callers answering many candidates should pass it in).
+    """
+    q = as_sequence(query, name="query")
+    c = as_sequence(candidate, name="candidate")
+    bound = lb_kim(q, c, ground=ground)
+    if bound > threshold:
+        return True, bound
+    if q.shape[0] == c.shape[0]:
+        if envelope is None:
+            envelope = keogh_envelope(q, radius)
+        keogh = lb_keogh(c, envelope[0], envelope[1], ground=ground)
+        bound = max(bound, keogh)
+        if keogh > threshold:
+            return True, bound
+    return False, bound

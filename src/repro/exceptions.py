@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ONEX reproduction.
+
+All library errors derive from :class:`OnexError` so callers can catch one
+type at the API boundary.  Subclasses distinguish user mistakes (bad input,
+unknown names) from internal invariant violations.
+"""
+
+from __future__ import annotations
+
+
+class OnexError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(OnexError, ValueError):
+    """Raised when user-supplied input fails validation.
+
+    Examples: empty sequences, NaN values, mismatched lengths where equal
+    lengths are required, or out-of-range parameters.
+    """
+
+
+class DatasetError(OnexError):
+    """Raised for dataset-level problems (unknown series, bad files)."""
+
+
+class NotBuiltError(OnexError):
+    """Raised when querying an ONEX base that has not been constructed."""
+
+
+class InvariantError(OnexError):
+    """Raised when an internal ONEX invariant is violated.
+
+    Seeing this exception indicates a bug in the library, not bad input:
+    the similarity-group construction guarantees (member-to-representative
+    distance within ``ST/2``) are checked at runtime in debug paths.
+    """
+
+
+class ProtocolError(OnexError):
+    """Raised for malformed client/server requests or responses."""

@@ -1,0 +1,14 @@
+"""Client/server layer: the demo's web backend (S14).
+
+- :mod:`repro.server.protocol` — typed JSON request/response envelopes.
+- :mod:`repro.server.service` — transport-agnostic request handler over
+  :class:`repro.core.engine.OnexEngine` (loading datasets triggers
+  server-side preprocessing, exactly as in §4 "Data Loading into ONEX").
+- :mod:`repro.server.http` — a stdlib-only threaded HTTP JSON API.
+"""
+
+from repro.server.http import OnexHttpServer
+from repro.server.protocol import Request, Response
+from repro.server.service import OnexService
+
+__all__ = ["OnexHttpServer", "OnexService", "Request", "Response"]

@@ -1,0 +1,108 @@
+"""Stdlib-only HTTP front end for the ONEX service.
+
+Endpoints:
+
+- ``POST /api`` — a protocol request as the JSON body; returns the
+  response envelope.  Engine errors map to 200-with-``ok: false`` (they
+  are application results); malformed envelopes map to 400.
+- ``GET /health`` — liveness plus loaded dataset names.
+
+The server runs on a daemon thread (``start()``/``stop()``), which is how
+the examples and integration tests drive a real client/server round trip
+in-process.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ProtocolError
+from repro.server.protocol import Request, Response
+from repro.server.service import OnexService
+
+__all__ = ["OnexHttpServer"]
+
+
+def _make_handler(service: OnexService):
+    class Handler(BaseHTTPRequestHandler):
+        # Serialise engine access: the service is not thread-safe and the
+        # demo semantics (one analyst session) do not need concurrency.
+        lock = threading.Lock()
+
+        def log_message(self, fmt, *args):  # silence request logging
+            pass
+
+        def _send(self, status: int, payload: dict) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            if self.path == "/health":
+                with self.lock:
+                    datasets = service.engine.dataset_names
+                self._send(200, {"status": "ok", "datasets": datasets})
+            else:
+                self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
+
+        def do_POST(self):  # noqa: N802 - stdlib naming
+            if self.path != "/api":
+                self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
+                return
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length)
+            try:
+                request = Request.from_json(body)
+            except ProtocolError as exc:
+                self._send(400, Response.failure(exc).to_dict())
+                return
+            with self.lock:
+                response = service.handle(request)
+            self._send(200, response.to_dict())
+
+    return Handler
+
+
+class OnexHttpServer:
+    """Threaded HTTP wrapper around one :class:`OnexService`."""
+
+    def __init__(self, service: OnexService | None = None, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service or OnexService()
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.service))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound (port 0 picks a free one)."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "OnexHttpServer":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._thread.join(timeout=5)
+        self._httpd.server_close()
+        self._thread = None
+
+    def __enter__(self) -> "OnexHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,130 @@
+"""Typed JSON envelopes for the client/server API.
+
+A request is ``{"op": <operation>, "params": {...}}``; a response is
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": {"type": ...,
+"message": ...}}``.  Parsing is strict: unknown operations, missing
+parameters, and non-object envelopes raise :class:`ProtocolError` before
+any engine code runs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["OPERATIONS", "Request", "Response"]
+
+#: Operation name -> required parameter names.
+OPERATIONS: dict[str, tuple[str, ...]] = {
+    "list_datasets": (),
+    "load_dataset": ("source",),
+    "describe": ("dataset",),
+    "overview": ("dataset",),
+    "query_preview": ("dataset", "series"),
+    "best_match": ("dataset", "query"),
+    "k_best": ("dataset", "query", "k"),
+    "matches_within": ("dataset", "query", "threshold"),
+    "seasonal": ("dataset", "series", "length"),
+    "sensitivity": ("dataset", "query", "thresholds"),
+    "thresholds": ("dataset", "length"),
+    "unload_dataset": ("dataset",),
+    "save_base": ("dataset", "path"),
+    "add_series": ("dataset", "name", "values"),
+}
+
+
+@dataclass(frozen=True)
+class Request:
+    """A validated client request."""
+
+    op: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in OPERATIONS:
+            raise ProtocolError(
+                f"unknown operation {self.op!r} (known: {sorted(OPERATIONS)})"
+            )
+        missing = [name for name in OPERATIONS[self.op] if name not in self.params]
+        if missing:
+            raise ProtocolError(f"operation {self.op!r} missing params: {missing}")
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "Request":
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            # Binary bodies can fail inside codec detection before JSON
+            # parsing proper, hence the wider net.
+            raise ProtocolError(f"invalid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "Request":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        if "op" not in payload:
+            raise ProtocolError("request missing 'op'")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be an object")
+        extra = set(payload) - {"op", "params"}
+        if extra:
+            raise ProtocolError(f"unexpected request fields: {sorted(extra)}")
+        return cls(op=str(payload["op"]), params=params)
+
+    def to_json(self) -> str:
+        return json.dumps({"op": self.op, "params": self.params})
+
+
+@dataclass(frozen=True)
+class Response:
+    """A server response: a result or a typed error."""
+
+    ok: bool
+    result: Any = None
+    error_type: str | None = None
+    error_message: str | None = None
+
+    @classmethod
+    def success(cls, result: Any) -> "Response":
+        return cls(ok=True, result=result)
+
+    @classmethod
+    def failure(cls, exc: Exception) -> "Response":
+        return cls(
+            ok=False,
+            error_type=type(exc).__name__,
+            error_message=str(exc),
+        )
+
+    def to_dict(self) -> dict:
+        if self.ok:
+            return {"ok": True, "result": self.result}
+        return {
+            "ok": False,
+            "error": {"type": self.error_type, "message": self.error_message},
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "Response":
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(f"invalid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or "ok" not in payload:
+            raise ProtocolError("response must be an object with 'ok'")
+        if payload["ok"]:
+            return cls.success(payload.get("result"))
+        error = payload.get("error") or {}
+        return cls(
+            ok=False,
+            error_type=error.get("type"),
+            error_message=error.get("message"),
+        )

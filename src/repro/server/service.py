@@ -1,0 +1,231 @@
+"""Transport-agnostic ONEX service: JSON requests in, JSON responses out.
+
+Wraps :class:`repro.core.engine.OnexEngine` with the demo's server
+workflow: "with a click of a button, analysts can load new data sets into
+ONEX" — a ``load_dataset`` request builds the base server-side, after
+which exploration operations answer in near real time.  Built-in sources
+(``matters``, ``electricity``) cover the demo datasets; ``ucr:<path>``
+loads archive-format files.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import QueryConfig
+from repro.core.engine import OnexEngine
+from repro.data.electricity import build_electricity_collection
+from repro.data.matters import build_matters_collection
+from repro.data.ucr_format import load_ucr_file
+from repro.exceptions import OnexError, ProtocolError
+from repro.server.protocol import Request, Response
+from repro.viz.payloads import (
+    overview_payload,
+    query_preview_payload,
+    seasonal_view_payload,
+    similarity_view_payload,
+)
+
+__all__ = ["OnexService"]
+
+#: Keyword arguments of load_dataset requests forwarded to the engine.
+_LOAD_OPTIONS = ("similarity_threshold", "min_length", "max_length", "step", "normalize")
+
+
+class OnexService:
+    """Handles protocol requests against one engine instance."""
+
+    def __init__(self, query_config: QueryConfig | None = None) -> None:
+        self._engine = OnexEngine(query_config)
+
+    @property
+    def engine(self) -> OnexEngine:
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Request | dict | str | bytes) -> Response:
+        """Dispatch one request; all library errors become error responses."""
+        try:
+            if isinstance(request, (str, bytes)):
+                request = Request.from_json(request)
+            elif isinstance(request, dict):
+                request = Request.from_dict(request)
+            handler = getattr(self, f"_op_{request.op}")
+            return Response.success(handler(request.params))
+        except (OnexError, ValueError, TypeError, KeyError, OSError) as exc:
+            return Response.failure(exc)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def _op_list_datasets(self, params: dict) -> Any:
+        return {"datasets": self._engine.dataset_names}
+
+    def _op_load_dataset(self, params: dict) -> Any:
+        source = str(params["source"])
+        if source == "matters":
+            indicators = params.get("indicators")
+            dataset = build_matters_collection(
+                seed=int(params.get("seed", 2013)),
+                years=int(params.get("years", 25)),
+                min_years=int(params.get("min_years", 8)),
+                indicators=tuple(indicators) if indicators else None,
+            )
+        elif source == "electricity":
+            dataset = build_electricity_collection(
+                seed=int(params.get("seed", 417)),
+                households=int(params.get("households", 8)),
+            )
+        elif source.startswith("ucr:"):
+            dataset = load_ucr_file(source[len("ucr:") :])
+        else:
+            raise ProtocolError(
+                f"unknown source {source!r} (use 'matters', 'electricity', "
+                "or 'ucr:<path>')"
+            )
+        options = {k: params[k] for k in _LOAD_OPTIONS if k in params}
+        stats = self._engine.load_dataset(dataset, **options)
+        return {
+            "dataset": dataset.name,
+            "series": len(dataset),
+            "groups": stats.groups,
+            "subsequences": stats.subsequences,
+            "compaction_ratio": stats.compaction_ratio,
+            "build_seconds": stats.build_seconds,
+        }
+
+    def _op_unload_dataset(self, params: dict) -> Any:
+        self._engine.unload_dataset(str(params["dataset"]))
+        return {"unloaded": params["dataset"]}
+
+    def _op_describe(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        info = self._engine.base(name).raw_dataset.describe()
+        stats = self._engine.stats(name)
+        info["groups"] = stats.groups
+        info["compaction_ratio"] = stats.compaction_ratio
+        info["series_names"] = self._engine.base(name).dataset.names
+        return info
+
+    def _op_overview(self, params: dict) -> Any:
+        groups = self._engine.overview(
+            str(params["dataset"]),
+            length=params.get("length"),
+            limit=int(params.get("limit", 50)),
+        )
+        return overview_payload(groups)
+
+    def _op_query_preview(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        series = self._engine.base(name).raw_dataset[str(params["series"])]
+        start = int(params.get("start", 0))
+        length = int(params.get("length", len(series) - start))
+        return query_preview_payload(series, start, length)
+
+    def _resolve_query(self, name: str, query) -> Any:
+        """Queries arrive as a value list or a brushed-series descriptor."""
+        if isinstance(query, dict):
+            return self._engine.query_from_series(
+                name,
+                str(query["series"]),
+                int(query.get("start", 0)),
+                query.get("length"),
+            )
+        return [float(v) for v in query]
+
+    def _match_payload(self, name: str, query, match) -> dict:
+        base = self._engine.base(name)
+        query_values = (
+            base.dataset.values(query)
+            if hasattr(query, "series_index")
+            else query
+        )
+        payload = similarity_view_payload(
+            query_values, base.member_values(match.ref), match
+        )
+        payload["group"] = list(match.group)
+        return payload
+
+    def _op_best_match(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        query = self._resolve_query(name, params["query"])
+        match = self._engine.best_match(name, query)
+        return self._match_payload(name, query, match)
+
+    def _op_k_best(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        query = self._resolve_query(name, params["query"])
+        matches = self._engine.k_best_matches(name, query, int(params["k"]))
+        return {"matches": [self._match_payload(name, query, m) for m in matches]}
+
+    def _op_matches_within(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        query = self._resolve_query(name, params["query"])
+        matches = self._engine.matches_within(
+            name, query, float(params["threshold"])
+        )
+        return {"matches": [self._match_payload(name, query, m) for m in matches]}
+
+    def _op_seasonal(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        series_name = str(params["series"])
+        kwargs = {}
+        for key in ("step", "min_occurrences", "max_patterns"):
+            if key in params:
+                kwargs[key] = int(params[key])
+        for key in ("remove_level",):
+            if key in params:
+                kwargs[key] = bool(params[key])
+        for key in ("ed_threshold",):
+            if key in params:
+                kwargs[key] = float(params[key])
+        patterns = self._engine.seasonal_patterns(
+            name,
+            series_name,
+            int(params["length"]),
+            float(params["threshold"]) if "threshold" in params else None,
+            **kwargs,
+        )
+        series = self._engine.base(name).raw_dataset[series_name]
+        return seasonal_view_payload(series, patterns)
+
+    def _op_sensitivity(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        query = self._resolve_query(name, params["query"])
+        profile = self._engine.similarity_profile(
+            name,
+            query,
+            [float(t) for t in params["thresholds"]],
+            verify=bool(params.get("verify", False)),
+        )
+        return profile.as_dict()
+
+    def _op_add_series(self, params: dict) -> Any:
+        from repro.data.timeseries import TimeSeries
+
+        name = str(params["dataset"])
+        series = TimeSeries(
+            str(params["name"]),
+            [float(v) for v in params["values"]],
+            metadata=params.get("metadata") or {},
+        )
+        return self._engine.add_series(name, series)
+
+    def _op_save_base(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        path = str(params["path"])
+        self._engine.base(name).save(path)
+        return {"saved": name, "path": path}
+
+    def _op_thresholds(self, params: dict) -> Any:
+        rec = self._engine.recommend_thresholds(
+            str(params["dataset"]),
+            int(params["length"]),
+            samples=int(params.get("samples", 2000)),
+            seed=int(params.get("seed", 0)),
+        )
+        return rec.as_dict()

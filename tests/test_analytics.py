@@ -1,0 +1,151 @@
+"""Unit tests for repro.analytics (k-medoids and k-NN)."""
+
+import numpy as np
+import pytest
+
+from repro.analytics.kmedoids import kmedoids
+from repro.analytics.knn import KnnClassifier
+from repro.data.synthetic import cylinder_bell_funnel, noisy_sine
+from repro.distances.metrics import normalized_euclidean
+from repro.exceptions import ValidationError
+
+
+def make_cbf(kinds, count, noise=0.2, start_seed=0, n=64):
+    data, labels = [], []
+    seed = start_seed
+    for kind in kinds:
+        for _ in range(count):
+            data.append(cylinder_bell_funnel(kind, n, noise=noise, seed=seed))
+            labels.append(kind)
+            seed += 1
+    return data, labels
+
+
+class TestKMedoids:
+    def test_recovers_planted_sine_clusters(self):
+        members = []
+        for period in (8.0, 40.0):
+            for s in range(6):
+                members.append(
+                    noisy_sine(60, period=period, noise=0.05, seed=s + int(period))
+                )
+        result = kmedoids(members, 2, seed=3)
+        first = set(result.assignments[:6])
+        second = set(result.assignments[6:])
+        assert len(first) == 1
+        assert len(second) == 1
+        assert first != second
+
+    def test_k_equals_n_gives_zero_objective(self):
+        members = [noisy_sine(20, seed=s) for s in range(4)]
+        result = kmedoids(members, 4, seed=0)
+        assert result.objective == pytest.approx(0.0)
+        assert sorted(result.medoid_indices) == [0, 1, 2, 3]
+
+    def test_k_one_picks_central_member(self):
+        members = [np.full(10, v) for v in (0.0, 0.1, 0.2, 5.0)]
+        result = kmedoids(members, 1, seed=0)
+        # The medoid minimising total distance is one of the tight trio.
+        assert result.medoid_indices[0] in (0, 1, 2)
+        assert set(result.assignments) == {0}
+
+    def test_custom_distance(self):
+        members = [np.arange(10.0) + off for off in (0.0, 0.1, 10.0, 10.1)]
+        result = kmedoids(members, 2, distance=normalized_euclidean, seed=1)
+        assert result.assignments[0] == result.assignments[1]
+        assert result.assignments[2] == result.assignments[3]
+        assert result.assignments[0] != result.assignments[2]
+
+    def test_deterministic_given_seed(self):
+        members = [noisy_sine(30, seed=s) for s in range(8)]
+        a = kmedoids(members, 3, seed=5)
+        b = kmedoids(members, 3, seed=5)
+        assert a == b
+
+    def test_variable_length_members(self):
+        members = [noisy_sine(n, period=10.0, seed=n) for n in (20, 25, 30, 35)]
+        result = kmedoids(members, 2, seed=0)
+        assert len(result.assignments) == 4
+
+    def test_cluster_members_accessor(self):
+        members = [np.zeros(5), np.zeros(5), np.full(5, 9.0)]
+        result = kmedoids(members, 2, seed=0)
+        sizes = sorted(len(result.cluster_members(c)) for c in range(2))
+        assert sizes == [1, 2]
+        with pytest.raises(ValidationError):
+            result.cluster_members(7)
+
+    def test_validation(self):
+        members = [np.zeros(5)]
+        with pytest.raises(ValidationError):
+            kmedoids(members, 0)
+        with pytest.raises(ValidationError):
+            kmedoids(members, 2)
+        with pytest.raises(ValidationError):
+            kmedoids(members, 1, max_iterations=0)
+
+
+class TestKnn:
+    def test_cbf_classification_well_above_chance(self):
+        train_x, train_y = make_cbf(("cylinder", "bell", "funnel"), 8, start_seed=0)
+        test_x, test_y = make_cbf(("cylinder", "bell", "funnel"), 3, start_seed=100)
+        clf = KnnClassifier(1, window=5).fit(train_x, train_y)
+        assert clf.score(test_x, test_y) >= 0.7  # chance is 1/3
+
+    def test_self_classification_perfect(self):
+        train_x, train_y = make_cbf(("cylinder", "bell"), 4, start_seed=10)
+        clf = KnnClassifier(1).fit(train_x, train_y)
+        assert clf.score(train_x, train_y) == 1.0
+
+    def test_k3_majority_vote(self):
+        references = [np.zeros(8), np.zeros(8) + 0.01, np.full(8, 5.0)]
+        labels = ["low", "low", "high"]
+        clf = KnnClassifier(3).fit(references, labels)
+        assert clf.predict(np.zeros(8) + 0.005) == "low"
+
+    def test_tie_breaks_to_nearest(self):
+        references = [np.zeros(8), np.full(8, 1.0)]
+        clf = KnnClassifier(2).fit(references, ["a", "b"])
+        assert clf.predict(np.full(8, 0.1)) == "a"
+
+    def test_custom_distance_changes_result(self):
+        """A spike shifted in time: DTW says same class, ED says other."""
+        spike_early = np.zeros(20)
+        spike_early[3] = 5.0
+        spike_late = np.zeros(20)
+        spike_late[16] = 5.0
+        flatline = np.full(20, 0.25)
+        refs = [spike_late, flatline]
+        labels = ["spike", "flat"]
+        query = spike_early
+        dtw_clf = KnnClassifier(1).fit(refs, labels)
+        ed_clf = KnnClassifier(1, distance=normalized_euclidean).fit(refs, labels)
+        assert dtw_clf.predict(query) == "spike"
+        assert ed_clf.predict(query) == "flat"
+
+    def test_neighbors_sorted(self):
+        train_x, train_y = make_cbf(("cylinder", "bell"), 5, start_seed=20)
+        clf = KnnClassifier(3).fit(train_x, train_y)
+        neighbors = clf.neighbors(train_x[0])
+        dists = [d for d, _ in neighbors]
+        assert dists == sorted(dists)
+        assert neighbors[0][0] == pytest.approx(0.0)
+
+    def test_variable_length_references(self):
+        refs = [noisy_sine(n, period=10.0, seed=n) for n in (20, 30)]
+        clf = KnnClassifier(1).fit(refs, ["short", "long"])
+        assert clf.predict(noisy_sine(22, period=10.0, seed=99)) in ("short", "long")
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            KnnClassifier(0)
+        clf = KnnClassifier(1)
+        with pytest.raises(ValidationError, match="not fitted"):
+            clf.predict([1.0, 2.0])
+        with pytest.raises(ValidationError):
+            clf.fit([np.zeros(5)], ["a", "b"])
+        with pytest.raises(ValidationError):
+            KnnClassifier(5).fit([np.zeros(5)], ["a"])
+        fitted = KnnClassifier(1).fit([np.zeros(5)], ["a"])
+        with pytest.raises(ValidationError):
+            fitted.score([], [])

@@ -1,0 +1,120 @@
+"""Unit tests for repro.distances.bounds (the ED->DTW transfer lemma)."""
+
+import numpy as np
+import pytest
+
+from repro.distances.bounds import (
+    TransferBound,
+    group_pruning_lower_bound,
+    path_multiplicities,
+    transfer_bounds,
+    transfer_slack,
+)
+from repro.distances.dtw import dtw_distance, dtw_path
+from repro.exceptions import ValidationError
+
+
+class TestPathMultiplicities:
+    def test_counts_cells(self):
+        path = [(0, 0), (1, 0), (2, 1), (3, 1)]
+        assert path_multiplicities(path, 2, axis=1).tolist() == [2, 2]
+        assert path_multiplicities(path, 4, axis=0).tolist() == [1, 1, 1, 1]
+
+    def test_invalid_axis(self):
+        with pytest.raises(ValidationError):
+            path_multiplicities([(0, 0)], 1, axis=2)
+
+    def test_out_of_range_index(self):
+        with pytest.raises(ValidationError, match="out of range"):
+            path_multiplicities([(0, 5)], 2, axis=1)
+
+
+class TestTransferBounds:
+    def test_contains_true_dtw_random(self):
+        rng = np.random.default_rng(51)
+        for _ in range(60):
+            qlen = int(rng.integers(2, 12))
+            slen = int(rng.integers(2, 12))
+            q = rng.normal(size=qlen)
+            r = rng.normal(size=slen)
+            s = r + rng.normal(scale=0.2, size=slen)
+            bound = transfer_bounds(q, r, s)
+            true = dtw_distance(q, s)
+            assert bound.lower <= true + 1e-9
+            assert true <= bound.upper + 1e-9
+
+    def test_tight_when_member_equals_representative(self):
+        rng = np.random.default_rng(52)
+        q = rng.normal(size=8)
+        r = rng.normal(size=10)
+        bound = transfer_bounds(q, r, r)
+        true = dtw_distance(q, r)
+        assert bound.upper == pytest.approx(true)
+        assert bound.lower == pytest.approx(true)
+
+    def test_reuses_precomputed_rep_result(self):
+        rng = np.random.default_rng(53)
+        q = rng.normal(size=7)
+        r = rng.normal(size=7)
+        s = r + 0.1
+        rep = dtw_path(q, r)
+        a = transfer_bounds(q, r, s, rep_result=rep)
+        b = transfer_bounds(q, r, s)
+        assert a.lower == pytest.approx(b.lower)
+        assert a.upper == pytest.approx(b.upper)
+
+    def test_width_grows_with_member_distance(self):
+        rng = np.random.default_rng(54)
+        q = rng.normal(size=10)
+        r = rng.normal(size=10)
+        near = transfer_bounds(q, r, r + 0.01)
+        far = transfer_bounds(q, r, r + 1.0)
+        assert near.width < far.width
+
+    def test_rejects_unequal_member_lengths(self):
+        with pytest.raises(ValidationError, match="equal length"):
+            transfer_bounds([1.0, 2.0], [1.0, 2.0], [1.0, 2.0, 3.0])
+
+    def test_bound_invariant_enforced(self):
+        with pytest.raises(ValidationError, match="inconsistent"):
+            TransferBound(dtw_query_rep=1.0, lower=2.0, upper=1.0)
+
+
+class TestTransferSlack:
+    def test_zero_for_identical(self):
+        q = np.array([0.0, 1.0, 2.0])
+        r = np.array([0.0, 1.0, 2.0])
+        res = dtw_path(q, r)
+        assert transfer_slack(res.path, r, r) == 0.0
+
+    def test_manual_example(self):
+        # Path touches r[0] twice: slack = 2*|r0-s0| + 1*|r1-s1|.
+        path = [(0, 0), (1, 0), (2, 1)]
+        r = np.array([1.0, 2.0])
+        s = np.array([1.5, 2.5])
+        assert transfer_slack(path, r, s) == pytest.approx(2 * 0.5 + 0.5)
+
+
+class TestGroupPruningLowerBound:
+    def test_lower_bounds_all_members(self):
+        rng = np.random.default_rng(55)
+        for _ in range(30):
+            q = rng.normal(size=9)
+            r = rng.normal(size=7)
+            members = [r + rng.normal(scale=0.3, size=7) for _ in range(5)]
+            cheb = max(float(np.abs(r - s).max()) for s in members)
+            d_qr = dtw_distance(q, r)
+            bound = group_pruning_lower_bound(d_qr, 9, 7, cheb)
+            for s in members:
+                assert bound <= dtw_distance(q, s) + 1e-9
+
+    def test_clamped_at_zero(self):
+        assert group_pruning_lower_bound(1.0, 5, 5, 100.0) == 0.0
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValidationError):
+            group_pruning_lower_bound(1.0, 5, 5, -0.1)
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValidationError):
+            group_pruning_lower_bound(1.0, 0, 5, 0.1)

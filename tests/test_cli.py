@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = [
+    "--source", "matters", "--indicators", "GrowthRate",
+    "--st", "0.1", "--min-length", "4", "--max-length", "6",
+    "--years", "10", "--min-years", "8",
+]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explode"])
+
+    def test_query_requires_series(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["describe"])
+        assert args.source == "matters"
+        assert args.st is None
+
+
+class TestCommands:
+    def test_describe_human(self, capsys):
+        assert main(["describe", *FAST]) == 0
+        out = capsys.readouterr().out
+        assert "MATTERS-sim" in out
+        assert "compaction" in out
+
+    def test_describe_json(self, capsys):
+        assert main(["--json", "describe", *FAST]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["series"] == 50
+
+    def test_query(self, capsys):
+        code = main(
+            ["query", *FAST, "--series", "MA/GrowthRate", "--start", "0",
+             "--length", "5", "--k", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top 3 matches" in out
+        assert "dist=" in out
+
+    def test_query_json(self, capsys):
+        code = main(
+            ["--json", "query", *FAST, "--series", "MA/GrowthRate",
+             "--length", "5", "--k", "2"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["matches"]) == 2
+
+    def test_seasonal(self, capsys):
+        code = main(
+            ["seasonal", *FAST, "--series", "MA/GrowthRate", "--length", "4",
+             "--threshold", "0.1"]
+        )
+        assert code == 0
+        assert "recurring pattern" in capsys.readouterr().out
+
+    def test_thresholds(self, capsys):
+        assert main(["thresholds", *FAST, "--length", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "default:" in out
+        assert "5%" in out
+
+    def test_sensitivity(self, capsys):
+        code = main(
+            ["sensitivity", *FAST, "--series", "MA/GrowthRate",
+             "--length", "5", "--grid", "0.05", "0.1", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "certain=" in out
+        assert "exact=" in out
+        assert "knee" in out
+
+    def test_error_is_exit_code_one(self, capsys):
+        code = main(
+            ["query", "--source", "nasdaq", "--series", "MA/GrowthRate"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_series_reports_error(self, capsys):
+        code = main(["query", *FAST, "--series", "ZZ/Nothing"])
+        assert code == 1
+        assert "DatasetError" in capsys.readouterr().err
+
+    def test_ucr_source(self, capsys, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text(
+            "1,0.1,0.5,0.9,0.7,0.3,0.2\n2,0.2,0.6,1.0,0.8,0.4,0.1\n"
+        )
+        code = main(
+            ["describe", "--source", f"ucr:{path}", "--st", "0.2",
+             "--min-length", "3", "--max-length", "4"]
+        )
+        assert code == 0
+        assert "2 series" in capsys.readouterr().out

@@ -1,0 +1,100 @@
+"""Unit and property tests for the batched anti-diagonal DTW kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distances.dtw import dtw_cost_matrix, dtw_distance, dtw_distance_batch
+from repro.exceptions import ValidationError
+
+finite_floats = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestBatchKernel:
+    def test_matches_scalar_kernel(self):
+        rng = np.random.default_rng(141)
+        q = rng.normal(size=9)
+        rows = rng.normal(size=(20, 12))
+        got = dtw_distance_batch(q, rows)
+        for k in range(20):
+            assert got[k] == pytest.approx(dtw_distance(q, rows[k]))
+
+    def test_matches_row_scan_matrix(self):
+        rng = np.random.default_rng(142)
+        q = rng.normal(size=6)
+        rows = rng.normal(size=(5, 8))
+        got = dtw_distance_batch(q, rows)
+        for k in range(5):
+            assert got[k] == pytest.approx(dtw_cost_matrix(q, rows[k])[-1, -1])
+
+    def test_banded(self):
+        rng = np.random.default_rng(143)
+        q = rng.normal(size=10)
+        rows = rng.normal(size=(8, 10))
+        for window in (0, 1, 3):
+            got = dtw_distance_batch(q, rows, window=window)
+            for k in range(8):
+                assert got[k] == pytest.approx(dtw_distance(q, rows[k], window=window))
+
+    def test_squared_ground(self):
+        rng = np.random.default_rng(144)
+        q = rng.normal(size=7)
+        rows = rng.normal(size=(4, 9))
+        got = dtw_distance_batch(q, rows, ground="squared")
+        for k in range(4):
+            assert got[k] == pytest.approx(
+                dtw_distance(q, rows[k], ground="squared")
+            )
+
+    def test_single_row_and_single_column(self):
+        assert dtw_distance_batch([1.0, 2.0], np.array([[1.5]]))[0] == pytest.approx(1.0)
+        assert dtw_distance_batch([3.0], np.array([[1.0, 2.0]]))[0] == pytest.approx(3.0)
+
+    def test_empty_batch(self):
+        out = dtw_distance_batch([1.0, 2.0], np.empty((0, 5)))
+        assert out.shape == (0,)
+
+    def test_identical_rows_zero(self):
+        q = np.array([0.5, 1.5, 0.25])
+        rows = np.tile(q, (6, 1))
+        assert np.allclose(dtw_distance_batch(q, rows), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            dtw_distance_batch([1.0], np.zeros(3))
+        with pytest.raises(ValidationError, match="column"):
+            dtw_distance_batch([1.0], np.empty((2, 0)))
+        with pytest.raises(ValidationError, match="NaN"):
+            dtw_distance_batch([1.0], np.array([[np.nan]]))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(finite_floats, min_size=1, max_size=10),
+    st.lists(
+        st.lists(finite_floats, min_size=4, max_size=4), min_size=1, max_size=6
+    ),
+)
+def test_batch_agrees_with_scalar_property(q, rows):
+    mat = np.asarray(rows)
+    got = dtw_distance_batch(q, mat)
+    for k in range(mat.shape[0]):
+        assert got[k] == pytest.approx(dtw_distance(q, mat[k]), abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(finite_floats, min_size=2, max_size=8),
+    st.lists(
+        st.lists(finite_floats, min_size=6, max_size=6), min_size=1, max_size=4
+    ),
+    st.integers(min_value=0, max_value=4),
+)
+def test_batch_banded_property(q, rows, window):
+    mat = np.asarray(rows)
+    got = dtw_distance_batch(q, mat, window=window)
+    for k in range(mat.shape[0]):
+        assert got[k] == pytest.approx(
+            dtw_distance(q, mat[k], window=window), abs=1e-9
+        )

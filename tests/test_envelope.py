@@ -1,0 +1,71 @@
+"""Unit tests for repro.distances.envelope."""
+
+import numpy as np
+import pytest
+
+from repro.distances.envelope import keogh_envelope, sliding_max, sliding_min
+from repro.exceptions import ValidationError
+
+
+def naive_envelope(values, radius):
+    values = np.asarray(values, dtype=float)
+    n = len(values)
+    lower = np.empty(n)
+    upper = np.empty(n)
+    for i in range(n):
+        lo = max(0, i - radius)
+        hi = min(n, i + radius + 1)
+        lower[i] = values[lo:hi].min()
+        upper[i] = values[lo:hi].max()
+    return lower, upper
+
+
+class TestSlidingExtremes:
+    def test_radius_zero_is_identity(self):
+        values = [3.0, 1.0, 4.0, 1.0, 5.0]
+        assert sliding_max(values, 0).tolist() == values
+        assert sliding_min(values, 0).tolist() == values
+
+    def test_matches_naive_on_random_data(self):
+        rng = np.random.default_rng(31)
+        for radius in (0, 1, 2, 5, 20):
+            values = rng.normal(size=40)
+            lower, upper = keogh_envelope(values, radius)
+            ref_lower, ref_upper = naive_envelope(values, radius)
+            assert np.allclose(lower, ref_lower)
+            assert np.allclose(upper, ref_upper)
+
+    def test_radius_larger_than_input(self):
+        values = [2.0, 9.0, 4.0]
+        lower, upper = keogh_envelope(values, 100)
+        assert lower.tolist() == [2.0, 2.0, 2.0]
+        assert upper.tolist() == [9.0, 9.0, 9.0]
+
+    def test_single_point(self):
+        lower, upper = keogh_envelope([7.0], 3)
+        assert lower.tolist() == [7.0]
+        assert upper.tolist() == [7.0]
+
+    def test_envelope_contains_input(self):
+        rng = np.random.default_rng(33)
+        values = rng.normal(size=64)
+        for radius in (1, 3, 7):
+            lower, upper = keogh_envelope(values, radius)
+            assert (lower <= values).all()
+            assert (values <= upper).all()
+
+    def test_envelope_widens_with_radius(self):
+        rng = np.random.default_rng(34)
+        values = rng.normal(size=30)
+        l1, u1 = keogh_envelope(values, 1)
+        l4, u4 = keogh_envelope(values, 4)
+        assert (l4 <= l1).all()
+        assert (u4 >= u1).all()
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValidationError):
+            keogh_envelope([1.0], -1)
+        with pytest.raises(ValidationError):
+            sliding_max([1.0], -2)
+        with pytest.raises(ValidationError):
+            sliding_min([1.0], -2)

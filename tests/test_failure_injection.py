@@ -1,0 +1,201 @@
+"""Failure-injection tests: corrupted artifacts, hostile inputs, edge data.
+
+The demo runs as a long-lived server; these tests pin down how the
+library behaves when the world misbehaves — corrupted persisted bases,
+unparsable files, NaN-laden queries, and degenerate collections — always
+a typed error or a clean error response, never a crash or silent wrong
+answer.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig
+from repro.core.query import QueryProcessor
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.data.ucr_format import load_ucr_file
+from repro.exceptions import DatasetError, OnexError, ValidationError
+from repro.server.http import OnexHttpServer
+from repro.server.protocol import Request
+from repro.server.service import OnexService
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(161)
+    ds = TimeSeriesDataset.from_arrays(
+        [rng.normal(size=14).cumsum() for _ in range(3)], name="fi"
+    )
+    b = OnexBase(ds, BuildConfig(similarity_threshold=0.1, min_length=4, max_length=6))
+    b.build()
+    return b
+
+
+class TestCorruptedBaseFiles:
+    def test_truncated_npz(self, base, tmp_path):
+        path = tmp_path / "base.npz"
+        base.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(Exception):  # zipfile/numpy surface varies
+            OnexBase.load(path, base.raw_dataset)
+
+    def test_not_an_npz(self, base, tmp_path):
+        path = tmp_path / "base.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(Exception):
+            OnexBase.load(path, base.raw_dataset)
+
+    def test_missing_file(self, base, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            OnexBase.load(tmp_path / "ghost.npz", base.raw_dataset)
+
+    def test_meta_tampering_detected(self, base, tmp_path):
+        """A base saved from different data must refuse to attach."""
+        path = tmp_path / "base.npz"
+        base.save(path)
+        other = TimeSeriesDataset.from_arrays(
+            [np.arange(14.0) for _ in range(3)], name="fi"
+        )
+        with pytest.raises(DatasetError, match="does not match"):
+            OnexBase.load(path, other)
+
+
+class TestHostileQueries:
+    def test_nan_query_rejected(self, base):
+        processor = QueryProcessor(base)
+        with pytest.raises(ValidationError, match="NaN"):
+            processor.best_match([0.1, float("nan"), 0.3])
+
+    def test_empty_query_rejected(self, base):
+        with pytest.raises(ValidationError):
+            QueryProcessor(base).best_match([])
+
+    def test_2d_query_rejected(self, base):
+        with pytest.raises(ValidationError):
+            QueryProcessor(base).best_match([[0.1, 0.2], [0.3, 0.4]])
+
+    def test_inf_threshold_rejected(self, base):
+        with pytest.raises(ValidationError):
+            QueryProcessor(base).matches_within([0.1, 0.2], float("-inf"))
+
+    def test_extreme_values_still_answer(self, base):
+        """Huge finite values normalise and answer without overflow."""
+        match = QueryProcessor(base).best_match([1e12, 2e12, 3e12, 2e12])
+        assert np.isfinite(match.distance)
+
+
+class TestHostileFiles:
+    def test_binary_garbage_ucr(self, tmp_path):
+        path = tmp_path / "garbage.txt"
+        path.write_bytes(bytes(range(256)))
+        with pytest.raises((DatasetError, UnicodeDecodeError)):
+            load_ucr_file(path)
+
+    def test_all_nan_line(self, tmp_path):
+        path = tmp_path / "nan.txt"
+        path.write_text("1,NaN,NaN,NaN\n")
+        with pytest.raises(DatasetError):
+            load_ucr_file(path)
+
+
+class TestServiceRobustness:
+    def test_wrong_param_types_become_errors(self):
+        svc = OnexService()
+        resp = svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "matters", "years": "twelve"},
+            )
+        )
+        assert not resp.ok
+        assert resp.error_type == "ValueError"
+
+    def test_query_against_unloaded_dataset(self):
+        svc = OnexService()
+        resp = svc.handle(
+            Request("best_match", {"dataset": "ghost", "query": [1.0, 2.0]})
+        )
+        assert not resp.ok
+        assert resp.error_type == "DatasetError"
+
+    def test_nan_query_over_protocol(self):
+        svc = OnexService()
+        svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 4},
+            )
+        )
+        resp = svc.handle(
+            Request(
+                "best_match",
+                {"dataset": "ElectricityLoad-sim", "query": [1.0, float("nan")]},
+            )
+        )
+        assert not resp.ok
+        assert resp.error_type == "ValidationError"
+
+
+class TestHttpRobustness:
+    @pytest.fixture(scope="class")
+    def server(self):
+        with OnexHttpServer(OnexService()) as srv:
+            yield srv
+
+    def test_empty_body(self, server):
+        req = urllib.request.Request(f"{server.url}/api", data=b"")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_non_json_body(self, server):
+        req = urllib.request.Request(f"{server.url}/api", data=b"\x00\xff binary")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_json_array_body(self, server):
+        req = urllib.request.Request(f"{server.url}/api", data=b"[1, 2, 3]")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "ProtocolError"
+
+
+class TestDegenerateCollections:
+    def test_single_point_series_excluded_from_lengths(self):
+        ds = TimeSeriesDataset(
+            [TimeSeries("long", np.arange(10.0)), TimeSeries("dot", [1.0])]
+        )
+        base = OnexBase(
+            ds, BuildConfig(similarity_threshold=0.1, min_length=4, max_length=5)
+        )
+        stats = base.build()  # the 1-point series simply contributes nothing
+        assert stats.subsequences == (10 - 4 + 1) + (10 - 5 + 1)
+
+    def test_constant_collection(self):
+        ds = TimeSeriesDataset([TimeSeries("flat", np.full(12, 7.0))])
+        base = OnexBase(
+            ds, BuildConfig(similarity_threshold=0.1, min_length=4, max_length=5)
+        )
+        stats = base.build()
+        assert stats.groups == 2  # one group per length; all windows equal
+        match = QueryProcessor(base).best_match([7.0, 7.0, 7.0, 7.0])
+        assert match.distance == pytest.approx(0.0)
+
+    def test_two_point_series(self):
+        ds = TimeSeriesDataset([TimeSeries("tiny", [1.0, 2.0])])
+        base = OnexBase(
+            ds, BuildConfig(similarity_threshold=0.5, min_length=2, max_length=2)
+        )
+        base.build()
+        match = QueryProcessor(base).best_match([1.0, 2.0])
+        assert match.length == 2

@@ -1,0 +1,116 @@
+"""End-to-end tests of the HTTP JSON API (client/server architecture, §4)."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+
+
+@pytest.fixture(scope="module")
+def server():
+    svc = OnexService()
+    with OnexHttpServer(svc) as srv:
+        yield srv
+
+
+def post(server, payload):
+    data = json.dumps(payload).encode()
+    req = urllib.request.Request(
+        f"{server.url}/api", data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=30) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestHttpApi:
+    def test_health(self, server):
+        status, payload = get(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+    def test_full_analyst_session(self, server):
+        """Load -> overview -> brush -> similarity search over HTTP."""
+        status, payload = post(
+            server,
+            {
+                "op": "load_dataset",
+                "params": {
+                    "source": "matters",
+                    "similarity_threshold": 0.08,
+                    "min_length": 4,
+                    "max_length": 5,
+                    "years": 10,
+                    "min_years": 6,
+                },
+            },
+        )
+        assert status == 200
+        assert payload["ok"], payload
+        assert payload["result"]["compaction_ratio"] > 1.0
+
+        status, payload = post(
+            server, {"op": "overview", "params": {"dataset": "MATTERS-sim", "limit": 3}}
+        )
+        assert payload["ok"]
+        assert payload["result"]["groups"]
+
+        status, payload = post(
+            server,
+            {
+                "op": "best_match",
+                "params": {
+                    "dataset": "MATTERS-sim",
+                    "query": {"series": "MA/GrowthRate", "start": 0, "length": 5},
+                },
+            },
+        )
+        assert payload["ok"], payload
+        assert payload["result"]["view"] == "similarity"
+        assert payload["result"]["connectors"]
+
+    def test_health_reports_loaded_datasets(self, server):
+        status, payload = get(server, "/health")
+        assert "MATTERS-sim" in payload["datasets"]
+
+    def test_application_error_is_200_ok_false(self, server):
+        status, payload = post(
+            server, {"op": "describe", "params": {"dataset": "ghost"}}
+        )
+        assert status == 200
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "DatasetError"
+
+    def test_malformed_envelope_is_400(self, server):
+        data = json.dumps({"op": "no_such_op"}).encode()
+        req = urllib.request.Request(f"{server.url}/api", data=data)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["error"]["type"] == "ProtocolError"
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{server.url}/nope", timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_post_wrong_path_404(self, server):
+        req = urllib.request.Request(f"{server.url}/elsewhere", data=b"{}")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req, timeout=30)
+        assert excinfo.value.code == 404
+
+    def test_stop_idempotent(self):
+        srv = OnexHttpServer(OnexService())
+        srv.start()
+        srv.stop()
+        srv.stop()  # second stop must be a no-op

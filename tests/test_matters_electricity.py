@@ -1,0 +1,122 @@
+"""Unit tests for the simulated MATTERS and ElectricityLoad collections."""
+
+import numpy as np
+import pytest
+
+from repro.data.electricity import build_electricity_collection
+from repro.data.matters import (
+    DEFAULT_INDICATORS,
+    STATE_ABBREVIATIONS,
+    build_matters_collection,
+)
+from repro.exceptions import ValidationError
+
+
+class TestMatters:
+    def test_default_shape(self):
+        ds = build_matters_collection(seed=1)
+        assert len(ds) == 50 * len(DEFAULT_INDICATORS)
+        assert "MA/GrowthRate" in ds
+
+    def test_metadata_populated(self):
+        ds = build_matters_collection(seed=1)
+        ts = ds["MA/GrowthRate"]
+        assert ts.metadata["state"] == "MA"
+        assert ts.metadata["indicator"] == "GrowthRate"
+        assert isinstance(ts.metadata["start_year"], int)
+
+    def test_variable_lengths(self):
+        ds = build_matters_collection(years=25, min_years=8, seed=2)
+        lengths = {len(s) for s in ds}
+        assert len(lengths) > 1
+        assert min(lengths) >= 8
+        assert max(lengths) <= 25
+
+    def test_deterministic(self):
+        a = build_matters_collection(seed=9)
+        b = build_matters_collection(seed=9)
+        assert np.array_equal(a["CA/TaxRate"].values, b["CA/TaxRate"].values)
+
+    def test_indicator_scales_differ(self):
+        ds = build_matters_collection(seed=3)
+        growth = ds["MA/GrowthRate"].values
+        unemployment = ds["MA/Unemployment"].values
+        assert abs(unemployment.mean()) > 100 * abs(growth.mean())
+        assert unemployment.mean() > 0, "unemployment counts should stay positive"
+
+    def test_cluster_states_more_similar(self):
+        """States sharing an archetype cluster track each other."""
+        ds = build_matters_collection(seed=4)
+        by_cluster = {}
+        for state in STATE_ABBREVIATIONS:
+            ts = ds[f"{state}/GrowthRate"]
+            by_cluster.setdefault(ts.metadata["cluster"], []).append(ts)
+        clusters = [g for g in by_cluster.values() if len(g) >= 2]
+        assert clusters, "expected at least one cluster with two states"
+        a, b = clusters[0][0], clusters[0][1]
+        n = min(len(a), len(b))
+        r = np.corrcoef(a.values[-n:], b.values[-n:])[0, 1]
+        assert r > 0.5
+
+    def test_indicator_subset(self):
+        ds = build_matters_collection(indicators=("GrowthRate",), seed=1)
+        assert len(ds) == 50
+
+    def test_unknown_indicator_rejected(self):
+        with pytest.raises(ValidationError, match="unknown indicators"):
+            build_matters_collection(indicators=("GDPish",))
+
+    def test_bad_years_rejected(self):
+        with pytest.raises(ValidationError):
+            build_matters_collection(years=2)
+        with pytest.raises(ValidationError):
+            build_matters_collection(years=10, min_years=11)
+
+
+class TestElectricity:
+    def test_default_shape(self):
+        ds = build_electricity_collection(seed=5)
+        assert len(ds) == 8
+        assert all(len(s) == 365 for s in ds)
+
+    def test_pattern_starts_recorded(self):
+        ds = build_electricity_collection(pattern_repeats=4, seed=6)
+        for series in ds:
+            starts = series.metadata["pattern_starts"]
+            assert 1 <= len(starts) <= 4
+            for s in starts:
+                assert 0 <= s <= 365 - series.metadata["pattern_length"]
+
+    def test_pattern_occurrences_similar(self):
+        ds = build_electricity_collection(households=1, seed=7)
+        series = ds[0]
+        length = series.metadata["pattern_length"]
+        starts = series.metadata["pattern_starts"]
+        assert len(starts) >= 2
+        windows = [series.values[s : s + length] for s in starts]
+        windows = [w - w.mean() for w in windows]
+        base = windows[0]
+        for w in windows[1:]:
+            r = np.corrcoef(base, w)[0, 1]
+            assert r > 0.6
+
+    def test_seasonality_present(self):
+        ds = build_electricity_collection(households=1, noise=0.01, seed=8)
+        values = ds[0].values
+        # Winter (Jan) consumption above summer (Jul) for the cosine profile.
+        assert values[:30].mean() > values[180:210].mean()
+
+    def test_deterministic(self):
+        a = build_electricity_collection(seed=9)
+        b = build_electricity_collection(seed=9)
+        assert np.array_equal(a[0].values, b[0].values)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            build_electricity_collection(households=0)
+        with pytest.raises(ValidationError):
+            build_electricity_collection(days=10)
+        with pytest.raises(ValidationError):
+            build_electricity_collection(pattern_length=200, pattern_repeats=4)
+        with pytest.raises(ValidationError):
+            build_electricity_collection(pattern_repeats=0)

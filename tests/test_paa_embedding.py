@@ -1,0 +1,159 @@
+"""Unit tests for the PAA index and embedding searcher baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.embedding import EmbeddingSearcher
+from repro.baselines.paa_index import PaaIndex, paa_transform
+from repro.data.dataset import TimeSeriesDataset
+from repro.distances.dtw import dtw_path
+from repro.exceptions import ValidationError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(131)
+    ds = TimeSeriesDataset.from_arrays(
+        [rng.normal(size=n).cumsum() for n in (30, 24, 28)], name="paa"
+    )
+    return ds.normalized()
+
+
+class TestPaaTransform:
+    def test_even_segments_are_chunk_means(self):
+        values = np.arange(8.0)
+        feats = paa_transform(values, 4)
+        assert feats.tolist() == [0.5, 2.5, 4.5, 6.5]
+
+    def test_uneven_segments(self):
+        feats = paa_transform(np.arange(10.0), 3)
+        assert feats.shape == (3,)
+
+    def test_single_segment_is_mean(self):
+        values = np.array([1.0, 3.0, 8.0])
+        assert paa_transform(values, 1)[0] == pytest.approx(values.mean())
+
+    def test_too_many_segments(self):
+        with pytest.raises(ValidationError):
+            paa_transform(np.arange(3.0), 4)
+
+
+class TestPaaIndex:
+    def test_lower_bound_property(self, dataset):
+        """PAA feature distance never exceeds true ED (GEMINI lemma)."""
+        rng = np.random.default_rng(132)
+        index = PaaIndex(dataset, 10, segments=5)
+        for _ in range(10):
+            q = rng.uniform(size=10)
+            bounds = index.feature_lower_bound(paa_transform(q, 5))
+            for k, ref in enumerate(index._refs):
+                true = np.sqrt(((dataset.values(ref) - q) ** 2).sum())
+                assert bounds[k] <= true + 1e-9
+
+    def test_best_match_is_exact_under_ed(self, dataset):
+        rng = np.random.default_rng(133)
+        index = PaaIndex(dataset, 8)
+        for _ in range(5):
+            q = rng.uniform(size=8)
+            match = index.best_match(q)
+            true_best = min(
+                np.sqrt(((dataset.values(ref) - q) ** 2).sum())
+                for ref in dataset.iter_subsequences(8)
+            )
+            assert match.distance == pytest.approx(true_best)
+
+    def test_range_query_complete_and_sound(self, dataset):
+        rng = np.random.default_rng(134)
+        index = PaaIndex(dataset, 8, segments=4)
+        q = rng.uniform(size=8)
+        radius = 0.6
+        got = {m.ref for m in index.range_query(q, radius)}
+        expected = {
+            ref
+            for ref in dataset.iter_subsequences(8)
+            if np.sqrt(((dataset.values(ref) - q) ** 2).sum()) <= radius
+        }
+        assert got == expected
+
+    def test_filtering_happens(self, dataset):
+        index = PaaIndex(dataset, 10, segments=5)
+        q = dataset.values(next(iter(dataset.iter_subsequences(10))))
+        index.best_match(q)
+        assert index.last_stats.verified < index.size
+
+    def test_self_query(self, dataset):
+        index = PaaIndex(dataset, 10)
+        ref = next(iter(dataset.iter_subsequences(10)))
+        match = index.best_match(dataset.values(ref))
+        assert match.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValidationError):
+            PaaIndex(TimeSeriesDataset(), 8)
+        with pytest.raises(ValidationError):
+            PaaIndex(dataset, 1)
+        with pytest.raises(ValidationError):
+            PaaIndex(dataset, 8, segments=0)
+        with pytest.raises(ValidationError):
+            PaaIndex(dataset, 500)
+        index = PaaIndex(dataset, 8)
+        with pytest.raises(ValidationError, match="query length"):
+            index.best_match(np.arange(5.0))
+        with pytest.raises(ValidationError):
+            index.range_query(np.arange(8.0), -1.0)
+
+
+class TestEmbeddingSearcher:
+    def test_self_query_found(self, dataset):
+        searcher = EmbeddingSearcher(
+            dataset, [8], references=6, verify_fraction=0.2, seed=1
+        )
+        ref = next(iter(dataset.iter_subsequences(8)))
+        match = searcher.best_match(dataset.values(ref))
+        assert match.distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_reasonable_retrieval_quality(self, dataset):
+        """Verified-fraction search should come close to the true best."""
+        rng = np.random.default_rng(135)
+        searcher = EmbeddingSearcher(
+            dataset, [8], references=8, verify_fraction=0.3, seed=2
+        )
+        regrets = []
+        for _ in range(5):
+            q = rng.uniform(size=8)
+            match = searcher.best_match(q)
+            true_best = min(
+                dtw_path(q, dataset.values(ref)).normalized_distance
+                for ref in dataset.iter_subsequences(8)
+            )
+            assert match.distance >= true_best - 1e-12
+            regrets.append(match.distance - true_best)
+        assert np.mean(regrets) < 0.1
+
+    def test_verifies_only_fraction(self, dataset):
+        searcher = EmbeddingSearcher(
+            dataset, [8], references=4, verify_fraction=0.1, seed=3
+        )
+        searcher.best_match(np.linspace(0, 1, 8))
+        stats = searcher.last_stats
+        assert stats.verified <= max(1, int(np.ceil(0.1 * searcher.size)))
+        assert stats.candidates == searcher.size
+
+    def test_multiple_lengths_indexed(self, dataset):
+        searcher = EmbeddingSearcher(
+            dataset, [6, 8], references=4, verify_fraction=0.2, seed=4
+        )
+        expected = sum(
+            len(list(dataset.iter_subsequences(n))) for n in (6, 8)
+        )
+        assert searcher.size == expected
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValidationError):
+            EmbeddingSearcher(TimeSeriesDataset(), [8])
+        with pytest.raises(ValidationError):
+            EmbeddingSearcher(dataset, [8], references=0)
+        with pytest.raises(ValidationError):
+            EmbeddingSearcher(dataset, [8], verify_fraction=0.0)
+        with pytest.raises(ValidationError):
+            EmbeddingSearcher(dataset, [999])

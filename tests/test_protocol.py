@@ -1,0 +1,76 @@
+"""Unit tests for repro.server.protocol."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.server.protocol import OPERATIONS, Request, Response
+
+
+class TestRequest:
+    def test_round_trip(self):
+        req = Request("best_match", {"dataset": "d", "query": [1.0]})
+        parsed = Request.from_json(req.to_json())
+        assert parsed == req
+
+    def test_unknown_operation(self):
+        with pytest.raises(ProtocolError, match="unknown operation"):
+            Request("explode", {})
+
+    def test_missing_params(self):
+        with pytest.raises(ProtocolError, match="missing params"):
+            Request("best_match", {"dataset": "d"})
+
+    def test_all_operations_constructible(self):
+        for op, required in OPERATIONS.items():
+            req = Request(op, {name: 1 for name in required})
+            assert req.op == op
+
+    def test_from_json_invalid(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            Request.from_json("{nope")
+
+    def test_from_dict_not_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            Request.from_dict([1, 2])
+
+    def test_missing_op(self):
+        with pytest.raises(ProtocolError, match="missing 'op'"):
+            Request.from_dict({"params": {}})
+
+    def test_bad_params_type(self):
+        with pytest.raises(ProtocolError, match="'params'"):
+            Request.from_dict({"op": "list_datasets", "params": [1]})
+
+    def test_extra_fields_rejected(self):
+        with pytest.raises(ProtocolError, match="unexpected"):
+            Request.from_dict({"op": "list_datasets", "params": {}, "x": 1})
+
+    def test_default_params(self):
+        req = Request.from_dict({"op": "list_datasets"})
+        assert req.params == {}
+
+
+class TestResponse:
+    def test_success_round_trip(self):
+        resp = Response.success({"answer": 42})
+        parsed = Response.from_json(resp.to_json())
+        assert parsed.ok
+        assert parsed.result == {"answer": 42}
+
+    def test_failure_round_trip(self):
+        resp = Response.failure(ValueError("boom"))
+        parsed = Response.from_json(resp.to_json())
+        assert not parsed.ok
+        assert parsed.error_type == "ValueError"
+        assert parsed.error_message == "boom"
+
+    def test_failure_dict_shape(self):
+        payload = Response.failure(KeyError("k")).to_dict()
+        assert payload["ok"] is False
+        assert payload["error"]["type"] == "KeyError"
+
+    def test_from_json_invalid(self):
+        with pytest.raises(ProtocolError):
+            Response.from_json("][")
+        with pytest.raises(ProtocolError):
+            Response.from_json("[1]")

@@ -1,0 +1,111 @@
+"""Contract tests for the public API surface.
+
+A downstream user's view of the library is ``repro.__all__`` and the
+subpackage ``__all__`` lists; these tests pin that surface: every
+advertised name resolves, everything callable is documented, and the
+README's example scripts actually exist.
+"""
+
+import importlib
+import inspect
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.analytics",
+    "repro.baselines",
+    "repro.core",
+    "repro.data",
+    "repro.distances",
+    "repro.server",
+    "repro.viz",
+]
+
+
+class TestTopLevel:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ advertises missing {name}"
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_key_entry_points_exported(self):
+        for name in (
+            "OnexEngine",
+            "OnexBase",
+            "QueryProcessor",
+            "BuildConfig",
+            "QueryConfig",
+            "TimeSeries",
+            "TimeSeriesDataset",
+            "UcrSuiteSearcher",
+            "SpringMatcher",
+            "KnnClassifier",
+            "kmedoids",
+            "similarity_profile",
+            "find_seasonal_patterns",
+            "recommend_thresholds",
+            "build_matters_collection",
+            "build_electricity_collection",
+        ):
+            assert name in repro.__all__, f"{name} missing from repro.__all__"
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_resolves_and_is_sorted(self, module_name):
+        module = importlib.import_module(module_name)
+        assert hasattr(module, "__all__"), f"{module_name} lacks __all__"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+        assert list(module.__all__) == sorted(module.__all__), (
+            f"{module_name}.__all__ is not sorted"
+        )
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_objects_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{module_name}.{name} lacks a docstring"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_module_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestRepositoryLayout:
+    def test_readme_examples_exist(self):
+        root = Path(repro.__file__).resolve().parents[2]
+        readme = (root / "README.md").read_text()
+        examples_dir = root / "examples"
+        referenced = {
+            line.split("examples/")[1].split()[0]
+            for line in readme.splitlines()
+            if "python examples/" in line
+        }
+        assert referenced, "README should reference example scripts"
+        for name in referenced:
+            assert (examples_dir / name).exists(), f"README references missing {name}"
+
+    def test_design_and_experiments_present(self):
+        root = Path(repro.__file__).resolve().parents[2]
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "README.md"):
+            text = (root / doc).read_text()
+            assert len(text) > 1000, f"{doc} looks unexpectedly thin"
+
+    def test_every_benchmark_maps_to_design_index(self):
+        root = Path(repro.__file__).resolve().parents[2]
+        design = (root / "DESIGN.md").read_text()
+        for bench in sorted((root / "benchmarks").glob("bench_*.py")):
+            assert bench.name in design, (
+                f"{bench.name} not referenced in DESIGN.md's experiment index"
+            )

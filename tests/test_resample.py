@@ -1,0 +1,89 @@
+"""Unit tests for repro.data.resample."""
+
+import numpy as np
+import pytest
+
+from repro.data.resample import (
+    detrend_moving_average,
+    moving_average,
+    resample_linear,
+)
+from repro.exceptions import ValidationError
+
+
+class TestResampleLinear:
+    def test_identity_when_length_matches(self):
+        values = np.array([1.0, 3.0, 2.0])
+        assert np.allclose(resample_linear(values, 3), values)
+
+    def test_endpoints_preserved(self):
+        values = np.array([4.0, 7.0, 1.0, 9.0])
+        for length in (2, 5, 11):
+            out = resample_linear(values, length)
+            assert out[0] == 4.0
+            assert out[-1] == 9.0
+            assert out.shape == (length,)
+
+    def test_upsampling_linear_between_points(self):
+        out = resample_linear([0.0, 2.0], 5)
+        assert np.allclose(out, [0.0, 0.5, 1.0, 1.5, 2.0])
+
+    def test_single_input_point(self):
+        assert resample_linear([3.0], 4).tolist() == [3.0] * 4
+
+    def test_length_one_output(self):
+        assert resample_linear([1.0, 5.0], 1).tolist() == [1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            resample_linear([1.0], 0)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self):
+        values = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(moving_average(values, 1), values)
+
+    def test_flat_input_unchanged(self):
+        values = np.full(10, 4.0)
+        assert np.allclose(moving_average(values, 5), 4.0)
+
+    def test_interior_matches_numpy_convolve(self):
+        rng = np.random.default_rng(191)
+        values = rng.normal(size=50)
+        window = 7
+        out = moving_average(values, window)
+        ref = np.convolve(values, np.ones(window) / window, mode="valid")
+        # Interior points (full windows) must match exactly.
+        assert np.allclose(out[3:-3], ref)
+
+    def test_edges_use_truncated_windows(self):
+        values = np.array([0.0, 10.0, 20.0])
+        out = moving_average(values, 3)
+        assert out[0] == pytest.approx(5.0)  # mean of first two
+        assert out[1] == pytest.approx(10.0)
+        assert out[2] == pytest.approx(15.0)
+
+    def test_window_larger_than_series(self):
+        values = np.array([2.0, 4.0])
+        out = moving_average(values, 99)
+        assert np.allclose(out, 3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            moving_average([1.0], 0)
+
+
+class TestDetrend:
+    def test_removes_slow_trend(self):
+        t = np.arange(200.0)
+        slow = 0.1 * t
+        fast = np.sin(2 * np.pi * t / 10.0)
+        out = detrend_moving_average(slow + fast, 30)
+        # The oscillation survives, the trend is (mostly) gone.
+        interior = out[30:-30]
+        assert abs(np.polyfit(np.arange(interior.size), interior, 1)[0]) < 0.01
+        assert interior.std() > 0.5
+
+    def test_flat_input_maps_to_zero(self):
+        assert np.allclose(detrend_moving_average(np.full(20, 9.0), 5), 0.0)

@@ -1,0 +1,125 @@
+"""Unit and integration tests for repro.core.sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig
+from repro.core.query import QueryProcessor
+from repro.core.sensitivity import (
+    SensitivityPoint,
+    similarity_profile,
+)
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.dtw import dtw_path
+from repro.exceptions import ValidationError
+
+GRID = (0.01, 0.03, 0.05, 0.1, 0.2)
+
+
+@pytest.fixture(scope="module")
+def base():
+    rng = np.random.default_rng(151)
+    dataset = TimeSeriesDataset.from_arrays(
+        [rng.normal(size=n).cumsum() for n in (24, 20, 22)], name="sens"
+    )
+    b = OnexBase(
+        dataset, BuildConfig(similarity_threshold=0.1, min_length=5, max_length=7)
+    )
+    b.build()
+    return b
+
+
+def exact_counts(base, q, grid):
+    distances = []
+    for length in base.lengths:
+        for ref in base.dataset.iter_subsequences(length):
+            distances.append(
+                dtw_path(q, base.dataset.values(ref)).normalized_distance
+            )
+    distances = np.array(distances)
+    return [int((distances <= st).sum()) for st in grid]
+
+
+class TestBounds:
+    def test_certain_below_exact_below_possible(self, base):
+        rng = np.random.default_rng(152)
+        q = rng.uniform(size=6)
+        profile = similarity_profile(base, q, GRID, normalize=False)
+        truth = exact_counts(base, q, GRID)
+        for point, exact in zip(profile.points, truth):
+            assert point.certain <= exact <= point.possible
+
+    def test_verified_counts_are_exact(self, base):
+        rng = np.random.default_rng(153)
+        q = rng.uniform(size=6)
+        profile = similarity_profile(base, q, GRID, normalize=False, verify=True)
+        truth = exact_counts(base, q, GRID)
+        assert [p.exact for p in profile.points] == truth
+
+    def test_counts_monotone_in_threshold(self, base):
+        q = SubsequenceRef(0, 0, 6)
+        profile = similarity_profile(base, q, GRID)
+        certains = [p.certain for p in profile.points]
+        possibles = [p.possible for p in profile.points]
+        assert certains == sorted(certains)
+        assert possibles == sorted(possibles)
+
+    def test_candidates_counts_all_members(self, base):
+        q = SubsequenceRef(0, 0, 6)
+        profile = similarity_profile(base, q, GRID)
+        total = sum(bucket.member_count for bucket in base.buckets())
+        assert profile.candidates == total
+
+    def test_lengths_restriction(self, base):
+        q = SubsequenceRef(0, 0, 6)
+        profile = similarity_profile(base, q, GRID, lengths=[5])
+        assert profile.candidates == base.bucket(5).member_count
+
+    def test_self_query_certain_at_loose_threshold(self, base):
+        """The query itself is an indexed member: upper bound 0 at its ref."""
+        q = SubsequenceRef(1, 2, 6)
+        profile = similarity_profile(base, q, (0.2,), verify=True)
+        assert profile.points[0].exact >= 1
+
+
+class TestProfileApi:
+    def test_as_dict_shape(self, base):
+        profile = similarity_profile(base, SubsequenceRef(0, 0, 5), GRID)
+        payload = profile.as_dict()
+        assert payload["view"] == "sensitivity"
+        assert len(payload["certain"]) == len(GRID)
+        assert payload["knee"] in GRID
+
+    def test_knee_is_biggest_jump(self, base):
+        profile = similarity_profile(base, SubsequenceRef(0, 0, 5), GRID)
+        counts = [0] + [p.certain for p in profile.points]
+        jumps = np.diff(counts)
+        assert profile.knee() == GRID[int(np.argmax(jumps))]
+
+    def test_grid_is_sorted_deduplicated_output(self, base):
+        profile = similarity_profile(base, SubsequenceRef(0, 0, 5), (0.2, 0.05))
+        assert profile.thresholds == (0.05, 0.2)
+
+    def test_point_invariants_enforced(self):
+        with pytest.raises(ValidationError):
+            SensitivityPoint(threshold=0.1, certain=5, possible=3)
+        with pytest.raises(ValidationError):
+            SensitivityPoint(threshold=0.1, certain=1, possible=3, exact=4)
+
+    def test_invalid_grid(self, base):
+        with pytest.raises(ValidationError):
+            similarity_profile(base, SubsequenceRef(0, 0, 5), ())
+        with pytest.raises(ValidationError):
+            similarity_profile(base, SubsequenceRef(0, 0, 5), (0.0, 0.1))
+
+
+class TestConsistencyWithQueryProcessor:
+    def test_certain_counts_match_matches_within(self, base):
+        """matches_within returns exactly the verified exact count."""
+        q = SubsequenceRef(2, 1, 6)
+        st = 0.05
+        profile = similarity_profile(base, q, (st,), verify=True)
+        processor = QueryProcessor(base)
+        found = processor.matches_within(q, st)
+        assert profile.points[0].exact == len(found)

@@ -1,0 +1,262 @@
+"""Integration tests for repro.server.service (the demo's backend)."""
+
+import pytest
+
+from repro.server.protocol import Request
+from repro.server.service import OnexService
+
+
+@pytest.fixture(scope="module")
+def service():
+    svc = OnexService()
+    resp = svc.handle(
+        Request(
+            "load_dataset",
+            {
+                "source": "matters",
+                "similarity_threshold": 0.08,
+                "min_length": 4,
+                "max_length": 6,
+                "years": 12,
+                "min_years": 8,
+            },
+        )
+    )
+    assert resp.ok, resp.error_message
+    return svc
+
+
+class TestLoading:
+    def test_load_reports_compaction(self, service):
+        resp = service.handle(Request("list_datasets"))
+        assert resp.ok
+        assert resp.result["datasets"] == ["MATTERS-sim"]
+
+    def test_load_electricity(self):
+        svc = OnexService()
+        resp = svc.handle(
+            Request(
+                "load_dataset",
+                {
+                    "source": "electricity",
+                    "households": 2,
+                    "similarity_threshold": 0.06,
+                    "min_length": 4,
+                    "max_length": 5,
+                },
+            )
+        )
+        assert resp.ok
+        assert resp.result["dataset"] == "ElectricityLoad-sim"
+        assert resp.result["compaction_ratio"] > 1.0
+
+    def test_load_ucr_file(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("1,0.5,0.6,0.7,0.8,0.9,1.0\n2,0.9,0.8,0.7,0.6,0.5,0.4\n")
+        svc = OnexService()
+        resp = svc.handle(
+            Request(
+                "load_dataset",
+                {"source": f"ucr:{path}", "similarity_threshold": 0.1,
+                 "min_length": 3, "max_length": 4},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["series"] == 2
+
+    def test_unknown_source(self):
+        svc = OnexService()
+        resp = svc.handle(Request("load_dataset", {"source": "nasdaq"}))
+        assert not resp.ok
+        assert resp.error_type == "ProtocolError"
+
+    def test_unload(self):
+        svc = OnexService()
+        svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 4},
+            )
+        )
+        resp = svc.handle(Request("unload_dataset", {"dataset": "ElectricityLoad-sim"}))
+        assert resp.ok
+        assert svc.handle(Request("list_datasets")).result["datasets"] == []
+
+
+class TestExploration:
+    def test_describe(self, service):
+        resp = service.handle(Request("describe", {"dataset": "MATTERS-sim"}))
+        assert resp.ok
+        assert resp.result["series"] == 250
+        assert resp.result["groups"] > 0
+        assert "MA/GrowthRate" in resp.result["series_names"]
+
+    def test_overview(self, service):
+        resp = service.handle(
+            Request("overview", {"dataset": "MATTERS-sim", "limit": 5})
+        )
+        assert resp.ok
+        assert resp.result["view"] == "overview"
+        assert 1 <= len(resp.result["groups"]) <= 5
+        assert resp.result["groups"][0]["intensity"] == 1.0
+
+    def test_query_preview(self, service):
+        resp = service.handle(
+            Request(
+                "query_preview",
+                {"dataset": "MATTERS-sim", "series": "MA/GrowthRate",
+                 "start": 0, "length": 5},
+            )
+        )
+        assert resp.ok
+        assert resp.result["brush"] == {"start": 0, "length": 5}
+        assert len(resp.result["selection"]) == 5
+
+    def test_best_match_with_brushed_query(self, service):
+        resp = service.handle(
+            Request(
+                "best_match",
+                {
+                    "dataset": "MATTERS-sim",
+                    "query": {"series": "MA/GrowthRate", "start": 0, "length": 5},
+                },
+            )
+        )
+        assert resp.ok, resp.error_message
+        payload = resp.result
+        assert payload["view"] == "similarity"
+        assert payload["distance"] >= 0
+        assert payload["connectors"]
+        assert len(payload["query"]) == 5
+
+    def test_best_match_with_raw_values(self, service):
+        resp = service.handle(
+            Request(
+                "best_match",
+                {"dataset": "MATTERS-sim", "query": [1.0, 1.5, 2.0, 2.5]},
+            )
+        )
+        assert resp.ok
+        assert resp.result["match_series"]
+
+    def test_k_best(self, service):
+        resp = service.handle(
+            Request(
+                "k_best",
+                {
+                    "dataset": "MATTERS-sim",
+                    "query": {"series": "CA/GrowthRate", "start": 0, "length": 5},
+                    "k": 3,
+                },
+            )
+        )
+        assert resp.ok
+        matches = resp.result["matches"]
+        assert len(matches) == 3
+        dists = [m["distance"] for m in matches]
+        assert dists == sorted(dists)
+
+    def test_matches_within(self, service):
+        resp = service.handle(
+            Request(
+                "matches_within",
+                {
+                    "dataset": "MATTERS-sim",
+                    "query": {"series": "NY/GrowthRate", "start": 0, "length": 5},
+                    "threshold": 0.03,
+                },
+            )
+        )
+        assert resp.ok
+        for m in resp.result["matches"]:
+            assert m["distance"] <= 0.03 + 1e-12
+
+    def test_seasonal(self, service):
+        resp = service.handle(
+            Request(
+                "seasonal",
+                {"dataset": "MATTERS-sim", "series": "MA/GrowthRate",
+                 "length": 4, "threshold": 0.08, "step": 1},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["view"] == "seasonal"
+
+    def test_thresholds(self, service):
+        resp = service.handle(Request("thresholds", {"dataset": "MATTERS-sim", "length": 5}))
+        assert resp.ok
+        assert resp.result["default"] > 0
+
+    def test_sensitivity(self, service):
+        resp = service.handle(
+            Request(
+                "sensitivity",
+                {
+                    "dataset": "MATTERS-sim",
+                    "query": {"series": "MA/GrowthRate", "start": 0, "length": 5},
+                    "thresholds": [0.02, 0.05, 0.1],
+                    "verify": True,
+                },
+            )
+        )
+        assert resp.ok, resp.error_message
+        payload = resp.result
+        assert payload["view"] == "sensitivity"
+        assert len(payload["certain"]) == 3
+        for certain, exact, possible in zip(
+            payload["certain"], payload["exact"], payload["possible"]
+        ):
+            assert certain <= exact <= possible
+
+    def test_add_series_then_query(self):
+        svc = OnexService()
+        svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 5},
+            )
+        )
+        resp = svc.handle(
+            Request(
+                "add_series",
+                {"dataset": "ElectricityLoad-sim", "name": "late-arrival",
+                 "values": [12.0, 13.5, 11.0, 12.5, 14.0, 13.0]},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["windows"] == (6 - 4 + 1) + (6 - 5 + 1)
+        match = svc.handle(
+            Request(
+                "best_match",
+                {"dataset": "ElectricityLoad-sim",
+                 "query": {"series": "late-arrival", "start": 0, "length": 5}},
+            )
+        )
+        assert match.ok
+        # Fast mode (the service default) guarantees a match within the
+        # similarity threshold for an indexed query, not exactness.
+        assert match.result["distance"] <= 0.1
+
+    def test_save_base(self, service, tmp_path):
+        path = tmp_path / "matters-base.npz"
+        resp = service.handle(
+            Request("save_base", {"dataset": "MATTERS-sim", "path": str(path)})
+        )
+        assert resp.ok, resp.error_message
+        assert path.exists()
+
+    def test_engine_error_becomes_response(self, service):
+        resp = service.handle(Request("describe", {"dataset": "missing"}))
+        assert not resp.ok
+        assert resp.error_type == "DatasetError"
+
+    def test_handle_raw_json(self, service):
+        resp = service.handle('{"op": "list_datasets"}')
+        assert resp.ok
+
+    def test_handle_malformed_json(self, service):
+        resp = service.handle("{broken")
+        assert not resp.ok
+        assert resp.error_type == "ProtocolError"

@@ -1,0 +1,133 @@
+"""Unit tests for the SPRING stream monitor (reference [7])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.spring import SpringMatch, SpringMatcher
+from repro.distances.dtw import dtw_distance
+from repro.exceptions import ValidationError
+
+
+def subsequence_dtw_best(pattern, stream):
+    """Brute force: the minimum DTW over all stream subsequences."""
+    best = (math.inf, None, None)
+    n = len(stream)
+    for s in range(n):
+        for e in range(s, n):
+            d = dtw_distance(pattern, stream[s : e + 1])
+            if d < best[0]:
+                best = (d, s, e)
+    return best
+
+
+class TestDetection:
+    def test_verbatim_occurrence_found(self):
+        pattern = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        stream = np.concatenate([np.full(10, 5.0), pattern, np.full(10, 5.0)])
+        matcher = SpringMatcher(pattern, epsilon=0.5)
+        matches = matcher.extend(stream) + matcher.finish()
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.distance == pytest.approx(0.0)
+        assert (match.start, match.end) == (10, 14)
+
+    def test_match_distance_is_true_subsequence_dtw(self):
+        rng = np.random.default_rng(181)
+        pattern = np.sin(np.arange(8.0))
+        noise = rng.normal(scale=3.0, size=30)
+        stream = np.concatenate([noise[:15], pattern + 0.01, noise[15:]])
+        matcher = SpringMatcher(pattern, epsilon=1.0)
+        matches = matcher.extend(stream) + matcher.finish()
+        assert matches
+        for match in matches:
+            true = dtw_distance(pattern, stream[match.start : match.end + 1])
+            assert match.distance == pytest.approx(true)
+
+    def test_multiple_occurrences_reported_separately(self):
+        pattern = np.array([0.0, 2.0, 4.0, 2.0, 0.0])
+        gap = np.full(12, 10.0)
+        stream = np.concatenate([gap, pattern, gap, pattern, gap])
+        matcher = SpringMatcher(pattern, epsilon=0.5)
+        matches = matcher.extend(stream) + matcher.finish()
+        assert len(matches) == 2
+        assert matches[0].end < matches[1].start  # non-overlapping
+
+    def test_warped_occurrence_found(self):
+        pattern = np.array([0.0, 1.0, 3.0, 1.0, 0.0])
+        warped = np.array([0.0, 1.0, 1.0, 3.0, 3.0, 1.0, 0.0])  # stretched
+        stream = np.concatenate([np.full(8, 9.0), warped, np.full(8, 9.0)])
+        matcher = SpringMatcher(pattern, epsilon=0.5)
+        matches = matcher.extend(stream) + matcher.finish()
+        assert len(matches) == 1
+        assert matches[0].distance == pytest.approx(0.0)
+        assert matches[0].length == 7
+
+    def test_no_match_in_hostile_noise(self):
+        rng = np.random.default_rng(182)
+        pattern = np.zeros(6)
+        stream = rng.uniform(5.0, 10.0, size=50)
+        matcher = SpringMatcher(pattern, epsilon=0.1)
+        assert matcher.extend(stream) + matcher.finish() == []
+
+    def test_agrees_with_brute_force_optimum(self):
+        rng = np.random.default_rng(183)
+        pattern = rng.normal(size=5).cumsum()
+        stream = np.concatenate(
+            [rng.normal(size=10).cumsum() + 4.0, pattern, rng.normal(size=10)]
+        )
+        best_dist, best_s, best_e = subsequence_dtw_best(pattern, stream)
+        matcher = SpringMatcher(pattern, epsilon=best_dist + 0.25)
+        matches = matcher.extend(stream) + matcher.finish()
+        assert matches
+        top = min(matches, key=lambda m: m.distance)
+        assert top.distance == pytest.approx(best_dist)
+        assert (top.start, top.end) == (best_s, best_e)
+
+
+class TestStreamingBehaviour:
+    def test_incremental_vs_bulk_identical(self):
+        rng = np.random.default_rng(184)
+        pattern = np.sin(np.arange(6.0))
+        stream = rng.normal(size=60)
+        a = SpringMatcher(pattern, epsilon=2.0)
+        bulk = a.extend(stream) + a.finish()
+        b = SpringMatcher(pattern, epsilon=2.0)
+        incremental = []
+        for v in stream:
+            incremental.extend(b.append(float(v)))
+        incremental.extend(b.finish())
+        assert bulk == incremental
+
+    def test_samples_seen(self):
+        matcher = SpringMatcher([0.0, 1.0], epsilon=1.0)
+        assert matcher.samples_seen == 0
+        matcher.append(1.0)
+        matcher.append(2.0)
+        assert matcher.samples_seen == 2
+
+    def test_finish_idempotent(self):
+        pattern = np.array([0.0, 1.0, 0.0])
+        matcher = SpringMatcher(pattern, epsilon=0.5)
+        matcher.extend(np.concatenate([np.full(5, 9.0), pattern]))
+        first = matcher.finish()
+        assert len(first) == 1
+        assert matcher.finish() == []
+
+
+class TestValidation:
+    def test_short_pattern_rejected(self):
+        with pytest.raises(ValidationError):
+            SpringMatcher([1.0], epsilon=1.0)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValidationError):
+            SpringMatcher([1.0, 2.0], epsilon=0.0)
+        with pytest.raises(ValidationError):
+            SpringMatcher([1.0, 2.0], epsilon=math.inf)
+
+    def test_nonfinite_sample_rejected(self):
+        matcher = SpringMatcher([1.0, 2.0], epsilon=1.0)
+        with pytest.raises(ValidationError):
+            matcher.append(float("nan"))

@@ -1,0 +1,105 @@
+"""Unit tests for repro.data.timeseries."""
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import ValidationError
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = TimeSeries("ma", [1.0, 2.0, 3.0])
+        assert ts.name == "ma"
+        assert len(ts) == 3
+        assert ts.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_values_are_read_only(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        with pytest.raises(ValueError):
+            ts.values[0] = 9.0
+
+    def test_defensive_copy_of_input(self):
+        source = np.array([1.0, 2.0])
+        ts = TimeSeries("x", source)
+        source[0] = 99.0
+        assert ts.values[0] == 1.0
+
+    def test_metadata_is_read_only_mapping(self):
+        ts = TimeSeries("x", [1.0], metadata={"state": "MA"})
+        assert ts.metadata["state"] == "MA"
+        with pytest.raises(TypeError):
+            ts.metadata["state"] = "NY"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValidationError, match="name"):
+            TimeSeries("", [1.0])
+
+    def test_rejects_non_string_name(self):
+        with pytest.raises(ValidationError, match="name"):
+            TimeSeries(7, [1.0])
+
+    def test_rejects_empty_values(self):
+        with pytest.raises(ValidationError, match="non-empty"):
+            TimeSeries("x", [])
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            TimeSeries("x", [1.0, np.nan])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            TimeSeries("x", [[1.0], [2.0]])
+
+
+class TestSubsequence:
+    def test_returns_window(self):
+        ts = TimeSeries("x", [0.0, 1.0, 2.0, 3.0, 4.0])
+        assert ts.subsequence(1, 3).tolist() == [1.0, 2.0, 3.0]
+
+    def test_full_series(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        assert ts.subsequence(0, 2).tolist() == [1.0, 2.0]
+
+    def test_out_of_range_start(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        with pytest.raises(ValidationError, match="outside"):
+            ts.subsequence(2, 1)
+
+    def test_window_past_end(self):
+        ts = TimeSeries("x", [1.0, 2.0, 3.0])
+        with pytest.raises(ValidationError, match="outside"):
+            ts.subsequence(2, 2)
+
+    def test_negative_start(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        with pytest.raises(ValidationError):
+            ts.subsequence(-1, 1)
+
+    def test_zero_length(self):
+        ts = TimeSeries("x", [1.0, 2.0])
+        with pytest.raises(ValidationError, match="positive"):
+            ts.subsequence(0, 0)
+
+
+class TestEqualityAndCopy:
+    def test_equality(self):
+        a = TimeSeries("x", [1.0, 2.0])
+        b = TimeSeries("x", [1.0, 2.0])
+        c = TimeSeries("x", [1.0, 3.0])
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_inequality_different_name(self):
+        assert TimeSeries("x", [1.0]) != TimeSeries("y", [1.0])
+
+    def test_with_values_keeps_name_and_metadata(self):
+        ts = TimeSeries("x", [1.0, 2.0], metadata={"k": 1})
+        out = ts.with_values([5.0, 6.0])
+        assert out.name == "x"
+        assert out.metadata["k"] == 1
+        assert out.values.tolist() == [5.0, 6.0]
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(TimeSeries("x", [1.0]))

