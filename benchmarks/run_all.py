@@ -1,0 +1,136 @@
+"""Machine-readable performance snapshot for the perf trajectory.
+
+``python benchmarks/run_all.py --quick`` runs a small, deterministic
+subset of the E1/E5 measurements directly (no pytest) and prints one
+JSON document: base-construction time, per-query latency of the batched
+and legacy member-refinement paths, the UCR Suite baseline, and the
+cross-check that both refinement paths return the same best match.  The
+full pytest-benchmark suite remains the authoritative record
+(``pytest benchmarks/``); this entry point exists so CI and scripts can
+track the headline numbers cheaply across PRs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.baselines.ucr_suite import UcrSuiteSearcher
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+
+QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1}
+FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3}
+
+
+def _timed(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run(config: dict) -> dict:
+    dataset = build_matters_collection(
+        indicators=("GrowthRate",),
+        states=STATE_ABBREVIATIONS[: config["states"]],
+        years=config["years"],
+        min_years=max(10, config["years"] - 6),
+        seed=5,
+    )
+    base = OnexBase(
+        dataset, BuildConfig(similarity_threshold=0.2, min_length=5, max_length=8)
+    )
+    build_seconds = _timed(base.build, config["repeats"])
+
+    rng = np.random.default_rng(55)
+    queries = [rng.uniform(size=6) for _ in range(config["queries"])]
+    batched = QueryProcessor(base, QueryConfig(mode="exact"))
+    legacy = QueryProcessor(
+        base, QueryConfig(mode="exact", use_member_batching=False)
+    )
+    fast = QueryProcessor(base, QueryConfig(mode="fast", refine_groups=1))
+    ucr = UcrSuiteSearcher(base.dataset)
+
+    results_batched = [batched.best_match(q, normalize=False) for q in queries]
+    results_legacy = [legacy.best_match(q, normalize=False) for q in queries]
+    identical = all(
+        got.ref == want.ref and abs(got.distance - want.distance) < 1e-9
+        for got, want in zip(results_batched, results_legacy)
+    )
+
+    t_batched = _timed(
+        lambda: [batched.best_match(q, normalize=False) for q in queries],
+        config["repeats"],
+    )
+    t_legacy = _timed(
+        lambda: [legacy.best_match(q, normalize=False) for q in queries],
+        config["repeats"],
+    )
+    t_fast = _timed(
+        lambda: [fast.best_match(q, normalize=False) for q in queries],
+        config["repeats"],
+    )
+    t_ucr = _timed(
+        lambda: [ucr.best_match(q) for q in queries], config["repeats"]
+    )
+
+    return {
+        "config": config,
+        "base": {
+            "series": len(dataset),
+            "subsequences": base.stats.subsequences,
+            "groups": base.stats.groups,
+            "compaction_ratio": round(base.stats.compaction_ratio, 2),
+            "build_seconds": round(build_seconds, 4),
+        },
+        "query_seconds": {
+            "onex_exact_batched": round(t_batched, 4),
+            "onex_exact_legacy": round(t_legacy, 4),
+            "onex_fast": round(t_fast, 4),
+            "ucr_suite": round(t_ucr, 4),
+        },
+        "speedups": {
+            "batched_vs_legacy": round(t_legacy / t_batched, 2),
+            "fast_vs_ucr": round(t_ucr / t_fast, 2),
+        },
+        "refinement_paths_identical": identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="tiny configuration for CI smoke runs (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="also write the JSON here"
+    )
+    args = parser.parse_args(argv)
+
+    report = run(QUICK if args.quick else FULL)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+    if not report["refinement_paths_identical"]:
+        print("ERROR: batched and legacy refinement disagree", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

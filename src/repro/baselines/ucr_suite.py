@@ -183,6 +183,14 @@ class UcrSuiteSearcher:
                     cb = breach * breach
                 suffix = np.zeros(m + 1)
                 suffix[:m] = np.cumsum(cb[::-1])[::-1]
+                # A path cell in row i may sit as far right as column
+                # i + radius, whose breach term is then already inside the
+                # cumulative cost; only terms beyond the band are certainly
+                # unpaid, so shift the suffix by the radius (the original's
+                # ``cb[i + r + 1]``).  Unshifted suffixes double-count and
+                # can abandon the true nearest neighbour.
+                if radius:
+                    suffix = suffix[np.minimum(m, np.arange(m + 1) + radius)]
                 sq = dtw_distance_early_abandon(
                     q,
                     c,

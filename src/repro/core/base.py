@@ -50,10 +50,20 @@ class LengthBucket:
 
     Keeps the group centroids stacked in one matrix so the query processor
     can evaluate cheap bounds against every representative of a length in
-    a single vectorised operation.
+    a single vectorised operation.  The member *values* are stacked the
+    same way: ``member_matrix`` holds every member of every group as one
+    2-D array, ``member_offsets[g] : member_offsets[g + 1]`` delimiting
+    group ``g``'s rows (ordered as ``groups[g].members``).  This is what
+    lets the query processor refine a whole group — lower-bound cascade
+    and batched DTW — without resolving members one at a time.
     """
 
-    def __init__(self, length: int, groups: list[SimilarityGroup]) -> None:
+    def __init__(
+        self,
+        length: int,
+        groups: list[SimilarityGroup],
+        member_matrix: np.ndarray | None = None,
+    ) -> None:
         self.length = length
         self.groups = groups
         if groups:
@@ -64,6 +74,16 @@ class LengthBucket:
             self.centroids = np.empty((0, length))
             self.ed_radii = np.empty(0)
             self.cheb_radii = np.empty(0)
+        self.member_offsets = np.cumsum(
+            [0] + [g.cardinality for g in groups], dtype=np.int64
+        )
+        if member_matrix is not None:
+            expected = (int(self.member_offsets[-1]), length)
+            if member_matrix.shape != expected:
+                raise ValidationError(
+                    f"member matrix shape {member_matrix.shape} != {expected}"
+                )
+        self.member_matrix = member_matrix
 
     @property
     def group_count(self) -> int:
@@ -71,7 +91,26 @@ class LengthBucket:
 
     @property
     def member_count(self) -> int:
-        return sum(g.cardinality for g in self.groups)
+        return int(self.member_offsets[-1])
+
+    def member_rows(self, g_idx: int) -> np.ndarray:
+        """Values of group *g_idx*'s members as a 2-D slice (no copy)."""
+        if self.member_matrix is None:
+            raise NotBuiltError("member matrix not attached to this bucket")
+        lo, hi = self.member_offsets[g_idx], self.member_offsets[g_idx + 1]
+        return self.member_matrix[lo:hi]
+
+    def ensure_member_matrix(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Build (once) and return the stacked member-value matrix."""
+        if self.member_matrix is None:
+            matrix = np.empty((self.member_count, self.length), dtype=np.float64)
+            row = 0
+            for group in self.groups:
+                for ref in group.members:
+                    matrix[row] = dataset.values(ref)
+                    row += 1
+            self.member_matrix = matrix
+        return self.member_matrix
 
 
 class OnexBase:
@@ -103,7 +142,11 @@ class OnexBase:
             if not refs:
                 continue
             groups = cluster_subsequences(matrix, refs, cfg.group_radius)
-            bucket = LengthBucket(length, groups)
+            # Gather every group's member values from the already-stacked
+            # subsequence matrix into the bucket's refinement matrix.
+            row_of = {ref: k for k, ref in enumerate(refs)}
+            member_rows = [row_of[m] for g in groups for m in g.members]
+            bucket = LengthBucket(length, groups, matrix[member_rows])
             self._buckets[length] = bucket
             total_subsequences += len(refs)
             total_groups += bucket.group_count
@@ -289,6 +332,10 @@ class OnexBase:
                     )
                     centroids = np.vstack([centroids, row[None, :]])
                     created += 1
+            # Leave the member matrix unset: rebuilding it here would
+            # re-gather every existing member on each add_series call.
+            # The first consumer (query refinement or save) builds it
+            # once via ensure_member_matrix.
             self._buckets[length] = LengthBucket(length, groups)
 
         old = self.stats
@@ -312,8 +359,13 @@ class OnexBase:
     def save(self, path) -> None:
         """Serialise the built base to a single ``.npz`` file.
 
-        Stores config, group centroids, radii, and member handles — not the
-        dataset itself; :meth:`load` re-attaches to an equal dataset.
+        Stores config, group centroids, radii, member handles, and the
+        stacked per-length member-value matrices (``len{n}_member_matrix``,
+        rows ordered group by group as ``len{n}_offsets`` delimits) so a
+        loaded base can refine groups batched without re-gathering values.
+        The dataset itself is not stored; :meth:`load` re-attaches to an
+        equal dataset and rebuilds the matrices when loading an archive
+        from before they were persisted.
         """
         self._require_built()
         path = Path(path)
@@ -350,6 +402,9 @@ class OnexBase:
                 offsets.append(len(members))
             payload[f"{prefix}_members"] = np.array(members, dtype=np.int64)
             payload[f"{prefix}_offsets"] = np.array(offsets, dtype=np.int64)
+            payload[f"{prefix}_member_matrix"] = bucket.ensure_member_matrix(
+                self._dataset
+            )
         np.savez_compressed(path, **payload)
 
     @classmethod
@@ -404,7 +459,13 @@ class OnexBase:
                             cheb_radius=float(cheb_radii[g]),
                         )
                     )
-                base._buckets[int(length)] = LengthBucket(int(length), groups)
+                matrix_key = f"{prefix}_member_matrix"
+                member_matrix = (
+                    archive[matrix_key] if matrix_key in archive.files else None
+                )
+                bucket = LengthBucket(int(length), groups, member_matrix)
+                bucket.ensure_member_matrix(base._dataset)
+                base._buckets[int(length)] = bucket
         stats = meta["stats"]
         base._stats = BaseStats(
             subsequences=stats["subsequences"],

@@ -82,6 +82,12 @@ class QueryConfig:
         (ablation E9 switches this off).
     use_group_pruning:
         Toggle the transfer-inequality group pruning (ablation E9).
+    use_member_batching:
+        Refine group members through the vectorised lower-bound cascade
+        and batched DTW kernel (the default).  ``False`` falls back to the
+        legacy one-member-at-a-time scan with scalar early-abandon DTW —
+        kept for ablation benchmarks and the exactness cross-check; both
+        paths return identical matches.
     """
 
     mode: str = "fast"
@@ -89,6 +95,7 @@ class QueryConfig:
     window: int | None = None
     use_lower_bounds: bool = True
     use_group_pruning: bool = True
+    use_member_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):

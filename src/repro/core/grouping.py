@@ -109,6 +109,11 @@ class _CentroidTable:
     def __len__(self) -> int:
         return self._count
 
+    @property
+    def matrix(self) -> np.ndarray:
+        """The live centroid rows (view; do not mutate)."""
+        return self._matrix[: self._count]
+
     def append(self, centroid: np.ndarray) -> None:
         if self._count == self._capacity:
             self._capacity *= 2
@@ -130,6 +135,17 @@ class _CentroidTable:
         return idx, float(dists[idx])
 
 
+#: Rows per assignment block in the online scan.  Per block, the distance
+#: of every row to every existing centroid is evaluated in one vectorised
+#: operation instead of one ``nearest`` call per row.
+_ASSIGN_BLOCK = 128
+
+#: Centroid columns per chunk of the block distance evaluation; bounds the
+#: 3-D temporary at block × chunk × length so it stays cache-resident
+#: instead of streaming a block × table × length array through memory.
+_CHUNK_COLS = 128
+
+
 def _online_scan(
     matrix: np.ndarray,
     refs: list[SubsequenceRef],
@@ -137,19 +153,71 @@ def _online_scan(
     group_radius: float,
     length: int,
 ) -> list[_DraftGroup]:
-    """One pass of the paper's online clustering over the given rows."""
+    """One mini-batched pass of the paper's online clustering.
+
+    Rows are processed in blocks of ``_ASSIGN_BLOCK``: every row's
+    distance to every existing centroid is evaluated in one
+    (column-chunked) vectorised operation against the table *as of block
+    start*, rows within the radius of their nearest centroid join that
+    group, and centroid moves are applied once at block end.  Rows no
+    existing group can absorb fall through to a sequential scan among the
+    block's own newborn groups (so near-duplicate rows in one block still
+    share a group, as in the row-at-a-time scan).
+
+    Assigning against a frozen table means a joining row may land in a
+    group whose centroid drifted earlier in the same block — the same
+    kind of drift the row-at-a-time scan accrues as members move each
+    centroid, just coarser-grained.  Strictness does not depend on it
+    either way: the repair pass in :func:`cluster_subsequences` evicts
+    and re-clusters any member outside the radius of its *final*
+    representative, so the published invariants hold exactly while the
+    assignment's distance work runs entirely through block-sized kernels
+    (two per block, instead of one whole-table scan per row).
+    """
     drafts: list[_DraftGroup] = []
     table = _CentroidTable(length)
-    for k in row_order:
-        row = matrix[k]
-        idx, dist = table.nearest(row)
-        if idx >= 0 and dist <= group_radius:
-            draft = drafts[idx]
-            draft.add(refs[k], int(k), row)
-            table.update(idx, draft.centroid)
+    order = np.asarray(row_order)
+    for b0 in range(0, order.shape[0], _ASSIGN_BLOCK):
+        block = order[b0 : b0 + _ASSIGN_BLOCK]
+        nb = block.shape[0]
+        brows = matrix[block]
+        g0 = len(table)
+        if g0:
+            dists = np.empty((nb, g0))
+            for c0 in range(0, g0, _CHUNK_COLS):
+                c1 = min(g0, c0 + _CHUNK_COLS)
+                dists[:, c0:c1] = np.abs(
+                    brows[:, None, :] - table.matrix[None, c0:c1, :]
+                ).mean(axis=2)
+            best_idx = np.argmin(dists, axis=1)
+            joins = dists[np.arange(nb), best_idx] <= group_radius
         else:
-            draft = _DraftGroup(length)
-            draft.add(refs[k], int(k), row)
+            best_idx = np.zeros(nb, dtype=np.int64)
+            joins = np.zeros(nb, dtype=bool)
+        new_table = _CentroidTable(length)
+        new_drafts: list[_DraftGroup] = []
+        moved: set[int] = set()
+        for bi in range(nb):
+            k = int(block[bi])
+            row = brows[bi]
+            if joins[bi]:
+                gi = int(best_idx[bi])
+                drafts[gi].add(refs[k], k, row)
+                moved.add(gi)
+                continue
+            idx, dist = new_table.nearest(row)
+            if idx >= 0 and dist <= group_radius:
+                draft = new_drafts[idx]
+                draft.add(refs[k], k, row)
+                new_table.update(idx, draft.centroid)
+            else:
+                draft = _DraftGroup(length)
+                draft.add(refs[k], k, row)
+                new_drafts.append(draft)
+                new_table.append(draft.centroid)
+        for gi in moved:
+            table.update(gi, drafts[gi].centroid)
+        for draft in new_drafts:
             drafts.append(draft)
             table.append(draft.centroid)
     return drafts

@@ -16,6 +16,29 @@ strategies are provided (:class:`repro.core.config.QueryConfig`):
     true DTW best match over all indexed subsequences, usually still far
     cheaper than a raw scan.
 
+**Member refinement** (both strategies, and the threshold query) runs a
+batched pruning cascade over each group's stacked member matrix
+(:attr:`repro.core.base.LengthBucket.member_matrix`), cheapest bound
+first:
+
+1. ``lb_kim_batch`` — constant-time endpoint bound, every member at once;
+2. ``lb_keogh_batch`` — envelope bound (equal-length candidates), with
+   the query envelope computed once per (length, window) and cached;
+3. ``dtw_distance_batch(..., with_path_length=True)`` — exact DTW for all
+   surviving members in one anti-diagonal dynamic program, with the
+   optimal warping-path length tracked alongside so normalised distances
+   need no traceback;
+4. ``dtw_path`` — warping-path traceback deferred to the handful of
+   matches actually returned to the caller.
+
+Every stage is provably result-preserving, so the cascade returns exactly
+the matches the legacy one-member-at-a-time scan
+(``QueryConfig(use_member_batching=False)``) returns — the ablation
+benchmarks cross-check this.  :class:`QueryStats` counts the work each
+stage actually performed: ``member_lb_prunes`` are members eliminated by
+stages 1–2 without any DTW, ``member_dtw_calls`` are members whose exact
+DTW was computed (stage 3 rows, or scalar DTW calls on the legacy path).
+
 Distances reported to callers are **normalised DTW** (cost divided by
 warping-path length), the unit in which ONEX similarity thresholds are
 expressed; ``raw_distance`` carries the unnormalised sum.
@@ -36,8 +59,10 @@ from repro.distances.dtw import (
     dtw_distance_batch,
     dtw_distance_early_abandon,
     dtw_path,
+    effective_band,
 )
-from repro.distances.lower_bounds import lb_kim
+from repro.distances.envelope import QueryEnvelopeCache
+from repro.distances.lower_bounds import lb_keogh_batch, lb_kim, lb_kim_batch
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import ValidationError
@@ -133,15 +158,16 @@ class QueryProcessor:
         q = self._resolve_query(query, normalize)
         buckets = self._select_buckets(lengths)
         stats = QueryStats()
+        envelopes = QueryEnvelopeCache(q)
         if self._config.mode == "fast":
-            heap = self._search_fast(q, buckets, k, stats)
+            heap = self._search_fast(q, buckets, k, stats, envelopes)
         else:
-            heap = self._search_exact(q, buckets, k, stats)
+            heap = self._search_exact(q, buckets, k, stats, envelopes)
         self.last_stats = stats
         if not heap:
             raise ValidationError("no indexed subsequences matched the query")
         candidates = sorted(wrapper.candidate for wrapper in heap)
-        return [self._to_match(c) for c in candidates]
+        return [self._to_match(c, q) for c in candidates]
 
     def matches_within(
         self, query, threshold: float, *, lengths=None, normalize: bool = True
@@ -157,6 +183,7 @@ class QueryProcessor:
         q = self._resolve_query(query, normalize)
         qlen = q.shape[0]
         stats = QueryStats()
+        envelopes = QueryEnvelopeCache(q)
         out: list[Match] = []
         for bucket in self._select_buckets(lengths):
             max_path = qlen + bucket.length - 1
@@ -171,39 +198,158 @@ class QueryProcessor:
                     stats.groups_pruned += 1
                     continue
                 stats.groups_refined += 1
-                raw_cut = threshold * max_path
-                for ref in group.members:
-                    stats.members_scanned += 1
-                    values = self._base.member_values(ref)
-                    raw = dtw_distance_early_abandon(
-                        q, values, raw_cut, window=self._config.window
-                    )
-                    if math.isinf(raw):
-                        stats.member_lb_prunes += 1
-                        continue
-                    stats.member_dtw_calls += 1
-                    res = dtw_path(q, values, window=self._config.window)
-                    if res.normalized_distance <= threshold:
-                        out.append(
-                            self._to_match(
-                                _Candidate(
-                                    distance=res.normalized_distance,
-                                    ref=ref,
-                                    raw=res.distance,
-                                    path=res.path,
-                                    group=(bucket.length, g_idx),
-                                )
-                            )
+                if self._config.use_member_batching:
+                    out.extend(
+                        self._threshold_refine_batched(
+                            q, bucket, g_idx, threshold, stats, envelopes
                         )
+                    )
+                else:
+                    out.extend(
+                        self._threshold_refine_scalar(
+                            q, bucket, g_idx, threshold, stats
+                        )
+                    )
         self.last_stats = stats
         return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    def _threshold_refine_scalar(
+        self, q, bucket, g_idx, threshold, stats
+    ) -> list[Match]:
+        """Legacy per-member threshold refinement (scalar early-abandon DTW)."""
+        group = bucket.groups[g_idx]
+        max_path = q.shape[0] + bucket.length - 1
+        raw_cut = threshold * max_path
+        out: list[Match] = []
+        for ref in group.members:
+            stats.members_scanned += 1
+            values = self._base.member_values(ref)
+            raw = dtw_distance_early_abandon(
+                q, values, raw_cut, window=self._config.window
+            )
+            if math.isinf(raw):
+                stats.member_lb_prunes += 1
+                continue
+            stats.member_dtw_calls += 1
+            res = dtw_path(q, values, window=self._config.window)
+            if res.normalized_distance <= threshold:
+                out.append(
+                    self._to_match(
+                        _Candidate(
+                            distance=res.normalized_distance,
+                            ref=ref,
+                            raw=res.distance,
+                            path=res.path,
+                            group=(bucket.length, g_idx),
+                        )
+                    )
+                )
+        return out
+
+    def _cascade_members(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        g_idx: int,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+        cut: float,
+        scale: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run the lower-bound cascade and batched DTW over one group.
+
+        A member is pruned when ``bound / scale > cut`` — the k-best path
+        passes the normalised-distance cutoff with ``scale = max_path``
+        (dividing the bound down is conservative in floats, so a tie the
+        legacy path kept is never over-pruned), the threshold path passes
+        its raw-cost cut with ``scale = 1``.  Returns ``(survivor_indices,
+        raw_distances, path_lengths)`` with counters updated for the work
+        performed.
+        """
+        cfg = self._config
+        bucket.ensure_member_matrix(self._base.dataset)
+        rows = bucket.member_rows(g_idx)
+        count = rows.shape[0]
+        stats.members_scanned += count
+        alive = np.ones(count, dtype=bool)
+        if cfg.use_lower_bounds and math.isfinite(cut):
+            alive &= lb_kim_batch(q, rows) / scale <= cut
+            idx = np.nonzero(alive)[0]
+            keogh = self._keogh_bounds(q, bucket, rows, idx, envelopes)
+            if keogh is not None:
+                alive[idx[keogh / scale > cut]] = False
+            stats.member_lb_prunes += count - int(alive.sum())
+        survivors = np.nonzero(alive)[0]
+        if not survivors.size:
+            return survivors, np.empty(0), np.empty(0, dtype=np.int64)
+        raws, plens = dtw_distance_batch(
+            q, rows[survivors], window=cfg.window, with_path_length=True
+        )
+        stats.member_dtw_calls += survivors.size
+        return survivors, raws, plens
+
+    def _threshold_refine_batched(
+        self, q, bucket, g_idx, threshold, stats, envelopes
+    ) -> list[Match]:
+        """Batched threshold refinement: LB cascade, then one DTW batch."""
+        refs = bucket.groups[g_idx].members
+        max_path = q.shape[0] + bucket.length - 1
+        raw_cut = threshold * max_path
+        survivors, raws, plens = self._cascade_members(
+            q, bucket, g_idx, stats, envelopes, cut=raw_cut, scale=1.0
+        )
+        out: list[Match] = []
+        for pos in np.nonzero(raws <= raw_cut)[0]:
+            normalized = raws[pos] / plens[pos]
+            if normalized <= threshold:
+                out.append(
+                    self._to_match(
+                        _Candidate(
+                            distance=float(normalized),
+                            ref=refs[survivors[pos]],
+                            raw=float(raws[pos]),
+                            path=None,
+                            group=(bucket.length, g_idx),
+                        ),
+                        q,
+                    )
+                )
+        return out
+
+    def _keogh_bounds(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        rows: np.ndarray,
+        idx: np.ndarray,
+        envelopes: QueryEnvelopeCache,
+    ) -> np.ndarray | None:
+        """LB_Keogh of the *idx* rows against the cached query envelope.
+
+        Returns ``None`` when the bound does not apply (candidate length
+        differs from the query's).  The envelope radius covers the
+        effective DTW band — the full length when DTW is unconstrained —
+        which is what makes the bound provable.
+        """
+        qlen = q.shape[0]
+        if qlen != bucket.length or not idx.size:
+            return None
+        band = effective_band(qlen, bucket.length, self._config.window)
+        radius = band if band is not None else bucket.length - 1
+        lower, upper = envelopes.get(radius)
+        return lb_keogh_batch(rows[idx], lower, upper)
 
     # ------------------------------------------------------------------
     # Search strategies
     # ------------------------------------------------------------------
 
     def _search_fast(
-        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
     ) -> list[_Negated]:
         cfg = self._config
         qlen = q.shape[0]
@@ -229,11 +375,16 @@ class QueryProcessor:
         for rank, (_, bucket, g_idx) in enumerate(ranked):
             if rank >= cfg.refine_groups and len(heap) >= k:
                 break
-            self._refine_group(q, bucket, g_idx, k, heap, stats)
+            self._refine_group(q, bucket, g_idx, k, heap, stats, envelopes)
         return heap
 
     def _search_exact(
-        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
     ) -> list[_Candidate]:
         cfg = self._config
         qlen = q.shape[0]
@@ -260,7 +411,7 @@ class QueryProcessor:
             if cfg.use_group_pruning and lower > cutoff:
                 stats.groups_pruned += 1
                 continue
-            self._refine_group(q, bucket, g_idx, k, heap, stats)
+            self._refine_group(q, bucket, g_idx, k, heap, stats, envelopes)
         return heap
 
     def _refine_group(
@@ -269,14 +420,86 @@ class QueryProcessor:
         bucket: LengthBucket,
         g_idx: int,
         k: int,
-        heap: list[_Candidate],
+        heap: list[_Negated],
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+    ) -> None:
+        stats.groups_refined += 1
+        if self._config.use_member_batching:
+            self._refine_group_batched(q, bucket, g_idx, k, heap, stats, envelopes)
+        else:
+            self._refine_group_scalar(q, bucket, g_idx, k, heap, stats)
+
+    def _refine_group_batched(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        g_idx: int,
+        k: int,
+        heap: list[_Negated],
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+    ) -> None:
+        """Refine one group through the vectorised pruning cascade.
+
+        Stages (cheapest first, each provably result-preserving): LB_Kim
+        over the whole member stack, LB_Keogh against the cached query
+        envelope, then exact batched DTW over the survivors with the
+        optimal warping-path length tracked alongside, so normalised
+        distances — bit-identical to ``dtw_path``'s — come out of the
+        batch and no per-member traceback runs at all.
+        """
+        refs = bucket.groups[g_idx].members
+        max_path = q.shape[0] + bucket.length - 1
+        cutoff = self._cutoff(heap, k)  # cascade never touches the heap
+        survivors, raws, plens = self._cascade_members(
+            q, bucket, g_idx, stats, envelopes, cut=cutoff, scale=max_path
+        )
+        if not survivors.size:
+            return
+
+        # Normalised distances come straight out of the batch kernel (the
+        # tracked path length makes them bit-identical to ``dtw_path``'s),
+        # so heap maintenance is pure comparisons; a candidate above the
+        # cutoff can never displace a heap entry and is skipped outright.
+        norms = raws / plens
+        viable = (
+            np.nonzero(norms <= cutoff)[0]
+            if math.isfinite(cutoff)
+            else np.arange(survivors.size)
+        )
+        for pos in viable:
+            candidate = _Candidate(
+                distance=float(norms[pos]),
+                ref=refs[survivors[pos]],
+                raw=float(raws[pos]),
+                path=None,
+                group=(bucket.length, g_idx),
+            )
+            if len(heap) < k:
+                heapq.heappush(heap, _Negated(candidate))
+            elif candidate < heap[0].candidate:
+                heapq.heapreplace(heap, _Negated(candidate))
+
+    def _refine_group_scalar(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        g_idx: int,
+        k: int,
+        heap: list[_Negated],
         stats: QueryStats,
     ) -> None:
+        """Legacy one-member-at-a-time refinement (scalar early-abandon DTW).
+
+        Kept as the cross-check twin of :meth:`_refine_group_batched` —
+        ablation benchmarks assert both return identical matches — and as
+        the reference implementation of the pre-cascade behaviour.
+        """
         cfg = self._config
         group = bucket.groups[g_idx]
         qlen = q.shape[0]
         max_path = qlen + bucket.length - 1
-        stats.groups_refined += 1
         for ref in group.members:
             stats.members_scanned += 1
             cutoff = self._cutoff(heap, k)
@@ -332,15 +555,22 @@ class QueryProcessor:
         chosen = sorted(set(int(n) for n in lengths))
         return [self._base.bucket(n) for n in chosen]
 
-    def _to_match(self, candidate) -> Match:
+    def _to_match(self, candidate, q: np.ndarray | None = None) -> Match:
         inner = candidate.candidate if isinstance(candidate, _Negated) else candidate
         series = self._base.dataset[inner.ref.series_index]
+        path = inner.path
+        if path is None:
+            # Batched refinement defers the warping-path traceback to the
+            # few matches actually returned; resolve it here.
+            path = dtw_path(
+                q, self._base.member_values(inner.ref), window=self._config.window
+            ).path
         return Match(
             ref=inner.ref,
             series_name=series.name,
             distance=inner.distance,
             raw_distance=inner.raw,
-            path=inner.path,
+            path=path,
             group=inner.group,
         )
 

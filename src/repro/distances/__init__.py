@@ -29,8 +29,14 @@ from repro.distances.dtw import (
     dtw_distance_early_abandon,
     dtw_path,
 )
-from repro.distances.envelope import keogh_envelope
-from repro.distances.lower_bounds import lb_cascade, lb_keogh, lb_kim
+from repro.distances.envelope import QueryEnvelopeCache, keogh_envelope
+from repro.distances.lower_bounds import (
+    lb_cascade,
+    lb_keogh,
+    lb_keogh_batch,
+    lb_kim,
+    lb_kim_batch,
+)
 from repro.distances.metrics import (
     chebyshev,
     euclidean,
@@ -53,6 +59,7 @@ from repro.distances.variants import (
 
 __all__ = [
     "DtwResult",
+    "QueryEnvelopeCache",
     "RunningStats",
     "TransferBound",
     "chebyshev",
@@ -71,7 +78,9 @@ __all__ = [
     "keogh_envelope",
     "lb_cascade",
     "lb_keogh",
+    "lb_keogh_batch",
     "lb_kim",
+    "lb_kim_batch",
     "minmax_normalize",
     "normalized_euclidean",
     "path_multiplicities",

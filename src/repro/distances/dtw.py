@@ -17,7 +17,9 @@ Three implementations are deliberately kept side by side:
   "matched points" connectors of Fig. 2 and the ED→DTW transfer bounds).
 - :func:`dtw_distance_early_abandon` — row-scan with a best-so-far
   threshold and optional cumulative lower bounds, used by the UCR Suite
-  baseline and by ONEX's in-group refinement.
+  baseline and kept as the scalar fallback of ONEX's member refinement
+  (the default batched cascade is LB_Kim → LB_Keogh → :func:`dtw_distance_batch`,
+  see :mod:`repro.core.query`).
 
 The row-scan and vectorised kernels are cross-checked against each other in
 the property-test suite.
@@ -146,7 +148,8 @@ def dtw_distance_batch(
     *,
     window: int | None = None,
     ground: str = "l1",
-) -> np.ndarray:
+    with_path_length: bool = False,
+) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
     """DTW from *x* to every row of *rows* in one vectorised dynamic program.
 
     Each anti-diagonal of the cost matrix depends only elementwise on the
@@ -155,13 +158,22 @@ def dtw_distance_batch(
     equal-length sequences (e.g. every group representative of a length in
     the ONEX base) costs ``n + m - 1`` vector operations total.  This is
     the kernel that makes "DTW over the compact base" interactive.
+
+    With ``with_path_length=True`` the kernel also tracks, per cell, the
+    length of the warping path :func:`dtw_path` would trace back — same
+    tie-breaking: diagonal, then vertical, then horizontal — and returns
+    ``(distances, path_lengths)``.  ``distances / path_lengths`` is then
+    bit-identical to ``dtw_path(...).normalized_distance`` without any
+    per-candidate traceback, which is what lets the ONEX member refinement
+    rank whole groups on normalised DTW in one batch.
     """
     a = as_sequence(x, name="x")
     mat = np.asarray(rows, dtype=np.float64)
     if mat.ndim != 2:
         raise ValidationError(f"rows must be 2-D, got shape {mat.shape}")
     if mat.shape[0] == 0:
-        return np.empty(0)
+        empty = np.empty(0)
+        return (empty, np.empty(0, dtype=np.int64)) if with_path_length else empty
     if mat.shape[1] == 0:
         raise ValidationError("rows must have at least one column")
     if not np.all(np.isfinite(mat)):
@@ -176,6 +188,11 @@ def dtw_distance_batch(
     prev = np.full((g, n), _INF)
     prevprev = np.full((g, n), _INF)
     pad = np.full((g, 1), _INF)
+    if with_path_length:
+        # Path lengths of the tie-broken optimal prefix path per cell.
+        plen_prev = np.zeros((g, n), dtype=np.int64)
+        plen_prevprev = np.zeros((g, n), dtype=np.int64)
+        plen_pad = np.zeros((g, 1), dtype=np.int64)
     for k in range(n + m - 1):
         i_lo = max(0, k - m + 1)
         i_hi = min(n - 1, k)
@@ -185,8 +202,12 @@ def dtw_distance_batch(
         d = d * d if squared else np.abs(d)
 
         cur = np.full((g, n), _INF)
+        if with_path_length:
+            plen_cur = np.zeros((g, n), dtype=np.int64)
         if k == 0:
             cur[:, 0] = d[:, 0]
+            if with_path_length:
+                plen_cur[:, 0] = 1
         else:
             if i_lo > 0:
                 up = prev[:, idx - 1]
@@ -197,11 +218,33 @@ def dtw_distance_batch(
             left = prev[:, idx]
             best = np.minimum(np.minimum(up, left), diag)
             cur[:, idx] = d + best
+            if with_path_length:
+                if i_lo > 0:
+                    lup = plen_prev[:, idx - 1]
+                    ldiag = plen_prevprev[:, idx - 1]
+                else:
+                    lup = np.concatenate([plen_pad, plen_prev[:, idx[1:] - 1]], axis=1)
+                    ldiag = np.concatenate(
+                        [plen_pad, plen_prevprev[:, idx[1:] - 1]], axis=1
+                    )
+                lleft = plen_prev[:, idx]
+                # Predecessor choice mirrors dtw_path's traceback order:
+                # diagonal wins ties, then vertical, then horizontal.
+                from_pred = np.where(
+                    (diag <= up) & (diag <= left),
+                    ldiag,
+                    np.where(up <= left, lup, lleft),
+                )
+                plen_cur[:, idx] = from_pred + 1
         if band is not None:
             outside = np.abs(idx - (k - idx)) > band
             if outside.any():
                 cur[:, idx[outside]] = _INF
         prevprev, prev = prev, cur
+        if with_path_length:
+            plen_prevprev, plen_prev = plen_prev, plen_cur
+    if with_path_length:
+        return prev[:, n - 1], plen_prev[:, n - 1]
     return prev[:, n - 1]
 
 
@@ -312,8 +355,12 @@ def dtw_distance_early_abandon(
             running = value
             if value < row_min:
                 row_min = value
+        # The bound applies on every row including the last: entry ``n``
+        # lower-bounds the cost still unpaid after the final row (zero for
+        # suffix-sum bounds, but callers may supply a tighter terminal
+        # bound and it must not be silently dropped).
         remaining = (
-            float(cumulative_bound[i + 1]) if cumulative_bound is not None and i + 1 < n else 0.0
+            float(cumulative_bound[i + 1]) if cumulative_bound is not None else 0.0
         )
         if row_min + remaining > threshold:
             return _INF

@@ -8,6 +8,11 @@ series using bounding envelopes" optimisation named in §3.3 of the paper.
 
 The sliding min/max uses the standard monotonic-deque algorithm
 (Lemire 2009), so building an envelope is O(n) regardless of the radius.
+
+:class:`QueryEnvelopeCache` memoises the envelopes of one fixed query by
+radius: the ONEX query processor needs one envelope per (bucket length,
+window) pair and reuses it across every group of that length, so each
+distinct radius is computed exactly once per query.
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import numpy as np
 from repro.distances.metrics import as_sequence
 from repro.exceptions import ValidationError
 
-__all__ = ["keogh_envelope", "sliding_max", "sliding_min"]
+__all__ = ["QueryEnvelopeCache", "keogh_envelope", "sliding_max", "sliding_min"]
 
 
 def _sliding_extreme(arr: np.ndarray, radius: int, *, take_max: bool) -> np.ndarray:
@@ -74,3 +79,35 @@ def keogh_envelope(values, radius: int) -> tuple[np.ndarray, np.ndarray]:
     return _sliding_extreme(arr, radius, take_max=False), _sliding_extreme(
         arr, radius, take_max=True
     )
+
+
+class QueryEnvelopeCache:
+    """Keogh envelopes of one fixed query, memoised by radius.
+
+    Answering a query against an ONEX base needs the query's envelope at
+    one radius per (candidate length, window) combination; this cache
+    computes each distinct radius once and hands back the same arrays on
+    every subsequent request.  The arrays are shared, not copied — callers
+    must treat them as read-only.
+    """
+
+    def __init__(self, query) -> None:
+        self._query = as_sequence(query, name="query")
+        self._by_radius: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def query(self) -> np.ndarray:
+        return self._query
+
+    def get(self, radius: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(lower, upper)`` envelope of the query at *radius* (cached)."""
+        radius = int(radius)
+        try:
+            return self._by_radius[radius]
+        except KeyError:
+            envelope = keogh_envelope(self._query, radius)
+            self._by_radius[radius] = envelope
+            return envelope
+
+    def __len__(self) -> int:
+        return len(self._by_radius)

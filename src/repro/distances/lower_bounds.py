@@ -7,6 +7,14 @@ exceeds the corresponding (banded) DTW distance, which the property-test
 suite checks exhaustively; pruning with them therefore never changes
 results, only speed.
 
+Scalar and batched forms are provided side by side: :func:`lb_kim` /
+:func:`lb_keogh` bound one candidate, while :func:`lb_kim_batch` /
+:func:`lb_keogh_batch` bound every row of a 2-D candidate stack in a
+handful of vector operations.  The batched forms are the first two stages
+of the ONEX member-refinement cascade (LB_Kim → LB_Keogh → batched DTW,
+see :mod:`repro.core.query`); each is cross-checked row-by-row against its
+scalar twin by the property-test suite.
+
 All bounds take a ``ground`` argument matching :mod:`repro.distances.dtw`:
 ``"l1"`` (ONEX convention) or ``"squared"`` (UCR convention).
 """
@@ -20,7 +28,14 @@ from repro.distances.envelope import keogh_envelope
 from repro.distances.metrics import as_sequence
 from repro.exceptions import ValidationError
 
-__all__ = ["lb_cascade", "lb_keogh", "lb_keogh_terms", "lb_kim"]
+__all__ = [
+    "lb_cascade",
+    "lb_keogh",
+    "lb_keogh_batch",
+    "lb_keogh_terms",
+    "lb_kim",
+    "lb_kim_batch",
+]
 
 
 def _cost(diff: np.ndarray, squared: bool) -> np.ndarray:
@@ -58,6 +73,51 @@ def lb_kim(x, y, *, ground: str = "l1") -> float:
     return float(bound)
 
 
+def _as_candidate_stack(rows) -> np.ndarray:
+    mat = np.asarray(rows, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValidationError(f"rows must be 2-D, got shape {mat.shape}")
+    if mat.shape[0] and mat.shape[1] == 0:
+        raise ValidationError("rows must have at least one column")
+    if not np.all(np.isfinite(mat)):
+        raise ValidationError("rows contain NaN or infinite values")
+    return mat
+
+
+def lb_kim_batch(x, rows, *, ground: str = "l1") -> np.ndarray:
+    """:func:`lb_kim` of *x* against every row of a 2-D stack at once.
+
+    Semantically identical to calling :func:`lb_kim` per row (the property
+    tests assert bitwise agreement) but evaluated with a constant number of
+    vector operations over the whole stack — the first, cheapest stage of
+    the batched member-refinement cascade.
+    """
+    a = as_sequence(x, name="x")
+    mat = _as_candidate_stack(rows)
+    if mat.shape[0] == 0:
+        return np.empty(0)
+    squared = _ground_is_squared(ground)
+
+    def d(u, v) -> np.ndarray:
+        diff = u - v
+        return diff * diff if squared else np.abs(diff)
+
+    bound = d(a[0], mat[:, 0])
+    n, m = a.shape[0], mat.shape[1]
+    if n > 1 or m > 1:
+        bound = bound + d(a[-1], mat[:, -1])
+    if n >= 3 and m >= 3 and (n >= 4 or m >= 4):
+        second = np.minimum(
+            np.minimum(d(a[1], mat[:, 0]), d(a[1], mat[:, 1])), d(a[0], mat[:, 1])
+        )
+        penult = np.minimum(
+            np.minimum(d(a[-2], mat[:, -1]), d(a[-2], mat[:, -2])),
+            d(a[-1], mat[:, -2]),
+        )
+        bound = bound + second + penult
+    return bound.astype(np.float64, copy=False)
+
+
 def lb_keogh_terms(candidate, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1") -> np.ndarray:
     """Per-point envelope breach costs (the summands of LB_Keogh).
 
@@ -87,6 +147,28 @@ def lb_keogh(candidate, lower: np.ndarray, upper: np.ndarray, *, ground: str = "
     ``lb_keogh(c, l, u) <= DTW_banded(q, c)``.
     """
     return float(lb_keogh_terms(candidate, lower, upper, ground=ground).sum())
+
+
+def lb_keogh_batch(rows, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1") -> np.ndarray:
+    """:func:`lb_keogh` of every row of a 2-D stack against one envelope.
+
+    *lower*/*upper* are the query's Keogh envelope (radius >= the DTW band
+    radius); every row must have the query's length.  Returns one bound per
+    row, each provably <= the banded DTW distance to the query — the second
+    stage of the batched member-refinement cascade.
+    """
+    mat = _as_candidate_stack(rows)
+    lo = np.asarray(lower, dtype=np.float64)
+    hi = np.asarray(upper, dtype=np.float64)
+    if mat.shape[0] == 0:
+        return np.empty(0)
+    if lo.shape != (mat.shape[1],) or hi.shape != (mat.shape[1],):
+        raise ValidationError(
+            "envelope and candidate lengths differ: "
+            f"{lo.shape[0]}/{hi.shape[0]} vs {mat.shape[1]}"
+        )
+    breach = np.where(mat > hi, mat - hi, np.where(mat < lo, lo - mat, 0.0))
+    return _cost(breach, _ground_is_squared(ground)).sum(axis=1)
 
 
 def lb_cascade(
