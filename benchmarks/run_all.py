@@ -1,11 +1,13 @@
 """Machine-readable performance snapshot for the perf trajectory.
 
 ``python benchmarks/run_all.py --quick`` runs a small, deterministic
-subset of the E1/E5 measurements directly (no pytest) and prints one
+subset of the E1/E5/E15 measurements directly (no pytest) and prints one
 JSON document: base-construction time, per-query latency of the batched
-and legacy member-refinement paths, the UCR Suite baseline, and the
-cross-check that both refinement paths return the same best match.  The
-full pytest-benchmark suite remains the authoritative record
+and legacy member-refinement paths, the UCR Suite baseline, the
+cross-check that both refinement paths return the same best match, and
+the streaming subsystem's sustained per-append cost vs rebuild-per-append
+with a monitor-exactness gate against brute-force SPRING.  The full
+pytest-benchmark suite remains the authoritative record
 (``pytest benchmarks/``); this entry point exists so CI and scripts can
 track the headline numbers cheaply across PRs.
 """
@@ -22,14 +24,16 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
+from repro.baselines.spring import SpringMatcher
 from repro.baselines.ucr_suite import UcrSuiteSearcher
 from repro.core.base import OnexBase
 from repro.core.config import BuildConfig, QueryConfig
 from repro.core.query import QueryProcessor
 from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+from repro.stream import StreamIngestor
 
-QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1}
-FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3}
+QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120}
+FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3, "appends": 600}
 
 
 def _timed(fn, repeats: int) -> float:
@@ -86,8 +90,11 @@ def run(config: dict) -> dict:
         lambda: [ucr.best_match(q) for q in queries], config["repeats"]
     )
 
+    stream_report = run_stream(config)
+
     return {
         "config": config,
+        "stream": stream_report,
         "base": {
             "series": len(dataset),
             "subsequences": base.stats.subsequences,
@@ -106,6 +113,61 @@ def run(config: dict) -> dict:
             "fast_vs_ucr": round(t_ucr / t_fast, 2),
         },
         "refinement_paths_identical": identical,
+    }
+
+
+def run_stream(config: dict) -> dict:
+    """E15 smoke: per-append ingest cost, rebuild ratio, monitor exactness."""
+    rng = np.random.default_rng(71)
+    arrays = [rng.normal(size=120).cumsum() for _ in range(4)]
+    build = dict(similarity_threshold=0.1, min_length=8, max_length=10)
+
+    def fresh_base() -> OnexBase:
+        from repro.data.dataset import TimeSeriesDataset
+
+        dataset = TimeSeriesDataset.from_arrays(
+            [a.copy() for a in arrays], name="stream-smoke"
+        )
+        base = OnexBase(dataset, BuildConfig(**build))
+        base.build()
+        return base
+
+    base = fresh_base()
+    rebuild_seconds = _timed(base.build, config["repeats"])
+
+    ingestor = StreamIngestor(base)
+    pattern = base.dataset[0].values[10:19]
+    epsilon = float(len(pattern) * 0.08)
+    ingestor.registry.register(pattern, epsilon, series="live")
+    appends = config["appends"]
+    # Half noise, half recurrences of a known series, exactly `appends`
+    # points regardless of the configured count.
+    motif = np.tile(arrays[0], -(-appends // arrays[0].shape[0]))
+    stream = np.concatenate(
+        [rng.normal(scale=0.1, size=appends // 2), motif]
+    )[:appends]
+
+    started = time.perf_counter()
+    events = []
+    for value in stream:
+        events += ingestor.append_points("live", [float(value)])["events"]
+    per_append = (time.perf_counter() - started) / appends
+
+    reference = SpringMatcher(pattern, epsilon)
+    want = reference.extend(base.dataset["live"].values)
+    got = [e for e in events if e["kind"] == "match"]
+    events_exact = [(e["start"], e["end"]) for e in got] == [
+        (w.start, w.end) for w in want
+    ] and all(abs(e["distance"] - w.distance) < 1e-9 for e, w in zip(got, want))
+
+    return {
+        "appends": appends,
+        "per_append_ms": round(per_append * 1e3, 4),
+        "rebuild_ms": round(rebuild_seconds * 1e3, 2),
+        "incremental_vs_rebuild": round(rebuild_seconds / per_append, 1),
+        "windows_indexed": ingestor.windows_indexed,
+        "monitor_events": len(events),
+        "events_exact_vs_brute_force_spring": events_exact,
     }
 
 
@@ -128,6 +190,12 @@ def main(argv: list[str] | None = None) -> int:
         args.output.write_text(text + "\n")
     if not report["refinement_paths_identical"]:
         print("ERROR: batched and legacy refinement disagree", file=sys.stderr)
+        return 1
+    if not report["stream"]["events_exact_vs_brute_force_spring"]:
+        print(
+            "ERROR: monitor events diverge from brute-force SPRING",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

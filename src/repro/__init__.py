@@ -61,6 +61,13 @@ from repro.exceptions import (
     ProtocolError,
     ValidationError,
 )
+from repro.stream import (
+    MonitorRegistry,
+    OnlineSpringMatcher,
+    PatternMonitor,
+    StreamEvent,
+    StreamIngestor,
+)
 
 __version__ = "1.0.0"
 
@@ -77,10 +84,13 @@ __all__ = [
     "DatasetError",
     "InvariantError",
     "Match",
+    "MonitorRegistry",
     "NotBuiltError",
     "OnexBase",
     "OnexEngine",
     "OnexError",
+    "OnlineSpringMatcher",
+    "PatternMonitor",
     "ProtocolError",
     "QueryConfig",
     "QueryProcessor",
@@ -88,6 +98,8 @@ __all__ = [
     "SeasonalPattern",
     "SensitivityProfile",
     "SimilarityGroup",
+    "StreamEvent",
+    "StreamIngestor",
     "SubsequenceRef",
     "ThresholdRecommendation",
     "TimeSeries",

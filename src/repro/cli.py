@@ -8,6 +8,8 @@ operations so everything the HTTP API offers is scriptable:
 - ``seasonal`` — recurring patterns within one series.
 - ``thresholds`` — data-driven similarity-threshold suggestions.
 - ``sensitivity`` — match-count curve across candidate thresholds.
+- ``stream`` — replay a series as a live stream against a standing
+  pattern monitor (the streaming subsystem end to end).
 - ``serve`` — run the HTTP JSON API (the demo's web backend).
 
 Sources: ``matters`` / ``electricity`` (simulated demo collections) or
@@ -81,6 +83,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", nargs="+", type=float,
                    default=[0.02, 0.05, 0.1, 0.2])
     p.add_argument("--verify", action="store_true")
+
+    p = sub.add_parser(
+        "stream",
+        help="replay a series as a live stream against a standing pattern monitor",
+    )
+    add_source_options(p)
+    p.add_argument("--series", required=True,
+                   help="series to brush the pattern from and replay live")
+    p.add_argument("--pattern-start", type=int, default=0)
+    p.add_argument("--pattern-length", type=int, required=True)
+    p.add_argument("--epsilon", type=float, default=None,
+                   help="raw warping-cost threshold (default: ST * (2m-1))")
+    p.add_argument("--chunk", type=int, default=8,
+                   help="points appended per simulated arrival")
+    p.add_argument("--max-events", type=int, default=10,
+                   help="events printed (all events are still counted)")
 
     p = sub.add_parser("serve", help="run the HTTP JSON API")
     p.add_argument("--host", default="127.0.0.1")
@@ -210,6 +228,71 @@ def _dispatch(args: argparse.Namespace) -> int:
             for label, value in payload["suggestions"].items():
                 print(f"  {label:>4}: {value:.5f}")
             print(f"default: {payload['default']:.5f}")
+
+        _emit(result, args, human)
+        return 0
+
+    if args.command == "stream":
+        replay_name = f"{args.series}/live"
+        monitor = _call(
+            service,
+            "register_monitor",
+            {
+                "dataset": dataset,
+                "pattern": {"series": args.series, "start": args.pattern_start,
+                            "length": args.pattern_length},
+                "series": replay_name,
+                **({"epsilon": args.epsilon} if args.epsilon is not None else {}),
+            },
+        )
+        preview = _call(
+            service, "query_preview", {"dataset": dataset, "series": args.series}
+        )
+        values = preview["values"]
+        appended = 0
+        windows = 0
+        for i in range(0, len(values), max(1, args.chunk)):
+            summary = _call(
+                service,
+                "append_points",
+                {
+                    "dataset": dataset,
+                    "series": replay_name,
+                    "values": values[i : i + max(1, args.chunk)],
+                },
+            )
+            appended += summary["points"]
+            windows += summary["windows"]
+        # The replay is finite: flush the matchers' pending candidates so
+        # a match ending on the last sample is reported too.
+        _call(service, "flush_monitors", {"dataset": dataset})
+        polled = _call(service, "poll_events", {"dataset": dataset})
+        result = {
+            "monitor": next(
+                m for m in polled["monitors"] if m["monitor"] == monitor["monitor"]
+            ),
+            "replayed_series": replay_name,
+            "points_appended": appended,
+            "windows_indexed": windows,
+            "events": polled["events"],
+        }
+
+        def human(payload):
+            mon = payload["monitor"]
+            print(f"replayed {payload['points_appended']} points of "
+                  f"{args.series} as {payload['replayed_series']} "
+                  f"({payload['windows_indexed']} windows indexed)")
+            print(f"monitor {mon['monitor']}: pattern length "
+                  f"{mon['pattern_length']}, epsilon {mon['epsilon']:.4f}, "
+                  f"prefilter pruned {mon['windows_pruned']}/"
+                  f"{mon['windows_checked']} windows")
+            events = payload["events"]
+            print(f"{len(events)} event(s):")
+            for e in events[: args.max_events]:
+                print(f"  #{e['seq']:<4} {e['kind']:<6} "
+                      f"[{e['start']}, {e['end']}] dist={e['distance']:.4f}")
+            if len(events) > args.max_events:
+                print(f"  ... {len(events) - args.max_events} more")
 
         _emit(result, args, human)
         return 0

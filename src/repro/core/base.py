@@ -27,7 +27,7 @@ from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import DatasetError, NotBuiltError, ValidationError
 
-__all__ = ["BaseStats", "LengthBucket", "OnexBase"]
+__all__ = ["BaseStats", "LengthBucket", "OnexBase", "WindowAssignment"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,37 @@ class BaseStats:
         return self.subsequences / self.groups if self.groups else float("nan")
 
 
+@dataclass(frozen=True)
+class WindowAssignment:
+    """One newly indexed window and where it landed.
+
+    ``distance`` is the ``ED_n`` to the assigned group's representative
+    (0.0 when the window seeded a new group).  The streaming monitors use
+    these records as their group-level prefilter input.
+    """
+
+    ref: SubsequenceRef
+    group_index: int
+    distance: float
+    created: bool
+
+
+def _grown(
+    array: np.ndarray, used: int, minimum: int = 16, needed: int = 0
+) -> np.ndarray:
+    """Return *array* reallocated to at least twice *used* rows.
+
+    The shared amortised-doubling step of the growable stores (bucket
+    stacks here, stream buffers in :mod:`repro.stream.buffer`); the first
+    *used* rows are preserved, the rest left uninitialised.  *needed*
+    raises the floor when one append must fit more than double.
+    """
+    capacity = max(minimum, 2 * used, needed)
+    grown = np.empty((capacity,) + array.shape[1:], dtype=np.float64)
+    grown[:used] = array[:used]
+    return grown
+
+
 class LengthBucket:
     """All similarity groups for one subsequence length.
 
@@ -52,11 +83,22 @@ class LengthBucket:
     can evaluate cheap bounds against every representative of a length in
     a single vectorised operation.  The member *values* are stacked the
     same way: ``member_matrix`` holds every member of every group as one
-    2-D array, ``member_offsets[g] : member_offsets[g + 1]`` delimiting
-    group ``g``'s rows (ordered as ``groups[g].members``).  This is what
-    lets the query processor refine a whole group — lower-bound cascade
-    and batched DTW — without resolving members one at a time.
+    2-D array.  This is what lets the query processor refine a whole group
+    — lower-bound cascade and batched DTW — without resolving members one
+    at a time.
+
+    Both the centroid stack and the member stack are *growable*: incremental
+    ingestion (``OnexBase.add_series`` and the :mod:`repro.stream`
+    subsystem) appends rows in place with amortised doubling instead of
+    re-gathering every member.  At build/load time each group's rows are
+    one contiguous slice of ``member_matrix``; rows appended later land at
+    the end of the matrix, so a group's rows are tracked as either a
+    ``slice`` (the common contiguous case, returned without a copy) or an
+    explicit row-index list.
     """
+
+    #: Initial row capacity of the growable stacks.
+    _MIN_CAPACITY = 16
 
     def __init__(
         self,
@@ -65,25 +107,36 @@ class LengthBucket:
         member_matrix: np.ndarray | None = None,
     ) -> None:
         self.length = length
-        self.groups = groups
-        if groups:
-            self.centroids = np.vstack([g.centroid for g in groups])
-            self.ed_radii = np.array([g.ed_radius for g in groups])
-            self.cheb_radii = np.array([g.cheb_radius for g in groups])
-        else:  # pragma: no cover - empty buckets are dropped by the builder
-            self.centroids = np.empty((0, length))
-            self.ed_radii = np.empty(0)
-            self.cheb_radii = np.empty(0)
-        self.member_offsets = np.cumsum(
-            [0] + [g.cardinality for g in groups], dtype=np.int64
-        )
+        self.groups = list(groups)
+        count = len(self.groups)
+        cap = max(self._MIN_CAPACITY, count)
+        self._centroid_store = np.empty((cap, length), dtype=np.float64)
+        self._ed_store = np.empty(cap, dtype=np.float64)
+        self._cheb_store = np.empty(cap, dtype=np.float64)
+        for g, group in enumerate(self.groups):
+            self._centroid_store[g] = group.centroid
+            self._ed_store[g] = group.ed_radius
+            self._cheb_store[g] = group.cheb_radius
+        offsets = np.cumsum([0] + [g.cardinality for g in self.groups])
+        # Per-group physical rows of the member store: a slice while the
+        # group's rows are contiguous, else a list of row indices.
+        self._rows: list[slice | list[int]] = [
+            slice(int(offsets[g]), int(offsets[g + 1])) for g in range(count)
+        ]
+        self._row_count = int(offsets[-1])
         if member_matrix is not None:
-            expected = (int(self.member_offsets[-1]), length)
+            expected = (self._row_count, length)
             if member_matrix.shape != expected:
                 raise ValidationError(
                     f"member matrix shape {member_matrix.shape} != {expected}"
                 )
-        self.member_matrix = member_matrix
+            # Take ownership: appends only ever write past the current row
+            # count (after reallocating when capacity is exhausted).
+            self._member_store: np.ndarray | None = np.ascontiguousarray(
+                member_matrix, dtype=np.float64
+            )
+        else:
+            self._member_store = None
 
     @property
     def group_count(self) -> int:
@@ -91,26 +144,151 @@ class LengthBucket:
 
     @property
     def member_count(self) -> int:
-        return int(self.member_offsets[-1])
+        return self._row_count
+
+    @property
+    def centroids(self) -> np.ndarray:
+        """Stacked group representatives (live view; do not mutate)."""
+        return self._centroid_store[: len(self.groups)]
+
+    @property
+    def ed_radii(self) -> np.ndarray:
+        """Per-group max ``ED_n(member, representative)`` (live view)."""
+        return self._ed_store[: len(self.groups)]
+
+    @property
+    def cheb_radii(self) -> np.ndarray:
+        """Per-group Chebyshev radius feeding the transfer bounds (view)."""
+        return self._cheb_store[: len(self.groups)]
+
+    @property
+    def member_offsets(self) -> np.ndarray:
+        """Cumulative member counts delimiting groups in logical order."""
+        return np.cumsum([0] + [g.cardinality for g in self.groups], dtype=np.int64)
+
+    @property
+    def member_matrix(self) -> np.ndarray | None:
+        """Every member's values as one 2-D array (live view), or None.
+
+        Row order is group-contiguous right after ``build()``/``load()``;
+        rows appended by incremental ingestion live at the end, in arrival
+        order — resolve a group's rows with :meth:`member_rows`, and use
+        :meth:`stacked_member_matrix` where group-contiguous order matters.
+        """
+        if self._member_store is None:
+            return None
+        return self._member_store[: self._row_count]
 
     def member_rows(self, g_idx: int) -> np.ndarray:
-        """Values of group *g_idx*'s members as a 2-D slice (no copy)."""
-        if self.member_matrix is None:
+        """Values of group *g_idx*'s members, ordered as its ``members``.
+
+        A contiguous slice (no copy) while the group has no interleaved
+        appends — always the case at build/load time — else a gathered
+        copy of the group's rows.
+        """
+        if self._member_store is None:
             raise NotBuiltError("member matrix not attached to this bucket")
-        lo, hi = self.member_offsets[g_idx], self.member_offsets[g_idx + 1]
-        return self.member_matrix[lo:hi]
+        rows = self._rows[g_idx]
+        if isinstance(rows, slice):
+            return self._member_store[rows]
+        return self._member_store[np.fromiter(rows, np.int64, len(rows))]
 
     def ensure_member_matrix(self, dataset: TimeSeriesDataset) -> np.ndarray:
         """Build (once) and return the stacked member-value matrix."""
-        if self.member_matrix is None:
-            matrix = np.empty((self.member_count, self.length), dtype=np.float64)
+        if self._member_store is None:
+            matrix = np.empty((self._row_count, self.length), dtype=np.float64)
             row = 0
             for group in self.groups:
                 for ref in group.members:
                     matrix[row] = dataset.values(ref)
                     row += 1
-            self.member_matrix = matrix
-        return self.member_matrix
+            self._member_store = matrix
+        return self._member_store[: self._row_count]
+
+    def stacked_member_matrix(self, dataset: TimeSeriesDataset) -> np.ndarray:
+        """Member values in group-contiguous order (for persistence).
+
+        Returns the store itself (no copy) while every group is still a
+        contiguous ascending slice; after interleaved appends the rows are
+        gathered group by group.
+        """
+        self.ensure_member_matrix(dataset)
+        expected = 0
+        for rows in self._rows:
+            if not isinstance(rows, slice) or rows.start != expected:
+                return np.vstack(
+                    [self.member_rows(g) for g in range(len(self.groups))]
+                )
+            expected = rows.stop
+        return self._member_store[: self._row_count]
+
+    # ------------------------------------------------------------------
+    # Incremental growth (amortised-doubling appends)
+    # ------------------------------------------------------------------
+
+    def append_member(self, g_idx: int, ref: SubsequenceRef, values: np.ndarray) -> None:
+        """Add one member to group *g_idx*, growing the stores in place."""
+        self.append_members(g_idx, [ref], values[None, :])
+
+    def append_members(
+        self, g_idx: int, refs: list[SubsequenceRef], rows: np.ndarray
+    ) -> None:
+        """Add a batch of members to group *g_idx*, growing in place.
+
+        The caller guarantees the construction invariant (``ED_n`` to the
+        representative within the group radius); radii are updated exactly
+        and the representative is **not** moved, so existing members'
+        guarantees are untouched.  One batch costs a single rebuild of the
+        group's members tuple, so callers assigning many windows at once
+        (``add_series``, a chunked stream append) stay linear.
+        """
+        from dataclasses import replace
+
+        group = self.groups[g_idx]
+        deviations = np.abs(rows - group.centroid)
+        self.groups[g_idx] = replace(
+            group,
+            members=group.members + tuple(refs),
+            ed_radius=max(group.ed_radius, float(deviations.mean(axis=1).max())),
+            cheb_radius=max(group.cheb_radius, float(deviations.max())),
+        )
+        self._ed_store[g_idx] = self.groups[g_idx].ed_radius
+        self._cheb_store[g_idx] = self.groups[g_idx].cheb_radius
+        for row in rows:
+            phys = self._append_row(row)
+            existing = self._rows[g_idx]
+            if isinstance(existing, slice):
+                if existing.stop == phys:  # still contiguous (newest group)
+                    self._rows[g_idx] = slice(existing.start, phys + 1)
+                else:
+                    self._rows[g_idx] = list(range(existing.start, existing.stop)) + [phys]
+            else:
+                existing.append(phys)
+
+    def append_group(self, group: SimilarityGroup, values: np.ndarray) -> int:
+        """Add a new (singleton) group seeded by *values*; returns its index."""
+        g_idx = len(self.groups)
+        if g_idx == self._centroid_store.shape[0]:
+            self._centroid_store = _grown(self._centroid_store, g_idx)
+            self._ed_store = _grown(self._ed_store, g_idx)
+            self._cheb_store = _grown(self._cheb_store, g_idx)
+        self._centroid_store[g_idx] = group.centroid
+        self._ed_store[g_idx] = group.ed_radius
+        self._cheb_store[g_idx] = group.cheb_radius
+        self.groups.append(group)
+        phys = self._append_row(values)
+        self._rows.append(slice(phys, phys + 1))
+        return g_idx
+
+    def _append_row(self, values: np.ndarray) -> int:
+        """Append one row to the member store (doubling); returns its index."""
+        if self._member_store is None:
+            raise NotBuiltError("member matrix not attached to this bucket")
+        if self._row_count == self._member_store.shape[0]:
+            self._member_store = _grown(self._member_store, self._row_count)
+        self._member_store[self._row_count] = values
+        self._row_count += 1
+        return self._row_count - 1
 
 
 class OnexBase:
@@ -257,7 +435,10 @@ class OnexBase:
         new member's holds by the assignment test); otherwise it seeds a
         new singleton group.  Radii are updated exactly.  Compared to a
         full rebuild this can only produce extra groups, never invariant
-        violations — ``validate()`` passes afterwards.
+        violations — ``validate()`` passes afterwards.  Member rows are
+        appended to each bucket's stacked member matrix in place, so the
+        series is queryable through the batched cascade immediately, with
+        no re-gather of existing members.
 
         Values are normalised with the bounds captured at build time, so
         distances remain comparable with the existing base; a series
@@ -265,8 +446,6 @@ class OnexBase:
 
         Returns a summary dict (windows indexed, groups joined/created).
         """
-        from dataclasses import replace
-
         from repro.data.timeseries import TimeSeries
 
         self._require_built()
@@ -284,73 +463,144 @@ class OnexBase:
             )
             self._dataset.add(normalized)
         series_index = self._dataset.index_of(series.name)
+        assignments = self.index_new_windows(series_index, 0)
+        created = sum(a.created for a in assignments)
+        return {
+            "series": series.name,
+            "windows": len(assignments),
+            "joined_existing_groups": len(assignments) - created,
+            "new_groups": created,
+        }
 
+    def index_new_windows(
+        self, series_index: int, previous_length: int
+    ) -> list[WindowAssignment]:
+        """Index every window of series *series_index* completed by growth
+        beyond *previous_length* points (0 indexes the whole series).
+
+        The incremental-ingestion kernel shared by :meth:`add_series` and
+        the streaming ingestor: new windows are batch-evaluated against
+        the bucket's stacked centroid matrix (one chunked ``ED_n`` kernel
+        per length, as in the offline builder) and appended to their
+        groups — or seeded as new singleton groups — in place.  Returns
+        one :class:`WindowAssignment` per indexed window, in (length,
+        start) order; stats are updated to match.
+        """
+        self._require_built()
         cfg = self._config
-        radius = cfg.group_radius
-        windows = 0
-        joined = 0
-        created = 0
         values = self._dataset[series_index].values
-        for length in range(cfg.min_length, cfg.max_length + 1):
-            if len(series) < length:
-                continue
-            starts = range(0, len(series) - length + 1, cfg.step)
-            rows = [values[s : s + length] for s in starts]
-            if not rows:
+        n = values.shape[0]
+        out: list[WindowAssignment] = []
+        for length in range(cfg.min_length, min(cfg.max_length, n) + 1):
+            # Windows already indexed have starts <= previous_length - length
+            # on the step grid; resume from the next grid point.
+            first = max(0, previous_length - length + 1)
+            first = -(-first // cfg.step) * cfg.step
+            starts = range(first, n - length + 1, cfg.step)
+            if not starts:
                 continue
             bucket = self._buckets.get(length)
-            groups = list(bucket.groups) if bucket is not None else []
-            centroids = bucket.centroids if bucket is not None else np.empty((0, length))
-            for start, row in zip(starts, rows):
-                windows += 1
-                ref = SubsequenceRef(series_index, start, length)
-                g_idx = -1
-                best = np.inf
-                if centroids.shape[0]:
-                    dists = np.abs(centroids - row).mean(axis=1)
-                    g_idx = int(np.argmin(dists))
-                    best = float(dists[g_idx])
-                if g_idx >= 0 and best <= radius:
-                    group = groups[g_idx]
-                    deviation = np.abs(row - group.centroid)
-                    groups[g_idx] = replace(
-                        group,
-                        members=group.members + (ref,),
-                        ed_radius=max(group.ed_radius, float(deviation.mean())),
-                        cheb_radius=max(group.cheb_radius, float(deviation.max())),
-                    )
-                    joined += 1
+            if bucket is None:
+                bucket = LengthBucket(length, [], np.empty((0, length)))
+                self._buckets[length] = bucket
+            out.extend(
+                self._assign_windows(bucket, series_index, starts, values)
+            )
+        if out:
+            created = sum(a.created for a in out)
+            old = self.stats
+            self._stats = BaseStats(
+                subsequences=old.subsequences + len(out),
+                groups=old.groups + created,
+                lengths=len(self._buckets),
+                build_seconds=old.build_seconds,
+            )
+        return out
+
+    #: Windows per row block and centroid columns per chunk of the batched
+    #: assignment — together they bound the distance temporaries at
+    #: block x groups and block x chunk x length, mirroring the offline
+    #: builder's ``_ASSIGN_BLOCK`` / ``_CHUNK_COLS``.
+    _ASSIGN_BLOCK = 128
+    _ASSIGN_CHUNK = 128
+
+    def _assign_windows(
+        self,
+        bucket: LengthBucket,
+        series_index: int,
+        starts: range,
+        values: np.ndarray,
+    ) -> list[WindowAssignment]:
+        """Assign same-length windows to *bucket* with fixed representatives.
+
+        Windows are processed in row blocks, each batch-evaluated against
+        the centroid table as of block start; groups seeded mid-block are
+        candidates for the block's remaining windows via an incremental
+        scan (ties keep the lowest group index, as one combined argmin
+        over all centroids would).  Joins are buffered and applied per
+        group at the end — one members-tuple rebuild per touched group per
+        call — while creates take effect immediately so later windows can
+        join them.
+        """
+        length = bucket.length
+        radius = self._config.group_radius
+        windows = np.lib.stride_tricks.sliding_window_view(values, length)[
+            starts.start : starts.stop : starts.step
+        ]
+        count = windows.shape[0]
+        bucket.ensure_member_matrix(self._dataset)
+        out: list[WindowAssignment] = []
+        joins: dict[int, list[int]] = {}
+        for b0 in range(0, count, self._ASSIGN_BLOCK):
+            block = windows[b0 : b0 + self._ASSIGN_BLOCK]
+            nb = block.shape[0]
+            existing = bucket.group_count
+            if existing:
+                dists = np.empty((nb, existing))
+                centroids = bucket.centroids
+                for c0 in range(0, existing, self._ASSIGN_CHUNK):
+                    c1 = min(existing, c0 + self._ASSIGN_CHUNK)
+                    dists[:, c0:c1] = np.abs(
+                        block[:, None, :] - centroids[None, c0:c1, :]
+                    ).mean(axis=2)
+                best_idx = np.argmin(dists, axis=1)
+                best = dists[np.arange(nb), best_idx]
+            else:
+                best_idx = np.zeros(nb, dtype=np.int64)
+                best = np.full(nb, np.inf)
+            for bi in range(nb):
+                w = b0 + bi
+                row = windows[w]
+                g_idx, dist = int(best_idx[bi]), float(best[bi])
+                if bucket.group_count > existing:
+                    fresh = bucket.centroids[existing:]
+                    fresh_d = np.abs(fresh - row).mean(axis=1)
+                    f_idx = int(np.argmin(fresh_d))
+                    if float(fresh_d[f_idx]) < dist:
+                        g_idx, dist = existing + f_idx, float(fresh_d[f_idx])
+                ref = SubsequenceRef(series_index, starts[w], length)
+                if dist <= radius:
+                    joins.setdefault(g_idx, []).append(w)
+                    out.append(WindowAssignment(ref, g_idx, dist, created=False))
                 else:
-                    groups.append(
+                    g_idx = bucket.append_group(
                         SimilarityGroup(
                             length=length,
                             centroid=row.copy(),
                             members=(ref,),
                             ed_radius=0.0,
                             cheb_radius=0.0,
-                        )
+                        ),
+                        row,
                     )
-                    centroids = np.vstack([centroids, row[None, :]])
-                    created += 1
-            # Leave the member matrix unset: rebuilding it here would
-            # re-gather every existing member on each add_series call.
-            # The first consumer (query refinement or save) builds it
-            # once via ensure_member_matrix.
-            self._buckets[length] = LengthBucket(length, groups)
-
-        old = self.stats
-        self._stats = BaseStats(
-            subsequences=old.subsequences + windows,
-            groups=old.groups + created,
-            lengths=len(self._buckets),
-            build_seconds=old.build_seconds,
-        )
-        return {
-            "series": series.name,
-            "windows": windows,
-            "joined_existing_groups": joined,
-            "new_groups": created,
-        }
+                    out.append(WindowAssignment(ref, g_idx, 0.0, created=True))
+        for g_idx, indices in joins.items():
+            bucket.append_members(
+                g_idx,
+                [SubsequenceRef(series_index, starts[w], length) for w in indices],
+                windows[indices],
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Persistence
@@ -402,7 +652,7 @@ class OnexBase:
                 offsets.append(len(members))
             payload[f"{prefix}_members"] = np.array(members, dtype=np.int64)
             payload[f"{prefix}_offsets"] = np.array(offsets, dtype=np.int64)
-            payload[f"{prefix}_member_matrix"] = bucket.ensure_member_matrix(
+            payload[f"{prefix}_member_matrix"] = bucket.stacked_member_matrix(
                 self._dataset
             )
         np.savez_compressed(path, **payload)

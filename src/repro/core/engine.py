@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.base import BaseStats, OnexBase
 from repro.core.config import BuildConfig, QueryConfig
 from repro.core.query import Match, QueryProcessor
@@ -18,6 +20,7 @@ from repro.core.seasonal import SeasonalPattern, find_seasonal_patterns
 from repro.core.sensitivity import SensitivityProfile, similarity_profile
 from repro.core.threshold import ThresholdRecommendation, recommend_thresholds
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.normalize import minmax_normalize
 from repro.exceptions import DatasetError, ValidationError
 
 __all__ = ["LoadedDataset", "OnexEngine"]
@@ -25,12 +28,17 @@ __all__ = ["LoadedDataset", "OnexEngine"]
 
 @dataclass
 class LoadedDataset:
-    """One dataset registered with the engine, plus its built base."""
+    """One dataset registered with the engine, plus its built base.
+
+    ``ingestor`` is the dataset's streaming write path, created lazily on
+    the first streaming operation (:mod:`repro.stream`).
+    """
 
     dataset: TimeSeriesDataset
     base: OnexBase
     processor: QueryProcessor
     stats: BaseStats
+    ingestor: object | None = None
 
 
 class OnexEngine:
@@ -102,6 +110,99 @@ class OnexEngine:
     def unload_dataset(self, name: str) -> None:
         self._entry(name)
         del self._loaded[name]
+
+    # ------------------------------------------------------------------
+    # Streaming ingestion and live monitoring (repro.stream)
+    # ------------------------------------------------------------------
+
+    def stream(self, dataset_name: str):
+        """The dataset's :class:`~repro.stream.StreamIngestor` (lazy)."""
+        from repro.stream import StreamIngestor
+
+        entry = self._entry(dataset_name)
+        if entry.ingestor is None:
+            entry.ingestor = StreamIngestor(entry.base)
+        return entry.ingestor
+
+    def append_points(self, dataset_name: str, series_name: str, values) -> dict:
+        """Append live points to a series, indexing completed windows.
+
+        The series is created on first contact; values are raw units,
+        normalised with the base's build-time bounds.  Returns the ingest
+        summary, including any monitor events the append emitted.
+        """
+        return self.stream(dataset_name).append_points(series_name, values)
+
+    def register_monitor(
+        self,
+        dataset_name: str,
+        pattern,
+        epsilon: float | None = None,
+        *,
+        series: str | None = None,
+        name: str | None = None,
+        normalize: bool = True,
+    ) -> dict:
+        """Create a standing pattern query over live appends.
+
+        *pattern* is raw-unit values (normalised into the base's value
+        space like any query, unless *normalize* is false) or a
+        :class:`~repro.data.dataset.SubsequenceRef` into the indexed
+        dataset.  *epsilon* is a summed L1 warping cost in that value
+        space; omitted, it defaults to the build similarity threshold
+        times the maximal warping-path length ``2m - 1`` — the raw-cost
+        equivalent of one ONEX similarity threshold at pattern length
+        ``m``.  Returns the monitor's description payload.
+        """
+        entry = self._entry(dataset_name)
+        base = entry.base
+        if isinstance(pattern, SubsequenceRef):
+            values = base.dataset.values(pattern)
+        else:
+            values = np.asarray([float(v) for v in pattern], dtype=np.float64)
+            bounds = base.normalization_bounds
+            if normalize and bounds is not None:
+                values = minmax_normalize(values, lo=bounds[0], hi=bounds[1])
+        if epsilon is None:
+            epsilon = base.config.similarity_threshold * (2 * len(values) - 1)
+        monitor = self.stream(dataset_name).registry.register(
+            values, float(epsilon), series=series, name=name
+        )
+        return monitor.describe()
+
+    def unregister_monitor(self, dataset_name: str, name: str) -> None:
+        """Remove a standing query; pending events stay pollable."""
+        registry = self.stream_registry(dataset_name)
+        if registry is None:
+            raise DatasetError(f"no monitor named {name!r} (registered: [])")
+        registry.unregister(name)
+
+    def stream_registry(self, dataset_name: str):
+        """The dataset's monitor registry, or None before any streaming.
+
+        Unlike :meth:`stream` this never creates the ingestor, so
+        read-only callers (event polling under a shared lock) stay free
+        of side effects.
+        """
+        entry = self._entry(dataset_name)
+        return entry.ingestor.registry if entry.ingestor is not None else None
+
+    def poll_events(self, dataset_name: str, since: int = 0, limit: int | None = None) -> list:
+        """Monitor events with ``seq > since``, oldest first."""
+        registry = self.stream_registry(dataset_name)
+        return registry.poll(since, limit) if registry is not None else []
+
+    def flush_monitors(self, dataset_name: str) -> list:
+        """Flush pending SPRING candidates into events (end of stream).
+
+        SPRING defers a report until no in-flight path can beat it, so a
+        finite replay can end with its best match still pending; this
+        emits those candidates.  Flushing mid-stream is allowed but, as
+        with the reference matcher's ``finish``, a later overlapping
+        match may then be reported again.
+        """
+        registry = self.stream_registry(dataset_name)
+        return registry.flush() if registry is not None else []
 
     @property
     def dataset_names(self) -> list[str]:

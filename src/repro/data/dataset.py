@@ -72,6 +72,24 @@ class TimeSeriesDataset:
         self._index_by_name[series.name] = len(self._series)
         self._series.append(series)
 
+    def replace_series(self, series: TimeSeries) -> None:
+        """Swap in a new version of an existing series (same name/index).
+
+        The streaming ingestor uses this to publish a longer snapshot of a
+        live series: existing :class:`SubsequenceRef` handles stay valid
+        because positions keep their index and appends never rewrite old
+        observations.
+        """
+        if not isinstance(series, TimeSeries):
+            raise ValidationError(f"expected TimeSeries, got {type(series).__name__}")
+        try:
+            index = self._index_by_name[series.name]
+        except KeyError:
+            raise DatasetError(
+                f"no series named {series.name!r} in {self._name!r}"
+            ) from None
+        self._series[index] = series
+
     def __len__(self) -> int:
         return len(self._series)
 

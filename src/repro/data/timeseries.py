@@ -40,6 +40,21 @@ class TimeSeries:
         self._values = arr
         self._metadata = MappingProxyType(dict(metadata or {}))
 
+    @classmethod
+    def _wrap(cls, name: str, values: np.ndarray, metadata: Mapping[str, Any]) -> "TimeSeries":
+        """Internal no-copy constructor for pre-validated snapshots.
+
+        The streaming ingestor publishes one snapshot per append; *values*
+        must be a 1-D float64 array the caller guarantees is finite and
+        never mutated in range (a read-only view of a grow-only buffer
+        qualifies: later appends only write past its end).
+        """
+        self = object.__new__(cls)
+        self._name = name
+        self._values = values
+        self._metadata = MappingProxyType(dict(metadata))
+        return self
+
     @property
     def name(self) -> str:
         return self._name

@@ -7,8 +7,15 @@
 - :mod:`repro.server.http` — a stdlib-only threaded HTTP JSON API.
 """
 
-from repro.server.http import OnexHttpServer
+from repro.server.http import DatasetLockManager, OnexHttpServer, ReadWriteLock
 from repro.server.protocol import Request, Response
 from repro.server.service import OnexService
 
-__all__ = ["OnexHttpServer", "OnexService", "Request", "Response"]
+__all__ = [
+    "DatasetLockManager",
+    "OnexHttpServer",
+    "OnexService",
+    "ReadWriteLock",
+    "Request",
+    "Response",
+]

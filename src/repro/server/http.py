@@ -7,6 +7,15 @@ Endpoints:
   are application results); malformed envelopes map to 400.
 - ``GET /health`` — liveness plus loaded dataset names.
 
+Concurrency model: one reader/writer lock per loaded dataset, plus a
+registry-level lock guarding the dataset table itself.  Read-only
+operations (``protocol.READ_ONLY_OPERATIONS``) take the shared side, so
+any number of concurrent queries — against one dataset or several —
+proceed in parallel; mutating operations (loads, series appends, monitor
+registration, saves) take the exclusive side of their dataset only, and
+``load_dataset``/``unload_dataset`` exclusively lock the registry because
+they change the table every other request routes through.
+
 The server runs on a daemon thread (``start()``/``stop()``), which is how
 the examples and integration tests drive a real client/server round trip
 in-process.
@@ -16,21 +25,145 @@ from __future__ import annotations
 
 import json
 import threading
+from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.exceptions import ProtocolError
-from repro.server.protocol import Request, Response
+from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
 from repro.server.service import OnexService
 
-__all__ = ["OnexHttpServer"]
+__all__ = ["DatasetLockManager", "OnexHttpServer", "ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """A fair-enough reader/writer lock built on one condition variable.
+
+    Any number of readers share the lock; a writer is exclusive.  Waiting
+    writers block new readers (writer preference), so a stream of
+    overlapping queries cannot starve an append.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self):
+        """Context-managed shared acquisition."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Context-managed exclusive acquisition."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class DatasetLockManager:
+    """Per-dataset reader/writer locks behind one registry lock.
+
+    ``guard(request)`` yields with the right locks held for one protocol
+    request: registry-exclusive for load/unload, else registry-shared
+    plus the target dataset's lock in the mode the operation needs.
+    *known* (a callable returning the loaded dataset names) bounds the
+    lock table: a request naming an unknown dataset gets a throwaway lock
+    — the engine raises its own error under it — so garbage names from
+    unauthenticated input cannot grow the table; unload drops entries.
+    """
+
+    def __init__(self, known=None) -> None:
+        self._mutex = threading.Lock()
+        self._registry = ReadWriteLock()
+        self._locks: dict[str, ReadWriteLock] = {}
+        self._known = known
+
+    def _lock_for(self, dataset: str) -> ReadWriteLock:
+        with self._mutex:
+            lock = self._locks.get(dataset)
+            if lock is None:
+                lock = ReadWriteLock()
+                # Callers hold the registry read-side, so the loaded set
+                # cannot change under this membership check.
+                if self._known is None or dataset in self._known():
+                    self._locks[dataset] = lock
+            return lock
+
+    def drop(self, dataset: str) -> None:
+        with self._mutex:
+            self._locks.pop(dataset, None)
+
+    @contextmanager
+    def registry_read(self):
+        """Shared hold on the dataset table (e.g. the health endpoint)."""
+        with self._registry.read():
+            yield
+
+    @contextmanager
+    def guard(self, request: Request):
+        """Hold the locks one request needs for its whole execution."""
+        if request.op in ("load_dataset", "unload_dataset"):
+            with self._registry.write():
+                yield
+                # Drop while still holding the registry exclusively: doing
+                # it after release would race a reload handing out a second
+                # lock object for the same name.
+                if request.op == "unload_dataset":
+                    self.drop(str(request.params.get("dataset")))
+            return
+        dataset = request.params.get("dataset")
+        with self._registry.read():
+            if dataset is None:
+                yield
+                return
+            lock = self._lock_for(str(dataset))
+            if request.op in READ_ONLY_OPERATIONS:
+                with lock.read():
+                    yield
+            else:
+                with lock.write():
+                    yield
 
 
 def _make_handler(service: OnexService):
-    class Handler(BaseHTTPRequestHandler):
-        # Serialise engine access: the service is not thread-safe and the
-        # demo semantics (one analyst session) do not need concurrency.
-        lock = threading.Lock()
+    locks = DatasetLockManager(known=lambda: service.engine.dataset_names)
 
+    class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # silence request logging
             pass
 
@@ -44,7 +177,7 @@ def _make_handler(service: OnexService):
 
         def do_GET(self):  # noqa: N802 - stdlib naming
             if self.path == "/health":
-                with self.lock:
+                with locks.registry_read():
                     datasets = service.engine.dataset_names
                 self._send(200, {"status": "ok", "datasets": datasets})
             else:
@@ -61,7 +194,7 @@ def _make_handler(service: OnexService):
             except ProtocolError as exc:
                 self._send(400, Response.failure(exc).to_dict())
                 return
-            with self.lock:
+            with locks.guard(request):
                 response = service.handle(request)
             self._send(200, response.to_dict())
 

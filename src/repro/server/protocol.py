@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.exceptions import ProtocolError
 
-__all__ = ["OPERATIONS", "Request", "Response"]
+__all__ = ["OPERATIONS", "READ_ONLY_OPERATIONS", "Request", "Response"]
 
 #: Operation name -> required parameter names.
 OPERATIONS: dict[str, tuple[str, ...]] = {
@@ -33,7 +33,32 @@ OPERATIONS: dict[str, tuple[str, ...]] = {
     "unload_dataset": ("dataset",),
     "save_base": ("dataset", "path"),
     "add_series": ("dataset", "name", "values"),
+    "append_points": ("dataset", "series", "values"),
+    "register_monitor": ("dataset", "pattern"),
+    "unregister_monitor": ("dataset", "monitor"),
+    "poll_events": ("dataset",),
+    "flush_monitors": ("dataset",),
 }
+
+#: Operations that only read engine state.  The HTTP front end grants
+#: these a shared (read) lock on their target dataset so concurrent
+#: exploration never serialises; every other operation mutates and takes
+#: the exclusive (write) side.
+READ_ONLY_OPERATIONS: frozenset[str] = frozenset(
+    {
+        "list_datasets",
+        "describe",
+        "overview",
+        "query_preview",
+        "best_match",
+        "k_best",
+        "matches_within",
+        "seasonal",
+        "sensitivity",
+        "thresholds",
+        "poll_events",
+    }
+)
 
 
 @dataclass(frozen=True)

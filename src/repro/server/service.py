@@ -215,6 +215,57 @@ class OnexService:
         )
         return self._engine.add_series(name, series)
 
+    def _op_append_points(self, params: dict) -> Any:
+        return self._engine.append_points(
+            str(params["dataset"]),
+            str(params["series"]),
+            [float(v) for v in params["values"]],
+        )
+
+    def _op_register_monitor(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        pattern = self._resolve_query(name, params["pattern"])
+        # An explicit JSON null means the same as an absent key.
+        epsilon = params.get("epsilon")
+        series = params.get("series")
+        monitor = params.get("monitor")
+        return self._engine.register_monitor(
+            name,
+            pattern,
+            float(epsilon) if epsilon is not None else None,
+            series=str(series) if series is not None else None,
+            name=str(monitor) if monitor is not None else None,
+        )
+
+    def _op_unregister_monitor(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        self._engine.unregister_monitor(name, str(params["monitor"]))
+        return {"unregistered": params["monitor"]}
+
+    def _op_poll_events(self, params: dict) -> Any:
+        name = str(params["dataset"])
+        events = self._engine.poll_events(
+            name,
+            since=int(params.get("since", 0)),
+            limit=int(params["limit"]) if "limit" in params else None,
+        )
+        # Read-only: never creates the stream machinery as a side effect.
+        registry = self._engine.stream_registry(name)
+        return {
+            "events": [e.as_dict() for e in events],
+            "last_seq": registry.last_seq if registry is not None else 0,
+            "monitors": [
+                registry.monitor(n).describe() for n in registry.monitor_names
+            ]
+            if registry is not None
+            else [],
+            "dropped": registry.dropped if registry is not None else 0,
+        }
+
+    def _op_flush_monitors(self, params: dict) -> Any:
+        events = self._engine.flush_monitors(str(params["dataset"]))
+        return {"events": [e.as_dict() for e in events]}
+
     def _op_save_base(self, params: dict) -> Any:
         name = str(params["dataset"])
         path = str(params["path"])

@@ -1,0 +1,317 @@
+"""Standing pattern queries over live series.
+
+A :class:`PatternMonitor` watches appended data for one pattern and emits
+two complementary event kinds (:class:`~repro.stream.events.StreamEvent`):
+
+``"match"`` — exact SPRING subsequence matches.  Every appended point
+    feeds a per-series :class:`~repro.stream.spring_online.OnlineSpringMatcher`,
+    so matches may start and end anywhere (unconstrained warping), with
+    the deferred-report rule guaranteeing each reported range is optimal
+    among overlapping candidates.  These events are exact against a
+    brute-force SPRING replay of the same stream.
+
+``"window"`` — the ONEX group-level prefilter.  The ingestor assigns each
+    newly completed pattern-length window to a similarity group anyway;
+    the monitor caches the raw DTW from its pattern to every group
+    representative (batched, computed lazily as groups appear) and uses
+    the ED→DTW transfer lower bound ``DTW(p, rep) - (2m-1) * cheb_radius``
+    to discard windows whose group provably cannot hold a match — only
+    survivors pay an exact DTW verification.  Representatives never move
+    (fixed-representative ingestion), so cached representative distances
+    stay valid; radii only grow, which keeps the bound conservative.
+
+A :class:`MonitorRegistry` owns the monitors of one base, assigns the
+registry-wide event sequence numbers, and buffers events for polling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.base import OnexBase, WindowAssignment
+from repro.distances.dtw import dtw_distance, dtw_distance_batch
+from repro.distances.metrics import as_sequence
+from repro.exceptions import DatasetError, ValidationError
+from repro.stream.events import KIND_MATCH, KIND_WINDOW, StreamEvent
+from repro.stream.spring_online import OnlineSpringMatcher
+
+__all__ = ["MonitorRegistry", "PatternMonitor"]
+
+
+class PatternMonitor:
+    """One standing pattern query (see module docstring for semantics).
+
+    *pattern* is already in the base's value space (the engine normalises
+    caller-supplied raw values); *epsilon* is a summed L1 warping cost in
+    that space.  *series* restricts the monitor to one series name; None
+    watches every live series.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: OnexBase,
+        pattern,
+        epsilon: float,
+        series: str | None = None,
+    ) -> None:
+        self.name = name
+        self._base = base
+        self._pattern = as_sequence(pattern, name="pattern")
+        if self._pattern.shape[0] < 2:
+            raise ValidationError("pattern must have at least 2 points")
+        if not (epsilon > 0 and math.isfinite(epsilon)):
+            # Checked here (not just in the lazily created matcher): a
+            # monitor with a bad epsilon would otherwise poison every
+            # later append to the watched series.
+            raise ValidationError(
+                f"epsilon must be positive and finite, got {epsilon}"
+            )
+        self._epsilon = float(epsilon)
+        self._series = series
+        self._matchers: dict[str, tuple[int, OnlineSpringMatcher]] = {}
+        # Raw DTW(pattern, representative) per group of the pattern-length
+        # bucket, extended lazily as ingestion spawns groups.
+        self._rep_dtw = np.empty(0)
+        self.windows_checked = 0
+        self.windows_pruned = 0
+
+    @property
+    def pattern_length(self) -> int:
+        return self._pattern.shape[0]
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    def watches(self, series_name: str) -> bool:
+        """Whether this monitor applies to *series_name*."""
+        return self._series is None or self._series == series_name
+
+    def on_points(
+        self, series_name: str, origin: int, values: np.ndarray
+    ) -> list[tuple[str, int, int, float]]:
+        """Feed appended points; return (series, start, end, distance) hits.
+
+        *origin* is the absolute series position of ``values[0]``; the
+        matcher for a series is created the first time data arrives, so
+        reported positions are absolute from then on.
+        """
+        state = self._matchers.get(series_name)
+        if state is None:
+            state = (origin, OnlineSpringMatcher(self._pattern, self._epsilon))
+            self._matchers[series_name] = state
+        offset, matcher = state
+        expected = offset + matcher.samples_seen
+        if origin != expected:
+            raise DatasetError(
+                f"monitor {self.name!r} expected {series_name!r} to resume at "
+                f"position {expected}, got {origin}"
+            )
+        return [
+            (series_name, offset + m.start, offset + m.end, m.distance)
+            for m in matcher.extend(values)
+        ]
+
+    def on_windows(
+        self, assignments: Iterable[WindowAssignment]
+    ) -> list[tuple[str, int, int, float]]:
+        """Group-prefilter the newly indexed windows; return verified hits."""
+        m = self.pattern_length
+        out: list[tuple[str, int, int, float]] = []
+        try:
+            bucket = self._base.bucket(m)
+        except DatasetError:
+            return out  # pattern length not indexed: no window-aligned view
+        max_path = 2 * m - 1
+        dataset = self._base.dataset
+        for assignment in assignments:
+            ref = assignment.ref
+            if ref.length != m:
+                continue
+            series_name = dataset[ref.series_index].name
+            if not self.watches(series_name):
+                continue
+            self.windows_checked += 1
+            g = assignment.group_index
+            if g >= self._rep_dtw.shape[0]:
+                self._extend_rep_cache(bucket)
+            cheb = float(bucket.cheb_radii[g])
+            lower = self._rep_dtw[g] - max_path * cheb
+            if lower > self._epsilon:
+                self.windows_pruned += 1
+                continue
+            if cheb == 0.0:
+                # Every member of a zero-radius group equals the
+                # representative, so the cached representative DTW *is*
+                # the exact distance (fresh singletons hit this path).
+                raw = float(self._rep_dtw[g])
+            else:
+                raw = float(dtw_distance(self._pattern, dataset.values(ref)))
+            if raw <= self._epsilon:
+                out.append((series_name, ref.start, ref.stop - 1, raw))
+        return out
+
+    def flush(self) -> list[tuple[str, int, int, float]]:
+        """Flush every matcher's pending candidate (end-of-stream report).
+
+        Mirrors the reference matcher's ``finish``: intended when a
+        finite stream ends; after a mid-stream flush a later, overlapping
+        match can be reported again.
+        """
+        out: list[tuple[str, int, int, float]] = []
+        for series_name, (offset, matcher) in self._matchers.items():
+            out.extend(
+                (series_name, offset + m.start, offset + m.end, m.distance)
+                for m in matcher.finish()
+            )
+        return out
+
+    def _extend_rep_cache(self, bucket) -> None:
+        """Batch-evaluate DTW(pattern, representative) for new groups."""
+        known = self._rep_dtw.shape[0]
+        fresh = dtw_distance_batch(self._pattern, bucket.centroids[known:])
+        self._rep_dtw = np.concatenate([self._rep_dtw, fresh])
+
+    def describe(self) -> dict:
+        """Registration/introspection payload."""
+        return {
+            "monitor": self.name,
+            "pattern_length": self.pattern_length,
+            "epsilon": self._epsilon,
+            "series": self._series,
+            "windows_checked": self.windows_checked,
+            "windows_pruned": self.windows_pruned,
+        }
+
+
+class MonitorRegistry:
+    """All standing queries of one base, plus the shared event buffer.
+
+    Events carry registry-wide monotonic sequence numbers; the buffer is
+    bounded (*max_events*, oldest dropped first) and polled incrementally
+    with :meth:`poll`.
+    """
+
+    def __init__(self, base: OnexBase, max_events: int = 10_000) -> None:
+        self._base = base
+        self._monitors: dict[str, PatternMonitor] = {}
+        self._events: deque[StreamEvent] = deque(maxlen=max_events)
+        self._seq = 0
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._monitors)
+
+    @property
+    def monitor_names(self) -> list[str]:
+        return sorted(self._monitors)
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest event emitted so far."""
+        return self._seq
+
+    def register(
+        self,
+        pattern,
+        epsilon: float,
+        *,
+        series: str | None = None,
+        name: str | None = None,
+    ) -> PatternMonitor:
+        """Create a standing query; returns the (named) monitor."""
+        if name is None:
+            name = f"monitor-{len(self._monitors) + 1}"
+            while name in self._monitors:
+                name = f"{name}+"
+        if name in self._monitors:
+            raise DatasetError(f"duplicate monitor name: {name!r}")
+        monitor = PatternMonitor(name, self._base, pattern, epsilon, series)
+        self._monitors[name] = monitor
+        return monitor
+
+    def unregister(self, name: str) -> None:
+        try:
+            del self._monitors[name]
+        except KeyError:
+            raise DatasetError(
+                f"no monitor named {name!r} (registered: {self.monitor_names})"
+            ) from None
+
+    def monitor(self, name: str) -> PatternMonitor:
+        try:
+            return self._monitors[name]
+        except KeyError:
+            raise DatasetError(
+                f"no monitor named {name!r} (registered: {self.monitor_names})"
+            ) from None
+
+    def on_points(
+        self,
+        series_name: str,
+        origin: int,
+        values: np.ndarray,
+        assignments: list[WindowAssignment],
+    ) -> list[StreamEvent]:
+        """Notify every applicable monitor of one append; emit its events.
+
+        SPRING matches are emitted first (they were *reported* while the
+        points arrived), then the prefiltered window matches of the same
+        append, each batch in stream order.
+        """
+        emitted: list[StreamEvent] = []
+        for monitor in self._monitors.values():
+            if not monitor.watches(series_name):
+                continue
+            for series, start, end, dist in monitor.on_points(
+                series_name, origin, values
+            ):
+                emitted.append(self._emit(monitor, series, KIND_MATCH, start, end, dist))
+            for series, start, end, dist in monitor.on_windows(assignments):
+                emitted.append(self._emit(monitor, series, KIND_WINDOW, start, end, dist))
+        return emitted
+
+    def flush(self) -> list[StreamEvent]:
+        """Flush every monitor's pending SPRING candidates into events."""
+        emitted: list[StreamEvent] = []
+        for monitor in self._monitors.values():
+            for series, start, end, dist in monitor.flush():
+                emitted.append(
+                    self._emit(monitor, series, KIND_MATCH, start, end, dist)
+                )
+        return emitted
+
+    def _emit(
+        self, monitor: PatternMonitor, series: str, kind: str, start: int, end: int, dist: float
+    ) -> StreamEvent:
+        self._seq += 1
+        event = StreamEvent(
+            seq=self._seq,
+            monitor=monitor.name,
+            series=series,
+            kind=kind,
+            start=start,
+            end=end,
+            distance=dist,
+        )
+        if len(self._events) == self._events.maxlen:
+            self._dropped += 1
+        self._events.append(event)
+        return event
+
+    def poll(self, since: int = 0, limit: int | None = None) -> list[StreamEvent]:
+        """Events with ``seq > since``, oldest first, up to *limit*."""
+        out = [e for e in self._events if e.seq > since]
+        if limit is not None:
+            out = out[: max(0, int(limit))]
+        return out
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the bounded buffer before being polled."""
+        return self._dropped

@@ -32,14 +32,24 @@ values = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
     st.floats(min_value=0.5, max_value=20.0),
 )
 def test_spring_reports_are_sound(pattern, stream, epsilon):
-    """Every SPRING report is a true sub-threshold subsequence match."""
+    """Every SPRING report is a true sub-threshold subsequence match.
+
+    The reported distance is the cost of a *valid* warping path over the
+    reported range, hence an upper bound on the true subsequence DTW and
+    within epsilon.  It equals the true DTW exactly up to the first
+    report; after the paper's overlap-reset step, a cheaper path that was
+    shadowed by an overlapping (since-reported) one can be lost, so later
+    reports may carry a slightly suboptimal — still sub-threshold — cost.
+    """
     matcher = SpringMatcher(pattern, epsilon=epsilon)
     reports = matcher.extend(stream) + matcher.finish()
-    for match in reports:
+    for k, match in enumerate(reports):
         assert 0 <= match.start <= match.end < len(stream)
         true = dtw_distance(pattern, stream[match.start : match.end + 1])
-        assert math.isclose(match.distance, true, rel_tol=1e-9, abs_tol=1e-9)
+        assert match.distance >= true - 1e-9
         assert match.distance <= epsilon + 1e-9
+        if k == 0:  # before any reset the DP is the unrestricted optimum
+            assert math.isclose(match.distance, true, rel_tol=1e-9, abs_tol=1e-9)
 
 
 @settings(max_examples=40, deadline=None)

@@ -111,3 +111,37 @@ class TestCommands:
         )
         assert code == 0
         assert "2 series" in capsys.readouterr().out
+
+
+class TestStreamCommand:
+    def test_stream_requires_pattern_length(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--series", "x"])
+
+    def test_stream_replay_human(self, capsys):
+        code = main(
+            ["stream", *FAST, "--series", "MA/GrowthRate",
+             "--pattern-length", "5", "--chunk", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "monitor" in out
+        assert "event(s):" in out
+        # Replaying the very series the pattern was brushed from must fire
+        # at least one exact match event at distance ~0.
+        assert "match" in out
+
+    def test_stream_replay_json(self, capsys):
+        code = main(
+            ["--json", "stream", *FAST, "--series", "MA/GrowthRate",
+             "--pattern-length", "5", "--epsilon", "0.4", "--chunk", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["monitor"]["epsilon"] == 0.4
+        assert payload["points_appended"] > 0
+        kinds = {e["kind"] for e in payload["events"]}
+        assert "match" in kinds
+        seqs = [e["seq"] for e in payload["events"]]
+        assert seqs == sorted(seqs)

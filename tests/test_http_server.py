@@ -114,3 +114,166 @@ class TestHttpApi:
         srv.start()
         srv.stop()
         srv.stop()  # second stop must be a no-op
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        import threading
+
+        from repro.server.http import ReadWriteLock
+
+        lock = ReadWriteLock()
+        inside = threading.Barrier(2, timeout=5)
+
+        def reader():
+            with lock.read():
+                inside.wait()  # both readers must be inside simultaneously
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert not any(t.is_alive() for t in threads)
+
+    def test_writer_excludes_readers_and_writers(self):
+        import threading
+
+        from repro.server.http import ReadWriteLock
+
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read():
+                order.append("reader")
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        threads = [threading.Thread(target=reader), threading.Thread(target=writer)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.05)
+        assert order == []  # both blocked behind the held write lock
+        lock.release_write()
+        for t in threads:
+            t.join(timeout=5)
+        assert sorted(order) == ["reader", "writer"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        import threading
+        import time
+
+        from repro.server.http import ReadWriteLock
+
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        got_write = threading.Event()
+        late_read = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            got_write.set()
+            lock.release_write()
+
+        def late_reader():
+            lock.acquire_read()
+            late_read.set()
+            lock.release_read()
+
+        w = threading.Thread(target=writer)
+        w.start()
+        time.sleep(0.05)  # let the writer start waiting
+        r = threading.Thread(target=late_reader)
+        r.start()
+        time.sleep(0.05)
+        assert not late_read.is_set()  # writer preference holds it back
+        lock.release_read()
+        w.join(timeout=5)
+        r.join(timeout=5)
+        assert got_write.is_set() and late_read.is_set()
+
+
+class TestConcurrentRequests:
+    def test_parallel_reads_are_consistent(self, server):
+        """Many simultaneous queries against one dataset all succeed and
+        agree (they hold the shared side of the dataset lock)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        payload = {
+            "op": "best_match",
+            "params": {
+                "dataset": "MATTERS-sim",
+                "query": {"series": "MA/GrowthRate", "start": 0, "length": 5},
+            },
+        }
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda _: post(server, payload), range(16)))
+        bodies = [body for status, body in results]
+        assert all(b["ok"] for b in bodies)
+        distances = {b["result"]["distance"] for b in bodies}
+        assert len(distances) == 1
+
+    def test_reads_interleave_with_stream_writes(self, server):
+        """Queries and appends to one dataset race without corruption."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        def append(i):
+            return post(
+                server,
+                {
+                    "op": "append_points",
+                    "params": {
+                        "dataset": "MATTERS-sim",
+                        "series": "live-concurrent",
+                        "values": [float(i), float(i) + 0.5],
+                    },
+                },
+            )
+
+        def query(_):
+            return post(
+                server,
+                {
+                    "op": "best_match",
+                    "params": {
+                        "dataset": "MATTERS-sim",
+                        "query": {"series": "MA/GrowthRate", "start": 0,
+                                  "length": 5},
+                    },
+                },
+            )
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            appends = [pool.submit(append, i) for i in range(10)]
+            queries = [pool.submit(query, i) for i in range(10)]
+            for f in appends + queries:
+                status, body = f.result(timeout=30)
+                assert body["ok"], body
+        status, body = post(
+            server,
+            {"op": "describe", "params": {"dataset": "MATTERS-sim"}},
+        )
+        assert body["ok"]
+        assert "live-concurrent" in body["result"]["series_names"]
+
+
+def test_lock_table_ignores_unknown_dataset_names():
+    """Garbage dataset names must not grow the lock table unboundedly."""
+    from repro.server.http import DatasetLockManager
+    from repro.server.protocol import Request
+
+    loaded = ["real"]
+    manager = DatasetLockManager(known=lambda: loaded)
+    for i in range(50):
+        with manager.guard(Request("describe", {"dataset": f"ghost-{i}"})):
+            pass
+    assert manager._locks == {}
+    with manager.guard(Request("describe", {"dataset": "real"})):
+        pass
+    assert list(manager._locks) == ["real"]

@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.data",
     "repro.distances",
     "repro.server",
+    "repro.stream",
     "repro.viz",
 ]
 
@@ -46,6 +47,9 @@ class TestTopLevel:
             "TimeSeriesDataset",
             "UcrSuiteSearcher",
             "SpringMatcher",
+            "StreamIngestor",
+            "MonitorRegistry",
+            "OnlineSpringMatcher",
             "KnnClassifier",
             "kmedoids",
             "similarity_profile",

@@ -260,3 +260,176 @@ class TestExploration:
         resp = service.handle("{broken")
         assert not resp.ok
         assert resp.error_type == "ProtocolError"
+
+
+class TestStreamOps:
+    @pytest.fixture()
+    def svc(self):
+        svc = OnexService()
+        resp = svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 6},
+            )
+        )
+        assert resp.ok, resp.error_message
+        return svc
+
+    def test_append_points_creates_and_extends(self, svc):
+        resp = svc.handle(
+            Request(
+                "append_points",
+                {"dataset": "ElectricityLoad-sim", "series": "live",
+                 "values": [10.0, 11.0, 12.0, 11.5]},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["points"] == 4
+        assert resp.result["windows"] == 1  # the first length-4 window
+        resp = svc.handle(
+            Request(
+                "append_points",
+                {"dataset": "ElectricityLoad-sim", "series": "live",
+                 "values": [12.5]},
+            )
+        )
+        assert resp.ok
+        assert resp.result["total_points"] == 5
+        assert resp.result["windows"] == 2  # lengths 4 and 5 complete
+
+    def test_monitor_lifecycle_and_events(self, svc):
+        resp = svc.handle(
+            Request(
+                "register_monitor",
+                {"dataset": "ElectricityLoad-sim",
+                 "pattern": [10.0, 12.0, 14.0, 12.0, 10.0],
+                 "series": "live", "monitor": "ramp"},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["monitor"] == "ramp"
+        assert resp.result["pattern_length"] == 5
+        # Replay the pattern itself: a certain match.
+        resp = svc.handle(
+            Request(
+                "append_points",
+                {"dataset": "ElectricityLoad-sim", "series": "live",
+                 "values": [10.0, 12.0, 14.0, 12.0, 10.0]},
+            )
+        )
+        assert resp.ok
+        assert resp.result["events"], "replaying the pattern must fire events"
+        polled = svc.handle(
+            Request("poll_events", {"dataset": "ElectricityLoad-sim"})
+        )
+        assert polled.ok
+        assert polled.result["events"]
+        assert polled.result["last_seq"] >= len(polled.result["events"])
+        assert polled.result["monitors"][0]["monitor"] == "ramp"
+        # Incremental polling from the last seen seq returns nothing new.
+        last = polled.result["events"][-1]["seq"]
+        again = svc.handle(
+            Request(
+                "poll_events",
+                {"dataset": "ElectricityLoad-sim", "since": last},
+            )
+        )
+        assert again.ok
+        assert again.result["events"] == []
+        resp = svc.handle(
+            Request(
+                "unregister_monitor",
+                {"dataset": "ElectricityLoad-sim", "monitor": "ramp"},
+            )
+        )
+        assert resp.ok
+        resp = svc.handle(
+            Request(
+                "unregister_monitor",
+                {"dataset": "ElectricityLoad-sim", "monitor": "ramp"},
+            )
+        )
+        assert not resp.ok
+        assert resp.error_type == "DatasetError"
+
+    def test_register_monitor_with_brushed_pattern(self, svc):
+        resp = svc.handle(
+            Request(
+                "register_monitor",
+                {"dataset": "ElectricityLoad-sim",
+                 "pattern": {"series": "household-0", "start": 3, "length": 6},
+                 "epsilon": 2.5},
+            )
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result["pattern_length"] == 6
+        assert resp.result["epsilon"] == 2.5
+
+    def test_append_points_unknown_dataset_fails(self, svc):
+        resp = svc.handle(
+            Request(
+                "append_points",
+                {"dataset": "ghost", "series": "x", "values": [1.0]},
+            )
+        )
+        assert not resp.ok
+        assert resp.error_type == "DatasetError"
+
+
+class TestStreamReadPath:
+    def test_poll_before_any_streaming_is_empty_and_side_effect_free(self):
+        svc = OnexService()
+        svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 5},
+            )
+        )
+        resp = svc.handle(
+            Request("poll_events", {"dataset": "ElectricityLoad-sim"})
+        )
+        assert resp.ok, resp.error_message
+        assert resp.result == {
+            "events": [], "last_seq": 0, "monitors": [], "dropped": 0
+        }
+        # The read did not create the stream machinery.
+        entry = svc.engine._entry("ElectricityLoad-sim")
+        assert entry.ingestor is None
+
+    def test_flush_monitors_op(self):
+        svc = OnexService()
+        svc.handle(
+            Request(
+                "load_dataset",
+                {"source": "electricity", "households": 1,
+                 "similarity_threshold": 0.1, "min_length": 4, "max_length": 6},
+            )
+        )
+        resp = svc.handle(
+            Request("flush_monitors", {"dataset": "ElectricityLoad-sim"})
+        )
+        assert resp.ok
+        assert resp.result == {"events": []}
+        svc.handle(
+            Request(
+                "register_monitor",
+                {"dataset": "ElectricityLoad-sim",
+                 "pattern": [10.0, 12.0, 14.0, 12.0, 10.0], "series": "live",
+                 "epsilon": 0.3},
+            )
+        )
+        svc.handle(
+            Request(
+                "append_points",
+                {"dataset": "ElectricityLoad-sim", "series": "live",
+                 "values": [10.0, 12.0, 14.0, 12.0, 10.0]},
+            )
+        )
+        resp = svc.handle(
+            Request("flush_monitors", {"dataset": "ElectricityLoad-sim"})
+        )
+        assert resp.ok
+        assert resp.result["events"], "tail match must flush"
+        assert resp.result["events"][-1]["kind"] == "match"
