@@ -21,8 +21,12 @@ CONFIGS = {
     "no-group-pruning": QueryConfig(
         mode="exact", use_lower_bounds=True, use_group_pruning=False
     ),
+    "no-rep-prefilter": QueryConfig(mode="exact", use_rep_prefilter=False),
     "all-off": QueryConfig(
-        mode="exact", use_lower_bounds=False, use_group_pruning=False
+        mode="exact",
+        use_lower_bounds=False,
+        use_group_pruning=False,
+        use_rep_prefilter=False,
     ),
 }
 

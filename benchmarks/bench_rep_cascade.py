@@ -1,0 +1,177 @@
+"""E16: representative-layer pruning cascade and multi-query throughput.
+
+Three measurements pin the PR-3 rearchitecture:
+
+- the **representative prefilter** (cheap summary bounds + lazy chunked
+  exact DTW + stacked member refinement) against the PR-1 eager path on
+  the headline configuration — result-identical and >= 3x faster;
+- the **band-limited batch kernel** against the full anti-diagonal
+  kernel on banded workloads — bit-identical and faster once the band
+  excludes cells;
+- **``query_batch`` throughput** against sequential single-query
+  submission over the real HTTP server at 8 concurrent queries on the
+  interactive configuration — identical answers, >= 2x throughput (one
+  request pays the envelope/lock/dispatch once and the engine's planner
+  stacks the batch's kernel work).
+
+As in E5, wall-clock factor floors are asserted locally and soft-gated
+on shared CI runners (``ONEX_BENCH_SOFT=1``), where the result-identity
+checks remain the hard gate.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+from repro.distances.dtw import _dtw_batch_banded, _dtw_batch_full, effective_band
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+from run_all import _post
+
+SOFT = os.environ.get("ONEX_BENCH_SOFT") == "1"
+
+
+def make_base(states: int, years: int) -> OnexBase:
+    dataset = build_matters_collection(
+        indicators=("GrowthRate",),
+        states=STATE_ABBREVIATIONS[:states],
+        years=years,
+        min_years=max(10, years - 6),
+        seed=5,
+    )
+    base = OnexBase(
+        dataset, BuildConfig(similarity_threshold=0.2, min_length=5, max_length=8)
+    )
+    base.build()
+    return base
+
+
+def test_rep_prefilter_speedup(benchmark):
+    """Two-layer cascade vs the PR-1 eager representative scan (exact)."""
+    base = make_base(50, 40)
+    rng = np.random.default_rng(55)
+    queries = [rng.uniform(size=6) for _ in range(3)]
+    cascade = QueryProcessor(base, QueryConfig(mode="exact"))
+    eager = QueryProcessor(base, QueryConfig(mode="exact", use_rep_prefilter=False))
+
+    def timed(processor):
+        start = time.perf_counter()
+        matches = [processor.best_match(q, normalize=False) for q in queries]
+        return time.perf_counter() - start, matches
+
+    def measure():
+        t_new, m_new = timed(cascade)
+        t_old, m_old = timed(eager)
+        return t_new, t_old, m_new, m_old
+
+    t_new, t_old, m_new, m_old = benchmark.pedantic(measure, rounds=3, iterations=1)
+    for got, want in zip(m_new, m_old):
+        assert got.ref == want.ref, "prefilter changed the exact best match"
+        assert abs(got.distance - want.distance) < 1e-9
+    speedup = t_old / t_new
+    benchmark.extra_info["cascade_seconds"] = round(t_new, 4)
+    benchmark.extra_info["eager_seconds"] = round(t_old, 4)
+    benchmark.extra_info["speedup_vs_pr1"] = round(speedup, 2)
+    benchmark.extra_info["rep_dtw_skipped"] = cascade.last_stats.rep_dtw_skipped
+    if not SOFT:
+        assert speedup >= 3.0, f"prefilter cascade only {speedup:.1f}x vs PR-1 path"
+
+
+def test_banded_kernel_speed(benchmark):
+    """Band-limited kernel vs the full kernel at a 10% warping window."""
+    rng = np.random.default_rng(7)
+    n = 128
+    query = rng.normal(size=n).cumsum()
+    rows = rng.normal(size=(64, n)).cumsum(axis=1)
+    band = effective_band(n, n, max(1, n // 10))
+
+    def measure():
+        start = time.perf_counter()
+        banded = _dtw_batch_banded(query, rows, band, False, True)
+        t_banded = time.perf_counter() - start
+        start = time.perf_counter()
+        full = _dtw_batch_full(query, rows, band, False, True)
+        t_full = time.perf_counter() - start
+        return t_banded, t_full, banded, full
+
+    t_banded, t_full, banded, full = benchmark.pedantic(measure, rounds=3, iterations=1)
+    assert np.array_equal(banded[0], full[0]), "banded kernel diverged"
+    assert np.array_equal(banded[1], full[1]), "banded path lengths diverged"
+    benchmark.extra_info["banded_seconds"] = round(t_banded, 4)
+    benchmark.extra_info["full_seconds"] = round(t_full, 4)
+    benchmark.extra_info["banded_speedup"] = round(t_full / t_banded, 2)
+    if not SOFT:
+        assert t_banded < t_full, "banded kernel slower than full on banded work"
+
+
+def test_query_batch_throughput(benchmark):
+    """``query_batch`` vs sequential submission, end to end over HTTP."""
+    rng = np.random.default_rng(55)
+    queries = [[float(v) for v in rng.uniform(size=6)] for _ in range(8)]
+    service = OnexService(QueryConfig(mode="exact"))
+    with OnexHttpServer(service) as server:
+        loaded = _post(
+            server.url,
+            {
+                "op": "load_dataset",
+                "params": {
+                    "source": "matters",
+                    "seed": 5,
+                    "years": 16,
+                    "min_years": 10,
+                    "indicators": ["GrowthRate"],
+                    "similarity_threshold": 0.2,
+                    "min_length": 5,
+                    "max_length": 8,
+                },
+            },
+        )
+        assert loaded["ok"], loaded
+        name = loaded["result"]["dataset"]
+        # Warm both paths (first-touch builds member matrices/summaries).
+        _post(
+            server.url,
+            {"op": "query_batch", "params": {"dataset": name, "queries": queries}},
+        )
+        rounds: list[tuple[float, float]] = []
+
+        def measure():
+            start = time.perf_counter()
+            singles = [
+                _post(
+                    server.url,
+                    {"op": "best_match", "params": {"dataset": name, "query": q}},
+                )
+                for q in queries
+            ]
+            t_seq = time.perf_counter() - start
+            start = time.perf_counter()
+            batch = _post(
+                server.url,
+                {"op": "query_batch", "params": {"dataset": name, "queries": queries}},
+            )
+            rounds.append((t_seq, time.perf_counter() - start))
+            return singles, batch
+
+        singles, batch = benchmark.pedantic(measure, rounds=5, iterations=1)
+    assert batch["ok"], batch
+    for single, entry in zip(singles, batch["result"]["results"]):
+        best = entry["matches"][0]
+        assert best["match_series"] == single["result"]["match_series"]
+        assert best["match_start"] == single["result"]["match_start"]
+        assert abs(best["distance"] - single["result"]["distance"]) < 1e-9
+    # Wall-clock per round is noisy (HTTP + thread spawn per request);
+    # gate on the best round of each side, as `_timed` does elsewhere.
+    t_seq = min(t for t, _ in rounds)
+    t_batch = min(t for _, t in rounds)
+    ratio = t_seq / t_batch
+    benchmark.extra_info["sequential_seconds"] = round(t_seq, 4)
+    benchmark.extra_info["batch_seconds"] = round(t_batch, 4)
+    benchmark.extra_info["throughput_ratio"] = round(ratio, 2)
+    if not SOFT:
+        assert ratio >= 2.0, f"query_batch only {ratio:.2f}x sequential submission"

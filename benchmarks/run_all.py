@@ -1,15 +1,20 @@
 """Machine-readable performance snapshot for the perf trajectory.
 
 ``python benchmarks/run_all.py --quick`` runs a small, deterministic
-subset of the E1/E5/E15 measurements directly (no pytest) and prints one
-JSON document: base-construction time, per-query latency of the batched
-and legacy member-refinement paths, the UCR Suite baseline, the
-cross-check that both refinement paths return the same best match, and
-the streaming subsystem's sustained per-append cost vs rebuild-per-append
-with a monitor-exactness gate against brute-force SPRING.  The full
-pytest-benchmark suite remains the authoritative record
-(``pytest benchmarks/``); this entry point exists so CI and scripts can
-track the headline numbers cheaply across PRs.
+subset of the E1/E5/E15/E16 measurements directly (no pytest) and prints
+one JSON document: base-construction time, per-query latency of the
+representative-cascade, PR-1 batched, and legacy member-refinement paths,
+the UCR Suite baseline, the cross-checks that every refinement path
+returns the same best match, the streaming subsystem's sustained
+per-append cost vs rebuild-per-append with a monitor-exactness gate
+against brute-force SPRING, and the multi-query section — ``query_batch``
+throughput against sequential single-query submission over the real HTTP
+server.  The representative-cascade and batch-query numbers (the PR-3
+acceptance measurements, gated on prefilter/batch exactness) are also
+written to ``BENCH_pr3.json``.  The full pytest-benchmark suite remains
+the authoritative record (``pytest benchmarks/``); this entry point
+exists so CI and scripts can track the headline numbers cheaply across
+PRs.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import argparse
 import json
 import sys
 import time
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
@@ -30,6 +36,8 @@ from repro.core.base import OnexBase
 from repro.core.config import BuildConfig, QueryConfig
 from repro.core.query import QueryProcessor
 from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
 from repro.stream import StreamIngestor
 
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120}
@@ -60,22 +68,36 @@ def run(config: dict) -> dict:
 
     rng = np.random.default_rng(55)
     queries = [rng.uniform(size=6) for _ in range(config["queries"])]
-    batched = QueryProcessor(base, QueryConfig(mode="exact"))
+    cascade = QueryProcessor(base, QueryConfig(mode="exact"))
+    pr1 = QueryProcessor(base, QueryConfig(mode="exact", use_rep_prefilter=False))
     legacy = QueryProcessor(
-        base, QueryConfig(mode="exact", use_member_batching=False)
+        base,
+        QueryConfig(mode="exact", use_rep_prefilter=False, use_member_batching=False),
     )
     fast = QueryProcessor(base, QueryConfig(mode="fast", refine_groups=1))
     ucr = UcrSuiteSearcher(base.dataset)
 
-    results_batched = [batched.best_match(q, normalize=False) for q in queries]
+    results_cascade = [cascade.best_match(q, normalize=False) for q in queries]
+    results_pr1 = [pr1.best_match(q, normalize=False) for q in queries]
     results_legacy = [legacy.best_match(q, normalize=False) for q in queries]
-    identical = all(
-        got.ref == want.ref and abs(got.distance - want.distance) < 1e-9
-        for got, want in zip(results_batched, results_legacy)
-    )
 
-    t_batched = _timed(
-        lambda: [batched.best_match(q, normalize=False) for q in queries],
+    def same(got, want):
+        return all(
+            a.ref == b.ref and abs(a.distance - b.distance) < 1e-9
+            for a, b in zip(got, want)
+        )
+
+    identical = same(results_pr1, results_legacy) and same(
+        results_cascade, results_legacy
+    )
+    prefilter_identical = same(results_cascade, results_pr1)
+
+    t_cascade = _timed(
+        lambda: [cascade.best_match(q, normalize=False) for q in queries],
+        config["repeats"],
+    )
+    t_pr1 = _timed(
+        lambda: [pr1.best_match(q, normalize=False) for q in queries],
         config["repeats"],
     )
     t_legacy = _timed(
@@ -89,8 +111,11 @@ def run(config: dict) -> dict:
     t_ucr = _timed(
         lambda: [ucr.best_match(q) for q in queries], config["repeats"]
     )
+    cascade.best_match(queries[0], normalize=False)
+    rep_stats = cascade.last_stats
 
     stream_report = run_stream(config)
+    batch_report = run_batch_queries(config)
 
     return {
         "config": config,
@@ -103,16 +128,106 @@ def run(config: dict) -> dict:
             "build_seconds": round(build_seconds, 4),
         },
         "query_seconds": {
-            "onex_exact_batched": round(t_batched, 4),
+            "onex_exact_cascade": round(t_cascade, 4),
+            "onex_exact_pr1_batched": round(t_pr1, 4),
             "onex_exact_legacy": round(t_legacy, 4),
             "onex_fast": round(t_fast, 4),
             "ucr_suite": round(t_ucr, 4),
         },
         "speedups": {
-            "batched_vs_legacy": round(t_legacy / t_batched, 2),
+            "rep_cascade_vs_pr1": round(t_pr1 / t_cascade, 2),
+            "batched_vs_legacy": round(t_legacy / t_pr1, 2),
+            "cascade_vs_legacy": round(t_legacy / t_cascade, 2),
             "fast_vs_ucr": round(t_ucr / t_fast, 2),
         },
+        "rep_cascade": {
+            "representatives_total": rep_stats.representatives_total,
+            "rep_dtw_calls": rep_stats.rep_dtw_calls,
+            "rep_dtw_skipped": rep_stats.rep_dtw_skipped,
+            "rep_lb_prunes": rep_stats.rep_lb_prunes,
+        },
+        "batch_query": batch_report,
         "refinement_paths_identical": identical,
+        "prefilter_paths_identical": prefilter_identical,
+    }
+
+
+def _post(url: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        url + "/api",
+        json.dumps(payload).encode(),
+        {"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        return json.loads(resp.read())
+
+
+def run_batch_queries(config: dict) -> dict:
+    """E16 smoke: ``query_batch`` vs sequential submission over real HTTP.
+
+    Eight concurrent exact-mode queries against the interactive demo
+    configuration, submitted one request at a time and as one
+    ``query_batch`` request; the batch must return identical matches.
+    One batched request pays the HTTP round trip, JSON envelope, and
+    dataset lock once, and the engine's multi-query planner stacks the
+    batch's kernel work (paired batch DTW across queries).
+    """
+    rng = np.random.default_rng(55)
+    queries = [[float(v) for v in rng.uniform(size=6)] for _ in range(8)]
+    service = OnexService(QueryConfig(mode="exact"))
+    with OnexHttpServer(service) as server:
+        loaded = _post(
+            server.url,
+            {
+                "op": "load_dataset",
+                "params": {
+                    "source": "matters",
+                    "seed": 5,
+                    "years": 16,
+                    "min_years": 10,
+                    "indicators": ["GrowthRate"],
+                    "similarity_threshold": 0.2,
+                    "min_length": 5,
+                    "max_length": 8,
+                },
+            },
+        )
+        name = loaded["result"]["dataset"]
+        # Warm both paths (first touch builds matrices and summaries).
+        _post(
+            server.url,
+            {"op": "query_batch", "params": {"dataset": name, "queries": queries}},
+        )
+        t_seq, t_batch = float("inf"), float("inf")
+        singles = batch = None
+        for _ in range(max(3, config["repeats"])):
+            start = time.perf_counter()
+            singles = [
+                _post(
+                    server.url,
+                    {"op": "best_match", "params": {"dataset": name, "query": q}},
+                )
+                for q in queries
+            ]
+            t_seq = min(t_seq, time.perf_counter() - start)
+            start = time.perf_counter()
+            batch = _post(
+                server.url,
+                {"op": "query_batch", "params": {"dataset": name, "queries": queries}},
+            )
+            t_batch = min(t_batch, time.perf_counter() - start)
+    identical = all(
+        entry["matches"][0]["match_series"] == single["result"]["match_series"]
+        and entry["matches"][0]["match_start"] == single["result"]["match_start"]
+        and abs(entry["matches"][0]["distance"] - single["result"]["distance"]) < 1e-9
+        for single, entry in zip(singles, batch["result"]["results"])
+    )
+    return {
+        "queries": len(queries),
+        "sequential_seconds": round(t_seq, 4),
+        "batch_seconds": round(t_batch, 4),
+        "throughput_ratio": round(t_seq / t_batch, 2),
+        "batch_results_identical": identical,
     }
 
 
@@ -181,6 +296,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", type=Path, default=None, help="also write the JSON here"
     )
+    parser.add_argument(
+        "--pr3-output",
+        type=Path,
+        default=Path("BENCH_pr3.json"),
+        help="where the representative-cascade + batch-query section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -188,8 +309,37 @@ def main(argv: list[str] | None = None) -> int:
     print(text)
     if args.output is not None:
         args.output.write_text(text + "\n")
+    pr3 = {
+        "config": report["config"],
+        "exact_query_seconds": {
+            "rep_cascade": report["query_seconds"]["onex_exact_cascade"],
+            "pr1_batched": report["query_seconds"]["onex_exact_pr1_batched"],
+            "legacy_scalar": report["query_seconds"]["onex_exact_legacy"],
+        },
+        "speedups": {
+            "rep_cascade_vs_pr1": report["speedups"]["rep_cascade_vs_pr1"],
+            "cascade_vs_legacy": report["speedups"]["cascade_vs_legacy"],
+        },
+        "rep_cascade": report["rep_cascade"],
+        "batch_query": report["batch_query"],
+        "refinement_paths_identical": report["refinement_paths_identical"],
+        "prefilter_paths_identical": report["prefilter_paths_identical"],
+    }
+    args.pr3_output.write_text(json.dumps(pr3, indent=2) + "\n")
     if not report["refinement_paths_identical"]:
         print("ERROR: batched and legacy refinement disagree", file=sys.stderr)
+        return 1
+    if not report["prefilter_paths_identical"]:
+        print(
+            "ERROR: representative prefilter changed exact-mode matches",
+            file=sys.stderr,
+        )
+        return 1
+    if not report["batch_query"]["batch_results_identical"]:
+        print(
+            "ERROR: query_batch results diverge from sequential submission",
+            file=sys.stderr,
+        )
         return 1
     if not report["stream"]["events_exact_vs_brute_force_spring"]:
         print(

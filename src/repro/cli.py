@@ -4,7 +4,10 @@ Wraps the engine and server for shell use.  Commands mirror the service
 operations so everything the HTTP API offers is scriptable:
 
 - ``describe`` — load a source and print collection + base statistics.
-- ``query`` — best matches for a brushed series window.
+- ``query`` — best matches for a brushed series window; ``--starts``
+  brushes several windows and submits them as one ``query_batch``;
+  ``--window`` constrains every DTW to a Sakoe-Chiba band (engaging the
+  persisted centroid envelopes and the band-limited kernel).
 - ``seasonal`` — recurring patterns within one series.
 - ``thresholds`` — data-driven similarity-threshold suggestions.
 - ``sensitivity`` — match-count curve across candidate thresholds.
@@ -52,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="MATTERS indicator subset (e.g. GrowthRate)")
         p.add_argument("--years", type=int, default=16)
         p.add_argument("--min-years", type=int, default=10)
+        p.add_argument("--window", type=int, default=None,
+                       help="Sakoe-Chiba band radius for all DTW "
+                            "evaluations (default: unconstrained; banded "
+                            "queries engage the persisted centroid "
+                            "envelopes and the band-limited kernel)")
 
     p = sub.add_parser("describe", help="collection and base statistics")
     add_source_options(p)
@@ -60,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     add_source_options(p)
     p.add_argument("--series", required=True)
     p.add_argument("--start", type=int, default=0)
+    p.add_argument("--starts", nargs="+", type=int, default=None,
+                   help="brush several windows (one per start) and submit "
+                        "them as a single query_batch request")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--k", type=int, default=5)
 
@@ -103,6 +114,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the HTTP JSON API")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--mode", choices=("fast", "exact"), default="fast",
+                   help="query strategy the service answers with")
+    p.add_argument("--window", type=int, default=None,
+                   help="Sakoe-Chiba band radius for all DTW evaluations")
 
     return parser
 
@@ -148,7 +163,11 @@ def main(argv=None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
-        server = OnexHttpServer(OnexService(), host=args.host, port=args.port)
+        server = OnexHttpServer(
+            OnexService(QueryConfig(mode=args.mode, window=args.window)),
+            host=args.host,
+            port=args.port,
+        )
         print(f"ONEX server listening on {server.url} (Ctrl-C to stop)")
         try:
             server.start()._thread.join()
@@ -156,7 +175,9 @@ def _dispatch(args: argparse.Namespace) -> int:
             server.stop()
         return 0
 
-    service = OnexService(QueryConfig(mode="fast", refine_groups=3))
+    service = OnexService(
+        QueryConfig(mode="fast", refine_groups=3, window=args.window)
+    )
     loaded = _call(service, "load_dataset", _load_params(args))
     dataset = loaded["dataset"]
 
@@ -174,6 +195,33 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "query":
+        if args.starts is not None:
+            # One request answers every brushed window (query_batch).
+            result = _call(
+                service,
+                "query_batch",
+                {
+                    "dataset": dataset,
+                    "queries": [
+                        {"series": args.series, "start": start,
+                         "length": args.length}
+                        for start in args.starts
+                    ],
+                    "k": args.k,
+                },
+            )
+
+            def human(payload):
+                for start, entry in zip(args.starts, payload["results"]):
+                    print(f"top {len(entry['matches'])} matches for "
+                          f"{args.series}[{start}:]:")
+                    for m in entry["matches"]:
+                        print(f"  {m['match_series']:<24} "
+                              f"start={m['match_start']:<4}"
+                              f" dist={m['distance']:.4f}")
+
+            _emit(result, args, human)
+            return 0
         result = _call(
             service,
             "k_best",

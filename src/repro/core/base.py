@@ -24,10 +24,39 @@ import numpy as np
 from repro.core.config import BuildConfig
 from repro.core.grouping import SimilarityGroup, cluster_subsequences
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.distances.envelope import keogh_envelope_batch
+from repro.distances.lower_bounds import lb_keogh_reverse_batch, lb_kim_endpoints_batch
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import DatasetError, NotBuiltError, ValidationError
 
-__all__ = ["BaseStats", "LengthBucket", "OnexBase", "WindowAssignment"]
+__all__ = [
+    "BaseStats",
+    "LengthBucket",
+    "OnexBase",
+    "RepresentativeSummary",
+    "WindowAssignment",
+    "default_envelope_radius",
+]
+
+#: ``.npz`` layout version written by :meth:`OnexBase.save`.  Version 2
+#: added the stacked member-value matrices (PR 1); version 3 adds the
+#: persisted representative summaries (centroid Keogh envelopes, endpoint
+#: and min/max summaries).  :meth:`OnexBase.load` accepts any older
+#: archive and rebuilds the missing arrays lazily.
+FORMAT_VERSION = 3
+
+
+def default_envelope_radius(length: int) -> int:
+    """Persisted centroid-envelope radius for one subsequence length.
+
+    Roughly a 10% Sakoe–Chiba band (the classic warping-window regime),
+    never below 1 so the envelope is strictly wider than the centroid and
+    never beyond ``length - 1`` (full warping).  Queries whose effective
+    band fits inside this radius use the persisted envelopes; wider or
+    unconstrained bands fall back to the per-centroid min/max band, which
+    bounds DTW at any radius.
+    """
+    return max(1, min(length - 1, length // 10))
 
 
 @dataclass(frozen=True)
@@ -74,6 +103,130 @@ def _grown(
     grown = np.empty((capacity,) + array.shape[1:], dtype=np.float64)
     grown[:used] = array[:used]
     return grown
+
+
+class RepresentativeSummary:
+    """Prunable summaries of one bucket's representatives, stacked.
+
+    Three cheap-to-evaluate stand-ins for each group centroid, used by the
+    representative-layer cascade to lower-bound ``DTW(query, centroid)``
+    without running the DTW kernel:
+
+    - ``endpoints`` — ``(G, 4)`` first/second/penultimate/last values
+      feeding the constant-time LB_Kim bound;
+    - ``env_lo`` / ``env_hi`` — ``(G, length)`` Keogh envelopes at a fixed
+      ``radius`` (:func:`default_envelope_radius`), valid whenever the
+      query's effective DTW band fits inside that radius;
+    - ``minmax`` — ``(G, 2)`` per-centroid global min/max, the radius-∞
+      envelope that bounds DTW at *any* band including unconstrained.
+
+    The stores grow by amortised doubling exactly like the bucket's
+    centroid stack (representatives never move, so rows never need
+    recomputation), are persisted in the ``.npz`` archive, and are shared
+    read-only by concurrent queries.
+    """
+
+    def __init__(self, length: int, radius: int | None = None) -> None:
+        self.length = length
+        self.radius = default_envelope_radius(length) if radius is None else int(radius)
+        self._count = 0
+        cap = LengthBucket._MIN_CAPACITY
+        self._env_lo = np.empty((cap, length), dtype=np.float64)
+        self._env_hi = np.empty((cap, length), dtype=np.float64)
+        self._endpoints = np.empty((cap, 4), dtype=np.float64)
+        self._minmax = np.empty((cap, 2), dtype=np.float64)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def env_lo(self) -> np.ndarray:
+        return self._env_lo[: self._count]
+
+    @property
+    def env_hi(self) -> np.ndarray:
+        return self._env_hi[: self._count]
+
+    @property
+    def endpoints(self) -> np.ndarray:
+        return self._endpoints[: self._count]
+
+    @property
+    def minmax(self) -> np.ndarray:
+        return self._minmax[: self._count]
+
+    def extend(self, centroids: np.ndarray) -> None:
+        """Append summaries for freshly added centroid rows."""
+        rows = np.atleast_2d(np.asarray(centroids, dtype=np.float64))
+        fresh = rows.shape[0]
+        if not fresh:
+            return
+        needed = self._count + fresh
+        if needed > self._env_lo.shape[0]:
+            self._env_lo = _grown(self._env_lo, self._count, needed=needed)
+            self._env_hi = _grown(self._env_hi, self._count, needed=needed)
+            self._endpoints = _grown(self._endpoints, self._count, needed=needed)
+            self._minmax = _grown(self._minmax, self._count, needed=needed)
+        lo, hi = keogh_envelope_batch(rows, self.radius)
+        sl = slice(self._count, needed)
+        self._env_lo[sl] = lo
+        self._env_hi[sl] = hi
+        self._endpoints[sl] = rows[:, [0, 1, -2, -1]]
+        self._minmax[sl, 0] = rows.min(axis=1)
+        self._minmax[sl, 1] = rows.max(axis=1)
+        self._count = needed
+
+    def cheap_bounds(
+        self, query: np.ndarray, band: int | None, start: int = 0
+    ) -> np.ndarray:
+        """Per-representative lower bounds on raw ``DTW(query, centroid)``.
+
+        The tightest applicable combination of LB_Kim (endpoints, any
+        lengths) and a Keogh-style envelope bound: the persisted envelopes
+        when the query has the bucket length and its effective *band* fits
+        inside ``self.radius``, else the min/max band (valid at any band
+        width and for unequal lengths).  *start* restricts the evaluation
+        to representatives ``start:`` (the streaming monitors extend their
+        caches incrementally as ingestion spawns groups).
+        """
+        if start >= self._count:
+            return np.empty(0)
+        bound = lb_kim_endpoints_batch(
+            query, self._endpoints[start : self._count], self.length
+        )
+        if query.shape[0] == self.length and band is not None and band <= self.radius:
+            lo = self._env_lo[start : self._count]
+            hi = self._env_hi[start : self._count]
+        else:
+            lo = self._minmax[start : self._count, :1]
+            hi = self._minmax[start : self._count, 1:]
+        return np.maximum(bound, lb_keogh_reverse_batch(query, lo, hi))
+
+    def cheap_bounds_multi(
+        self, queries: np.ndarray, band: int | None
+    ) -> np.ndarray:
+        """:meth:`cheap_bounds` for a stack of equal-length queries at once.
+
+        *queries* is ``(Q, n)``; returns ``(Q, G)`` — row ``i`` equals
+        ``cheap_bounds(queries[i], band)``.  One broadcasted evaluation
+        replaces ``Q`` per-query calls; the multi-query planner uses this
+        so the bound stage costs one numpy dispatch per (bucket, query
+        length) instead of per query.
+        """
+        qs = np.asarray(queries, dtype=np.float64)
+        if qs.ndim != 2:
+            raise ValidationError(f"queries must be 2-D, got shape {qs.shape}")
+        if self._count == 0:
+            return np.empty((qs.shape[0], 0))
+        kim = lb_kim_endpoints_batch(qs, self._endpoints[: self._count], self.length)
+        if qs.shape[1] == self.length and band is not None and band <= self.radius:
+            lo = self._env_lo[: self._count]
+            hi = self._env_hi[: self._count]
+        else:
+            lo = self._minmax[: self._count, :1]
+            hi = self._minmax[: self._count, 1:]
+        return np.maximum(kim, lb_keogh_reverse_batch(qs, lo, hi))
 
 
 class LengthBucket:
@@ -124,6 +277,10 @@ class LengthBucket:
             slice(int(offsets[g]), int(offsets[g + 1])) for g in range(count)
         ]
         self._row_count = int(offsets[-1])
+        # Representative summaries (envelopes/endpoints/minmax) are built
+        # lazily on first use and kept in sync by append_group; load()
+        # attaches the persisted arrays instead.
+        self._rep_summary: RepresentativeSummary | None = None
         if member_matrix is not None:
             expected = (self._row_count, length)
             if member_matrix.shape != expected:
@@ -160,6 +317,36 @@ class LengthBucket:
     def cheb_radii(self) -> np.ndarray:
         """Per-group Chebyshev radius feeding the transfer bounds (view)."""
         return self._cheb_store[: len(self.groups)]
+
+    @property
+    def rep_summary(self) -> RepresentativeSummary:
+        """Prunable representative summaries, built lazily and kept live.
+
+        Always in sync with the current group count.  Appends extend the
+        summary in place under the callers' exclusive (write-side) lock;
+        this accessor, which concurrent *readers* share, never mutates an
+        already-published summary — when out of sync (first touch, or a
+        pre-v3 archive) it builds a complete replacement locally and
+        publishes it with one assignment, so racing readers at worst
+        build twice and last-write-wins with an equivalent object.
+        """
+        summary = self._rep_summary
+        if summary is None or summary.count < len(self.groups):
+            fresh = RepresentativeSummary(
+                self.length, summary.radius if summary is not None else None
+            )
+            fresh.extend(self.centroids)
+            self._rep_summary = summary = fresh
+        return summary
+
+    def attach_rep_summary(self, summary: RepresentativeSummary) -> None:
+        """Adopt persisted representative summaries (see ``OnexBase.load``)."""
+        if summary.count != len(self.groups):
+            raise ValidationError(
+                f"representative summary covers {summary.count} groups, "
+                f"bucket has {len(self.groups)}"
+            )
+        self._rep_summary = summary
 
     @property
     def member_offsets(self) -> np.ndarray:
@@ -276,6 +463,10 @@ class LengthBucket:
         self._ed_store[g_idx] = group.ed_radius
         self._cheb_store[g_idx] = group.cheb_radius
         self.groups.append(group)
+        if self._rep_summary is not None and self._rep_summary.count == g_idx:
+            # Keep the prunable summaries live under streaming appends;
+            # centroids never move, so existing rows stay valid.
+            self._rep_summary.extend(group.centroid[None, :])
         phys = self._append_row(values)
         self._rows.append(slice(phys, phys + 1))
         return g_idx
@@ -621,6 +812,7 @@ class OnexBase:
         path = Path(path)
         payload: dict[str, np.ndarray] = {}
         meta = {
+            "format_version": FORMAT_VERSION,
             "config": {
                 "similarity_threshold": self._config.similarity_threshold,
                 "min_length": self._config.min_length,
@@ -654,6 +846,16 @@ class OnexBase:
             payload[f"{prefix}_offsets"] = np.array(offsets, dtype=np.int64)
             payload[f"{prefix}_member_matrix"] = bucket.stacked_member_matrix(
                 self._dataset
+            )
+            # Format v3: the representative-layer prune summaries, so a
+            # loaded base answers its first query with zero preparation.
+            summary = bucket.rep_summary
+            payload[f"{prefix}_rep_env_lo"] = summary.env_lo
+            payload[f"{prefix}_rep_env_hi"] = summary.env_hi
+            payload[f"{prefix}_rep_endpoints"] = summary.endpoints
+            payload[f"{prefix}_rep_minmax"] = summary.minmax
+            payload[f"{prefix}_rep_env_radius"] = np.array(
+                summary.radius, dtype=np.int64
             )
         np.savez_compressed(path, **payload)
 
@@ -715,6 +917,23 @@ class OnexBase:
                 )
                 bucket = LengthBucket(int(length), groups, member_matrix)
                 bucket.ensure_member_matrix(base._dataset)
+                env_key = f"{prefix}_rep_env_lo"
+                if env_key in archive.files:
+                    summary = RepresentativeSummary(
+                        int(length), int(archive[f"{prefix}_rep_env_radius"])
+                    )
+                    count = len(groups)
+                    cap = max(LengthBucket._MIN_CAPACITY, count)
+                    summary._env_lo = _grown(archive[env_key], count, cap)
+                    summary._env_hi = _grown(archive[f"{prefix}_rep_env_hi"], count, cap)
+                    summary._endpoints = _grown(
+                        archive[f"{prefix}_rep_endpoints"], count, cap
+                    )
+                    summary._minmax = _grown(archive[f"{prefix}_rep_minmax"], count, cap)
+                    summary._count = count
+                    bucket.attach_rep_summary(summary)
+                # Pre-v3 archives carry no summaries: rep_summary rebuilds
+                # them lazily from the centroids on first use.
                 base._buckets[int(length)] = bucket
         stats = meta["stats"]
         base._stats = BaseStats(

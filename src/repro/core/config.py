@@ -88,6 +88,24 @@ class QueryConfig:
         legacy one-member-at-a-time scan with scalar early-abandon DTW —
         kept for ablation benchmarks and the exactness cross-check; both
         paths return identical matches.
+    use_rep_prefilter:
+        Rank and prune representatives with the persisted summary bounds
+        (centroid Keogh envelopes + LB_Kim endpoints + the transfer
+        inequality) and run exact representative DTW *lazily*, so
+        representatives whose cheap bound exceeds the running cutoff
+        never get a DTW call (the default).  ``False`` restores the
+        eager PR-1 behaviour — exact DTW against every representative up
+        front — kept for ablations and the exactness cross-check; both
+        paths return identical matches in exact mode and identical
+        rankings in fast mode.
+    batch_min_members:
+        Refinement units (a group, or an exact-mode chunk of groups)
+        with fewer stacked member rows than this run the legacy scalar
+        early-abandon scan instead of the batched cascade: below the
+        threshold the batched kernels' fixed per-call dispatch overhead
+        exceeds the whole computation.  The default was picked from
+        ``benchmarks/bench_rep_cascade.py`` (see DESIGN.md §1); ``0``
+        forces every unit through the batched path.
     """
 
     mode: str = "fast"
@@ -96,6 +114,8 @@ class QueryConfig:
     use_lower_bounds: bool = True
     use_group_pruning: bool = True
     use_member_batching: bool = True
+    use_rep_prefilter: bool = True
+    batch_min_members: int = 8
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):
@@ -106,3 +126,7 @@ class QueryConfig:
             )
         if self.window is not None and self.window < 0:
             raise ValidationError(f"window must be >= 0, got {self.window}")
+        if self.batch_min_members < 0:
+            raise ValidationError(
+                f"batch_min_members must be >= 0, got {self.batch_min_members}"
+            )

@@ -225,6 +225,21 @@ class OnexEngine:
     def k_best_matches(self, dataset_name: str, query, k: int, **kwargs) -> list[Match]:
         return self._entry(dataset_name).processor.k_best_matches(query, k, **kwargs)
 
+    def batch_best_matches(
+        self, dataset_name: str, queries, k: int = 1, **kwargs
+    ) -> list[list[Match]]:
+        """The *k* best matches for every query of a batch, in one call.
+
+        The multi-query execution layer
+        (:meth:`repro.core.query.QueryProcessor.batch_matches`): shared
+        prune state is prepared once, kernel stages stack across queries,
+        and per-bucket kernel jobs fan out over a thread pool.  Results
+        are identical to per-query :meth:`k_best_matches` calls.
+        """
+        return self._entry(dataset_name).processor.batch_matches(
+            queries, k, **kwargs
+        )
+
     def matches_within(self, dataset_name: str, query, threshold: float, **kwargs) -> list[Match]:
         return self._entry(dataset_name).processor.matches_within(
             query, threshold, **kwargs

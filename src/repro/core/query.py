@@ -10,16 +10,29 @@ strategies are provided (:class:`repro.core.config.QueryConfig`):
     group radius slack of the representative-level optimum.
 
 ``exact``
-    Never skip a group unless a *provable* lower bound (LB_Kim on the
-    representative, or the ED→DTW transfer lower bound fed by the group's
-    Chebyshev radius) shows it cannot contain a better match.  Returns the
-    true DTW best match over all indexed subsequences, usually still far
-    cheaper than a raw scan.
+    Never skip a group unless a *provable* lower bound shows it cannot
+    contain a better match.  Returns the true DTW best match over all
+    indexed subsequences, usually still far cheaper than a raw scan.
 
-**Member refinement** (both strategies, and the threshold query) runs a
-batched pruning cascade over each group's stacked member matrix
-(:attr:`repro.core.base.LengthBucket.member_matrix`), cheapest bound
-first:
+The search is a **two-layer pruning cascade**, cheap bounds first at both
+layers:
+
+**Representative layer** (``use_rep_prefilter``, the default): each
+bucket's persisted summaries (:class:`repro.core.base.RepresentativeSummary`
+— centroid Keogh envelopes, endpoint and min/max summaries) yield batched
+LB_Kim / LB_Keogh lower bounds on ``DTW(query, representative)`` without
+any DTW kernel call; combined with the ED→DTW transfer bound they
+lower-bound every *member* of the group.  Representatives are then visited
+best-first with **lazy exact DTW**: a representative's exact distance is
+only computed (in chunked batches, so the kernel stays amortised) when its
+cheap bound undercuts the current cutoff — representatives whose bound
+exceeds the running k-th best distance never get a DTW call at all.
+
+**Member layer** (both strategies, and the threshold query): surviving
+groups are refined through a batched pruning cascade over their stacked
+member rows (:attr:`repro.core.base.LengthBucket.member_matrix`); in exact
+mode whole *chunks* of verified groups refine through one stacked kernel
+call:
 
 1. ``lb_kim_batch`` — constant-time endpoint bound, every member at once;
 2. ``lb_keogh_batch`` — envelope bound (equal-length candidates), with
@@ -27,17 +40,25 @@ first:
 3. ``dtw_distance_batch(..., with_path_length=True)`` — exact DTW for all
    surviving members in one anti-diagonal dynamic program, with the
    optimal warping-path length tracked alongside so normalised distances
-   need no traceback;
+   need no per-member traceback;
 4. ``dtw_path`` — warping-path traceback deferred to the handful of
    matches actually returned to the caller.
+
+Refinement units smaller than ``QueryConfig.batch_min_members`` rows run
+the legacy scalar early-abandon scan instead — below that size the batched
+kernels' fixed dispatch overhead exceeds the whole computation.
 
 Every stage is provably result-preserving, so the cascade returns exactly
 the matches the legacy one-member-at-a-time scan
 (``QueryConfig(use_member_batching=False)``) returns — the ablation
-benchmarks cross-check this.  :class:`QueryStats` counts the work each
-stage actually performed: ``member_lb_prunes`` are members eliminated by
-stages 1–2 without any DTW, ``member_dtw_calls`` are members whose exact
-DTW was computed (stage 3 rows, or scalar DTW calls on the legacy path).
+benchmarks cross-check this, as they do with the representative prefilter
+toggled off.  :class:`QueryStats` counts the work each stage actually
+performed, at both layers.
+
+:meth:`QueryProcessor.batch_matches` answers many queries in one call:
+shared read-only state (member matrices, representative summaries) is
+prepared once, then the queries fan out over a thread pool — the numpy
+kernels release the GIL — with results identical to per-query submission.
 
 Distances reported to callers are **normalised DTW** (cost divided by
 warping-path length), the unit in which ONEX similarity thresholds are
@@ -48,6 +69,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +93,13 @@ from repro.exceptions import ValidationError
 __all__ = ["Match", "QueryProcessor", "QueryStats"]
 
 _INF = math.inf
+
+#: Representatives evaluated (lazy exact DTW) or drained (refinement) per
+#: round of the representative cascade.  Grows geometrically within one
+#: query, so adversarial bound distributions cost O(log groups) rounds
+#: while the first rounds stay small enough to establish a cutoff before
+#: most representatives are touched.
+_REP_CHUNK = 16
 
 
 @dataclass(frozen=True)
@@ -94,16 +124,27 @@ class Match:
 
 @dataclass
 class QueryStats:
-    """Work counters for one query — the ablation benchmarks read these."""
+    """Work counters for one query — the ablation benchmarks read these.
+
+    Representative layer: ``rep_lb_prunes`` counts groups eliminated with
+    only the cheap (no-DTW) representative bound, ``rep_dtw_skipped`` the
+    representatives whose exact DTW never ran (pruned or left unranked by
+    the lazy cascade), ``rep_dtw_calls`` those whose exact DTW did run.
+    ``groups_pruned`` totals the provable group-level prunes of either
+    kind.  ``batch_queries`` is the number of queries merged into this
+    record by :meth:`QueryProcessor.batch_matches` (0 for single queries).
+    """
 
     representatives_total: int = 0
     rep_lb_prunes: int = 0
     rep_dtw_calls: int = 0
+    rep_dtw_skipped: int = 0
     groups_pruned: int = 0
     groups_refined: int = 0
     members_scanned: int = 0
     member_lb_prunes: int = 0
     member_dtw_calls: int = 0
+    batch_queries: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         for name in vars(other):
@@ -158,12 +199,320 @@ class QueryProcessor:
         q = self._resolve_query(query, normalize)
         buckets = self._select_buckets(lengths)
         stats = QueryStats()
+        matches = self._run_search(q, buckets, k, stats)
+        self.last_stats = stats
+        return matches
+
+    def batch_matches(
+        self,
+        queries,
+        k: int = 1,
+        *,
+        lengths=None,
+        normalize: bool = True,
+        max_workers: int | None = None,
+    ) -> list[list[Match]]:
+        """The *k* best matches for every query of a batch, in one call.
+
+        The multi-query execution layer.  Shared read-only state — each
+        bucket's stacked member matrix and representative summaries — is
+        prepared once up front.  Exact-mode batches then run the shared
+        planner (:meth:`_batch_search_exact`): the heavy kernel stages of
+        *all* queries stack into paired batch-DTW calls, per length
+        bucket, and those per-bucket kernel jobs fan out over a thread
+        pool (the numpy kernels release the GIL, so buckets genuinely
+        overlap on multicore hosts).  Fast-mode batches fan whole queries
+        out over the pool instead — their per-query work is dominated by
+        the ranked refinement walk, which does not stack.  Results are
+        identical to submitting each query through
+        :meth:`k_best_matches`, in input order; ``last_stats`` afterwards
+        holds the merged work counters with ``batch_queries`` set.
+        """
+        if k < 1:
+            raise ValidationError(f"k must be >= 1, got {k}")
+        resolved = [self._resolve_query(query, normalize) for query in queries]
+        stats = QueryStats()
+        stats.batch_queries = len(resolved)
+        if not resolved:
+            self.last_stats = stats
+            return []
+        buckets = self._select_buckets(lengths)
+        # Pre-warm everything worker threads would otherwise build
+        # concurrently; afterwards the searches only read shared state.
+        for bucket in buckets:
+            bucket.ensure_member_matrix(self._base.dataset)
+            if self._config.use_rep_prefilter:
+                bucket.rep_summary
+        if max_workers is None:
+            max_workers = min(len(resolved), os.cpu_count() or 1)
+
+        if self._config.mode == "exact":
+            # One executor serves every kernel wave of the planner.
+            pool = (
+                ThreadPoolExecutor(max_workers=max_workers)
+                if max_workers > 1
+                else None
+            )
+            try:
+                results, per_query = self._batch_search_exact(
+                    resolved, buckets, k, pool
+                )
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=True)
+            for one in per_query:
+                stats.merge(one)
+            self.last_stats = stats
+            return results
+
+        def run_one(q: np.ndarray) -> tuple[list[Match], QueryStats]:
+            one = QueryStats()
+            return self._run_search(q, buckets, k, one), one
+
+        if max_workers > 1 and len(resolved) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(pool.map(run_one, resolved))
+        else:
+            outcomes = [run_one(q) for q in resolved]
+        for _, one in outcomes:
+            stats.merge(one)
+        self.last_stats = stats
+        return [matches for matches, _ in outcomes]
+
+    def _batch_search_exact(
+        self,
+        qs: list[np.ndarray],
+        buckets: list[LengthBucket],
+        k: int,
+        pool: ThreadPoolExecutor | None,
+    ) -> tuple[list[list[Match]], list[QueryStats]]:
+        """Shared exact-mode planner: one set of kernel calls for a batch.
+
+        Three rounds, all provably result-preserving:
+
+        1. **Seed** — each query refines its single most-promising group
+           (smallest cheap representative bound), establishing a finite
+           pruning cutoff before any representative DTW runs.
+        2. **Representative DTW** — every (query, group) pair whose cheap
+           bound survives its query's cutoff is verified exactly, with all
+           pairs of a (bucket, query-length) class stacked into one paired
+           kernel call; pairs over the cutoff are pruned with no DTW.
+        3. **Bulk refinement** — surviving pairs' member rows run the
+           lower-bound cascade per query, then one paired DTW call per
+           (bucket, class) covers every query's survivors at once.
+
+        Compared to the single-query lazy cascade this trades one round of
+        cutoff tightening for cross-query kernel stacking — the per-call
+        dispatch cost is paid per *batch* instead of per query.  The
+        stacked kernel jobs of rounds 2/3 are pure numpy (GIL released)
+        and fan out over a thread pool; every heap update happens on the
+        calling thread, so results are deterministic and identical to
+        sequential submission.
+        """
+        cfg = self._config
+        Q = len(qs)
+        stats = [QueryStats() for _ in qs]
+        heaps: list[list[_Negated]] = [[] for _ in qs]
+        envs = [QueryEnvelopeCache(q) for q in qs]
+        for one in stats:
+            for bucket in buckets:
+                one.representatives_total += bucket.group_count
+        live = [b for b in buckets if b.group_count]
+        classes: dict[int, list[int]] = {}
+        for qi, q in enumerate(qs):
+            classes.setdefault(q.shape[0], []).append(qi)
+
+        def run_jobs(jobs: list) -> list:
+            """Run paired-DTW jobs, fanned over the shared pool if any."""
+            if pool is not None and len(jobs) > 1:
+                return list(pool.map(lambda j: j(), jobs))
+            return [job() for job in jobs]
+
+        # Cheap group lower bounds per (query, bucket): (Q, G_b) tables,
+        # one broadcasted evaluation per (bucket, query-length class).
+        glb: list[np.ndarray] = []
+        refined: list[np.ndarray] = []
+        for bucket in live:
+            refined.append(np.zeros((Q, bucket.group_count), dtype=bool))
+            table = np.zeros((Q, bucket.group_count))
+            if cfg.use_rep_prefilter:
+                for qlen, members in classes.items():
+                    band = effective_band(qlen, bucket.length, cfg.window)
+                    cheap = bucket.rep_summary.cheap_bounds_multi(
+                        np.vstack([qs[qi] for qi in members]), band
+                    )
+                    max_path = qlen + bucket.length - 1
+                    table[members] = (
+                        np.maximum(cheap - max_path * bucket.cheb_radii, 0.0)
+                        / max_path
+                    )
+            glb.append(table)
+
+        # Round 1: seed each query's cutoff from its best-bound group,
+        # all seed refinements stacked like a bulk round.
+        if cfg.use_rep_prefilter and live:
+            plan: dict[tuple[int, int], list[tuple[int, list[int]]]] = {}
+            for qi, q in enumerate(qs):
+                b_best = min(
+                    range(len(live)), key=lambda b_i: float(glb[b_i][qi].min())
+                )
+                g_best = int(np.argmin(glb[b_best][qi]))
+                refined[b_best][qi, g_best] = True
+                plan.setdefault((b_best, q.shape[0]), []).append((qi, [g_best]))
+            self._batch_refine_stacked(
+                plan, live, qs, k, heaps, stats, envs, run_jobs
+            )
+
+        # Round 2: paired representative DTW for pairs under the cutoff.
+        tight: list[np.ndarray] = [
+            np.full((Q, b.group_count), _INF) for b in live
+        ]
+        jobs = []
+        job_meta = []
+        for b_i, bucket in enumerate(live):
+            for qlen, members in classes.items():
+                max_path = qlen + bucket.length - 1
+                xs, mats, owner_q, owner_g = [], [], [], []
+                for qi in members:
+                    mask = ~refined[b_i][qi]
+                    if cfg.use_rep_prefilter and cfg.use_group_pruning:
+                        cutoff = self._cutoff(heaps[qi], k)
+                        if math.isfinite(cutoff):
+                            passing = mask & (glb[b_i][qi] <= cutoff)
+                            pruned = int(mask.sum()) - int(passing.sum())
+                            stats[qi].rep_lb_prunes += pruned
+                            stats[qi].rep_dtw_skipped += pruned
+                            stats[qi].groups_pruned += pruned
+                            mask = passing
+                    sel = np.nonzero(mask)[0]
+                    if not sel.size:
+                        continue
+                    xs.append(np.broadcast_to(qs[qi], (sel.size, qlen)))
+                    mats.append(bucket.centroids[sel])
+                    owner_q.append(np.full(sel.size, qi, dtype=np.int64))
+                    owner_g.append(sel)
+                    stats[qi].rep_dtw_calls += sel.size
+                if not xs:
+                    continue
+                X = np.concatenate(xs)
+                M = np.concatenate(mats)
+                jobs.append(
+                    lambda X=X, M=M: dtw_distance_batch(X, M, window=cfg.window)
+                )
+                job_meta.append(
+                    (b_i, max_path, np.concatenate(owner_q), np.concatenate(owner_g))
+                )
+        for raws, (b_i, max_path, oq, og) in zip(run_jobs(jobs), job_meta):
+            bucket = live[b_i]
+            tight[b_i][oq, og] = (
+                np.maximum(raws - max_path * bucket.cheb_radii[og], 0.0) / max_path
+            )
+
+        # Round 3: bulk member refinement — surviving pairs grouped into
+        # one stacked cascade per (bucket, class).
+        plan = {}
+        for b_i, bucket in enumerate(live):
+            for qlen, members in classes.items():
+                for qi in members:
+                    candidates = ~refined[b_i][qi] & np.isfinite(tight[b_i][qi])
+                    cutoff = self._cutoff(heaps[qi], k)
+                    if cfg.use_group_pruning and math.isfinite(cutoff):
+                        passing = candidates & (tight[b_i][qi] <= cutoff)
+                        stats[qi].groups_pruned += int(candidates.sum()) - int(
+                            passing.sum()
+                        )
+                        candidates = passing
+                    g_list = [int(g) for g in np.nonzero(candidates)[0]]
+                    if g_list:
+                        plan.setdefault((b_i, qlen), []).append((qi, g_list))
+        self._batch_refine_stacked(plan, live, qs, k, heaps, stats, envs, run_jobs)
+
+        results: list[list[Match]] = []
+        for qi, heap in enumerate(heaps):
+            if not heap:
+                raise ValidationError("no indexed subsequences matched the query")
+            candidates = sorted(wrapper.candidate for wrapper in heap)
+            results.append([self._to_match(c, qs[qi]) for c in candidates])
+        return results, stats
+
+    def _batch_refine_stacked(
+        self,
+        plan: dict[tuple[int, int], list[tuple[int, list[int]]]],
+        live: list[LengthBucket],
+        qs: list[np.ndarray],
+        k: int,
+        heaps: list[list["_Negated"]],
+        stats: list[QueryStats],
+        envs: list[QueryEnvelopeCache],
+        run_jobs,
+    ) -> None:
+        """Run one wave of member refinements stacked across queries.
+
+        *plan* maps ``(bucket position, query length)`` to the queries
+        refining there and their group lists.  The lower-bound stages run
+        per query slice (each against its own cached envelope and
+        cutoff); the exact member DTW of every query in a (bucket, class)
+        is one paired kernel call, dispatched through *run_jobs* so
+        independent buckets can overlap on multicore hosts.  Heap updates
+        happen on the calling thread only.
+        """
+        cfg = self._config
+        jobs = []
+        job_meta = []
+        for (b_i, qlen), entries in plan.items():
+            bucket = live[b_i]
+            max_path = qlen + bucket.length - 1
+            seg_rows: list[tuple[np.ndarray, np.ndarray]] = []
+            seg_meta = []
+            for qi, g_list in entries:
+                if self._scalar_unit(bucket, g_list):
+                    # Tiny unit: the scalar path beats any stacking.
+                    self._refine_members(
+                        qs[qi], bucket, g_list, k, heaps[qi], stats[qi], envs[qi]
+                    )
+                    continue
+                cutoff = self._cutoff(heaps[qi], k)
+                stats[qi].groups_refined += len(g_list)
+                rows, refs, group_of = self._stacked_members(bucket, g_list)
+                survivors = self._member_bound_filter(
+                    qs[qi], bucket, rows, stats[qi], envs[qi],
+                    cut=cutoff, scale=max_path,
+                )
+                if not survivors.size:
+                    continue
+                stats[qi].member_dtw_calls += survivors.size
+                seg_rows.append((qs[qi], rows[survivors]))
+                seg_meta.append((qi, refs, group_of, survivors, cutoff))
+            if not seg_rows:
+                continue
+            X = np.concatenate(
+                [np.broadcast_to(q, (r.shape[0], q.shape[0])) for q, r in seg_rows]
+            )
+            M = np.concatenate([r for _, r in seg_rows])
+            jobs.append(
+                lambda X=X, M=M: dtw_distance_batch(
+                    X, M, window=cfg.window, with_path_length=True
+                )
+            )
+            job_meta.append((bucket.length, seg_meta))
+        for (raws, plens), (length, seg_meta) in zip(run_jobs(jobs), job_meta):
+            offset = 0
+            for qi, refs, group_of, survivors, cutoff in seg_meta:
+                part = slice(offset, offset + survivors.size)
+                offset += survivors.size
+                self._push_batch_candidates(
+                    heaps[qi], k, cutoff, length, refs, group_of,
+                    survivors, raws[part], plens[part],
+                )
+
+    def _run_search(
+        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+    ) -> list[Match]:
         envelopes = QueryEnvelopeCache(q)
         if self._config.mode == "fast":
             heap = self._search_fast(q, buckets, k, stats, envelopes)
         else:
             heap = self._search_exact(q, buckets, k, stats, envelopes)
-        self.last_stats = stats
         if not heap:
             raise ValidationError("no indexed subsequences matched the query")
         candidates = sorted(wrapper.candidate for wrapper in heap)
@@ -174,44 +523,91 @@ class QueryProcessor:
     ) -> list[Match]:
         """Every indexed subsequence with normalised DTW <= *threshold*.
 
-        Uses the transfer bounds in both directions: groups whose lower
-        bound exceeds the threshold are skipped without any member DTW, and
-        every surviving member is verified exactly.
+        Uses the transfer bounds in both directions, on both layers:
+        groups whose *cheap* representative bound already exceeds the
+        threshold are skipped without any DTW at all, groups whose exact
+        representative bound exceeds it are skipped without member work,
+        and every surviving member is verified exactly.
         """
         if not threshold > 0:
             raise ValidationError(f"threshold must be > 0, got {threshold}")
         q = self._resolve_query(query, normalize)
         qlen = q.shape[0]
+        cfg = self._config
         stats = QueryStats()
         envelopes = QueryEnvelopeCache(q)
         out: list[Match] = []
         for bucket in self._select_buckets(lengths):
+            count = bucket.group_count
+            stats.representatives_total += count
+            if not count:
+                continue
             max_path = qlen + bucket.length - 1
-            stats.representatives_total += bucket.group_count
+            if cfg.use_rep_prefilter:
+                band = effective_band(qlen, bucket.length, cfg.window)
+                cheap = bucket.rep_summary.cheap_bounds(q, band)
+                alive = (cheap - max_path * bucket.cheb_radii) / max_path <= threshold
+                skipped = count - int(alive.sum())
+                stats.rep_lb_prunes += skipped
+                stats.rep_dtw_skipped += skipped
+                stats.groups_pruned += skipped
+                candidates = np.nonzero(alive)[0]
+            else:
+                candidates = np.arange(count)
+            if not candidates.size:
+                continue
             rep_raws = dtw_distance_batch(
-                q, bucket.centroids, window=self._config.window
+                q, bucket.centroids[candidates], window=cfg.window
             )
-            stats.rep_dtw_calls += bucket.group_count
-            for g_idx, group in enumerate(bucket.groups):
-                lower = (rep_raws[g_idx] - max_path * group.cheb_radius) / max_path
-                if lower > threshold:
-                    stats.groups_pruned += 1
-                    continue
-                stats.groups_refined += 1
-                if self._config.use_member_batching:
-                    out.extend(
-                        self._threshold_refine_batched(
-                            q, bucket, g_idx, threshold, stats, envelopes
-                        )
+            stats.rep_dtw_calls += candidates.size
+            lower = (rep_raws - max_path * bucket.cheb_radii[candidates]) / max_path
+            keep = lower <= threshold
+            stats.groups_pruned += int(candidates.size - keep.sum())
+            g_list = [int(g) for g in candidates[keep]]
+            if g_list:
+                out.extend(
+                    self._threshold_refine(
+                        q, bucket, g_list, threshold, stats, envelopes
                     )
-                else:
-                    out.extend(
-                        self._threshold_refine_scalar(
-                            q, bucket, g_idx, threshold, stats
-                        )
-                    )
+                )
         self.last_stats = stats
         return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    # ------------------------------------------------------------------
+    # Member-layer refinement
+    # ------------------------------------------------------------------
+
+    def _scalar_unit(self, bucket: LengthBucket, g_list: list[int]) -> bool:
+        """Whether a refinement unit takes the scalar member path.
+
+        The single home of the tiny-unit routing rule: the legacy scalar
+        scan when member batching is off, or when the unit's combined
+        member count is under ``batch_min_members`` (below which the
+        batched kernels' fixed dispatch overhead exceeds the work).
+        """
+        cfg = self._config
+        if not cfg.use_member_batching:
+            return True
+        return (
+            sum(bucket.groups[g].cardinality for g in g_list)
+            < cfg.batch_min_members
+        )
+
+    def _threshold_refine(
+        self, q, bucket, g_list, threshold, stats, envelopes
+    ) -> list[Match]:
+        """Refine surviving groups of one bucket against the threshold."""
+        stats.groups_refined += len(g_list)
+        if self._scalar_unit(bucket, g_list):
+            out: list[Match] = []
+            for g_idx in g_list:
+                out.extend(
+                    self._threshold_refine_scalar(q, bucket, g_idx, threshold, stats)
+                )
+            return out
+        return self._threshold_refine_batched(
+            q, bucket, g_list, threshold, stats, envelopes
+        )
 
     def _threshold_refine_scalar(
         self, q, bucket, g_idx, threshold, stats
@@ -246,19 +642,65 @@ class QueryProcessor:
                 )
         return out
 
-    def _cascade_members(
+    def _threshold_refine_batched(
+        self, q, bucket, g_list, threshold, stats, envelopes
+    ) -> list[Match]:
+        """Batched threshold refinement: one stacked cascade per bucket."""
+        rows, refs, group_of = self._stacked_members(bucket, g_list)
+        max_path = q.shape[0] + bucket.length - 1
+        raw_cut = threshold * max_path
+        survivors, raws, plens = self._cascade_rows(
+            q, bucket, rows, stats, envelopes, cut=raw_cut, scale=1.0
+        )
+        out: list[Match] = []
+        for pos in np.nonzero(raws <= raw_cut)[0]:
+            normalized = raws[pos] / plens[pos]
+            if normalized <= threshold:
+                row = survivors[pos]
+                out.append(
+                    self._to_match(
+                        _Candidate(
+                            distance=float(normalized),
+                            ref=refs[row],
+                            raw=float(raws[pos]),
+                            path=None,
+                            group=(bucket.length, group_of[row]),
+                        ),
+                        q,
+                    )
+                )
+        return out
+
+    def _stacked_members(
+        self, bucket: LengthBucket, g_list: list[int]
+    ) -> tuple[np.ndarray, list[SubsequenceRef], list[int]]:
+        """Member rows of several groups stacked, with per-row provenance."""
+        bucket.ensure_member_matrix(self._base.dataset)
+        refs: list[SubsequenceRef] = []
+        group_of: list[int] = []
+        for g_idx in g_list:
+            members = bucket.groups[g_idx].members
+            refs.extend(members)
+            group_of.extend([g_idx] * len(members))
+        if len(g_list) == 1:
+            rows = bucket.member_rows(g_list[0])
+        else:
+            rows = np.vstack([bucket.member_rows(g) for g in g_list])
+        return rows, refs, group_of
+
+    def _cascade_rows(
         self,
         q: np.ndarray,
         bucket: LengthBucket,
-        g_idx: int,
+        rows: np.ndarray,
         stats: QueryStats,
         envelopes: QueryEnvelopeCache,
         cut: float,
         scale: float,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Run the lower-bound cascade and batched DTW over one group.
+        """Run the lower-bound cascade and batched DTW over stacked rows.
 
-        A member is pruned when ``bound / scale > cut`` — the k-best path
+        A row is pruned when ``bound / scale > cut`` — the k-best path
         passes the normalised-distance cutoff with ``scale = max_path``
         (dividing the bound down is conservative in floats, so a tie the
         legacy path kept is never over-pruned), the threshold path passes
@@ -266,9 +708,29 @@ class QueryProcessor:
         raw_distances, path_lengths)`` with counters updated for the work
         performed.
         """
+        survivors = self._member_bound_filter(
+            q, bucket, rows, stats, envelopes, cut, scale
+        )
+        if not survivors.size:
+            return survivors, np.empty(0), np.empty(0, dtype=np.int64)
+        raws, plens = dtw_distance_batch(
+            q, rows[survivors], window=self._config.window, with_path_length=True
+        )
+        stats.member_dtw_calls += survivors.size
+        return survivors, raws, plens
+
+    def _member_bound_filter(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        rows: np.ndarray,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+        cut: float,
+        scale: float,
+    ) -> np.ndarray:
+        """Indices of *rows* surviving the LB_Kim → LB_Keogh stages."""
         cfg = self._config
-        bucket.ensure_member_matrix(self._base.dataset)
-        rows = bucket.member_rows(g_idx)
         count = rows.shape[0]
         stats.members_scanned += count
         alive = np.ones(count, dtype=bool)
@@ -279,202 +741,82 @@ class QueryProcessor:
             if keogh is not None:
                 alive[idx[keogh / scale > cut]] = False
             stats.member_lb_prunes += count - int(alive.sum())
-        survivors = np.nonzero(alive)[0]
-        if not survivors.size:
-            return survivors, np.empty(0), np.empty(0, dtype=np.int64)
-        raws, plens = dtw_distance_batch(
-            q, rows[survivors], window=cfg.window, with_path_length=True
-        )
-        stats.member_dtw_calls += survivors.size
-        return survivors, raws, plens
+        return np.nonzero(alive)[0]
 
-    def _threshold_refine_batched(
-        self, q, bucket, g_idx, threshold, stats, envelopes
-    ) -> list[Match]:
-        """Batched threshold refinement: LB cascade, then one DTW batch."""
-        refs = bucket.groups[g_idx].members
-        max_path = q.shape[0] + bucket.length - 1
-        raw_cut = threshold * max_path
-        survivors, raws, plens = self._cascade_members(
-            q, bucket, g_idx, stats, envelopes, cut=raw_cut, scale=1.0
-        )
-        out: list[Match] = []
-        for pos in np.nonzero(raws <= raw_cut)[0]:
-            normalized = raws[pos] / plens[pos]
-            if normalized <= threshold:
-                out.append(
-                    self._to_match(
-                        _Candidate(
-                            distance=float(normalized),
-                            ref=refs[survivors[pos]],
-                            raw=float(raws[pos]),
-                            path=None,
-                            group=(bucket.length, g_idx),
-                        ),
-                        q,
-                    )
-                )
-        return out
-
-    def _keogh_bounds(
+    def _refine_members(
         self,
         q: np.ndarray,
         bucket: LengthBucket,
-        rows: np.ndarray,
-        idx: np.ndarray,
-        envelopes: QueryEnvelopeCache,
-    ) -> np.ndarray | None:
-        """LB_Keogh of the *idx* rows against the cached query envelope.
-
-        Returns ``None`` when the bound does not apply (candidate length
-        differs from the query's).  The envelope radius covers the
-        effective DTW band — the full length when DTW is unconstrained —
-        which is what makes the bound provable.
-        """
-        qlen = q.shape[0]
-        if qlen != bucket.length or not idx.size:
-            return None
-        band = effective_band(qlen, bucket.length, self._config.window)
-        radius = band if band is not None else bucket.length - 1
-        lower, upper = envelopes.get(radius)
-        return lb_keogh_batch(rows[idx], lower, upper)
-
-    # ------------------------------------------------------------------
-    # Search strategies
-    # ------------------------------------------------------------------
-
-    def _search_fast(
-        self,
-        q: np.ndarray,
-        buckets: list[LengthBucket],
+        g_list: list[int],
         k: int,
-        stats: QueryStats,
-        envelopes: QueryEnvelopeCache,
-    ) -> list[_Negated]:
-        cfg = self._config
-        qlen = q.shape[0]
-        # Phase 1: rank representatives by (estimated) normalised DTW.
-        # The batched anti-diagonal kernel evaluates the query against
-        # every representative of a length at once; the normaliser is the
-        # minimum possible warping-path length, a consistent estimator
-        # that is exact whenever the optimal path takes no detours.
-        ranked: list[tuple[float, LengthBucket, int]] = []
-        for bucket in buckets:
-            stats.representatives_total += bucket.group_count
-            raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
-            stats.rep_dtw_calls += bucket.group_count
-            est = raw / max(qlen, bucket.length)
-            ranked.extend(
-                (float(est[g_idx]), bucket, g_idx)
-                for g_idx in range(bucket.group_count)
-            )
-        ranked.sort(key=lambda item: item[0])
-        # Phase 2: exhaustively refine the selected groups; keep refining
-        # past `refine_groups` only while fewer than k matches were found.
-        heap: list[_Negated] = []
-        for rank, (_, bucket, g_idx) in enumerate(ranked):
-            if rank >= cfg.refine_groups and len(heap) >= k:
-                break
-            self._refine_group(q, bucket, g_idx, k, heap, stats, envelopes)
-        return heap
-
-    def _search_exact(
-        self,
-        q: np.ndarray,
-        buckets: list[LengthBucket],
-        k: int,
-        stats: QueryStats,
-        envelopes: QueryEnvelopeCache,
-    ) -> list[_Candidate]:
-        cfg = self._config
-        qlen = q.shape[0]
-        heap: list[_Candidate] = []
-
-        # Evaluate every representative with the batched kernel, then
-        # visit groups in ascending transfer-inequality lower bound so the
-        # pruning cutoff tightens as quickly as possible.
-        order: list[tuple[float, LengthBucket, int]] = []
-        for bucket in buckets:
-            stats.representatives_total += bucket.group_count
-            max_path = qlen + bucket.length - 1
-            rep_raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
-            stats.rep_dtw_calls += bucket.group_count
-            lower = np.maximum(rep_raw - max_path * bucket.cheb_radii, 0.0) / max_path
-            order.extend(
-                (float(lower[g_idx]), bucket, g_idx)
-                for g_idx in range(bucket.group_count)
-            )
-        order.sort(key=lambda item: item[0])
-
-        for lower, bucket, g_idx in order:
-            cutoff = self._cutoff(heap, k)
-            if cfg.use_group_pruning and lower > cutoff:
-                stats.groups_pruned += 1
-                continue
-            self._refine_group(q, bucket, g_idx, k, heap, stats, envelopes)
-        return heap
-
-    def _refine_group(
-        self,
-        q: np.ndarray,
-        bucket: LengthBucket,
-        g_idx: int,
-        k: int,
-        heap: list[_Negated],
+        heap: list["_Negated"],
         stats: QueryStats,
         envelopes: QueryEnvelopeCache,
     ) -> None:
-        stats.groups_refined += 1
-        if self._config.use_member_batching:
-            self._refine_group_batched(q, bucket, g_idx, k, heap, stats, envelopes)
-        else:
-            self._refine_group_scalar(q, bucket, g_idx, k, heap, stats)
+        """Refine the members of *g_list* (one bucket) against the heap.
 
-    def _refine_group_batched(
-        self,
-        q: np.ndarray,
-        bucket: LengthBucket,
-        g_idx: int,
-        k: int,
-        heap: list[_Negated],
-        stats: QueryStats,
-        envelopes: QueryEnvelopeCache,
-    ) -> None:
-        """Refine one group through the vectorised pruning cascade.
-
-        Stages (cheapest first, each provably result-preserving): LB_Kim
-        over the whole member stack, LB_Keogh against the cached query
-        envelope, then exact batched DTW over the survivors with the
-        optimal warping-path length tracked alongside, so normalised
-        distances — bit-identical to ``dtw_path``'s — come out of the
-        batch and no per-member traceback runs at all.
+        One stacked cascade across all the groups' members when the
+        combined row count clears ``batch_min_members`` (and member
+        batching is on); the legacy scalar early-abandon scan otherwise.
+        Either path yields identical heap contents — the scalar twin is
+        also the ablation reference.
         """
-        refs = bucket.groups[g_idx].members
+        stats.groups_refined += len(g_list)
+        if self._scalar_unit(bucket, g_list):
+            for g_idx in g_list:
+                self._refine_group_scalar(q, bucket, g_idx, k, heap, stats)
+            return
+        rows, refs, group_of = self._stacked_members(bucket, g_list)
         max_path = q.shape[0] + bucket.length - 1
         cutoff = self._cutoff(heap, k)  # cascade never touches the heap
-        survivors, raws, plens = self._cascade_members(
-            q, bucket, g_idx, stats, envelopes, cut=cutoff, scale=max_path
+        survivors, raws, plens = self._cascade_rows(
+            q, bucket, rows, stats, envelopes, cut=cutoff, scale=max_path
         )
         if not survivors.size:
             return
+        self._push_batch_candidates(
+            heap, k, cutoff, bucket.length, refs, group_of, survivors, raws, plens
+        )
 
-        # Normalised distances come straight out of the batch kernel (the
-        # tracked path length makes them bit-identical to ``dtw_path``'s),
-        # so heap maintenance is pure comparisons; a candidate above the
-        # cutoff can never displace a heap entry and is skipped outright.
+    @staticmethod
+    def _push_batch_candidates(
+        heap: list["_Negated"],
+        k: int,
+        cutoff: float,
+        length: int,
+        refs: list[SubsequenceRef],
+        group_of: list[int],
+        survivors: np.ndarray,
+        raws: np.ndarray,
+        plens: np.ndarray,
+    ) -> None:
+        """Fold one refinement batch's exact distances into the k-best heap.
+
+        Normalised distances come straight out of the batch kernel (the
+        tracked path length makes them bit-identical to ``dtw_path``'s),
+        so heap maintenance is pure comparisons; a candidate above the
+        cutoff can never displace a heap entry and is skipped outright.
+        """
         norms = raws / plens
         viable = (
             np.nonzero(norms <= cutoff)[0]
             if math.isfinite(cutoff)
             else np.arange(survivors.size)
         )
+        if viable.size > k:
+            # Only the k best of this batch can enter the global k-best;
+            # keeping everything tied with the k-th smallest distance
+            # preserves the deterministic (distance, ref) tie-break.
+            kth = np.partition(norms[viable], k - 1)[k - 1]
+            viable = viable[norms[viable] <= kth]
         for pos in viable:
+            row = survivors[pos]
             candidate = _Candidate(
                 distance=float(norms[pos]),
-                ref=refs[survivors[pos]],
+                ref=refs[row],
                 raw=float(raws[pos]),
                 path=None,
-                group=(bucket.length, g_idx),
+                group=(length, group_of[row]),
             )
             if len(heap) < k:
                 heapq.heappush(heap, _Negated(candidate))
@@ -487,14 +829,14 @@ class QueryProcessor:
         bucket: LengthBucket,
         g_idx: int,
         k: int,
-        heap: list[_Negated],
+        heap: list["_Negated"],
         stats: QueryStats,
     ) -> None:
         """Legacy one-member-at-a-time refinement (scalar early-abandon DTW).
 
-        Kept as the cross-check twin of :meth:`_refine_group_batched` —
-        ablation benchmarks assert both return identical matches — and as
-        the reference implementation of the pre-cascade behaviour.
+        Kept as the cross-check twin of the batched cascade — ablation
+        benchmarks assert both return identical matches — and as the
+        cheaper path for tiny refinement units (``batch_min_members``).
         """
         cfg = self._config
         group = bucket.groups[g_idx]
@@ -528,6 +870,274 @@ class QueryProcessor:
                 heapq.heappush(heap, _Negated(candidate))
             elif candidate < heap[0].candidate:
                 heapq.heapreplace(heap, _Negated(candidate))
+
+    def _keogh_bounds(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        rows: np.ndarray,
+        idx: np.ndarray,
+        envelopes: QueryEnvelopeCache,
+    ) -> np.ndarray | None:
+        """LB_Keogh of the *idx* rows against the cached query envelope.
+
+        Returns ``None`` when the bound does not apply (candidate length
+        differs from the query's).  The envelope radius covers the
+        effective DTW band — the full length when DTW is unconstrained —
+        which is what makes the bound provable.
+        """
+        qlen = q.shape[0]
+        if qlen != bucket.length or not idx.size:
+            return None
+        band = effective_band(qlen, bucket.length, self._config.window)
+        radius = band if band is not None else bucket.length - 1
+        lower, upper = envelopes.get(radius)
+        return lb_keogh_batch(rows[idx], lower, upper)
+
+    # ------------------------------------------------------------------
+    # Representative-layer search strategies
+    # ------------------------------------------------------------------
+
+    def _rep_bound_table(
+        self,
+        q: np.ndarray,
+        live: list[LengthBucket],
+        stats: QueryStats,
+        *,
+        eager: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-representative bound vectors, concatenated across buckets.
+
+        Returns ``(bounds, owners, gids)`` where ``owners``/``gids``
+        locate each entry's (bucket position in *live*, group index).
+        With ``eager=True`` the bounds are exact representative DTW raws
+        (counted in ``rep_dtw_calls``); otherwise the cheap summary
+        bounds, no kernel call at all.
+        """
+        qlen = q.shape[0]
+        cfg = self._config
+        bound_vecs: list[np.ndarray] = []
+        for bucket in live:
+            if eager:
+                raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
+                stats.rep_dtw_calls += bucket.group_count
+                bound_vecs.append(raw)
+            else:
+                band = effective_band(qlen, bucket.length, cfg.window)
+                bound_vecs.append(bucket.rep_summary.cheap_bounds(q, band))
+        bounds = np.concatenate(bound_vecs)
+        owners = np.concatenate(
+            [np.full(b.group_count, i, dtype=np.int64) for i, b in enumerate(live)]
+        )
+        gids = np.concatenate(
+            [np.arange(b.group_count, dtype=np.int64) for b in live]
+        )
+        return bounds, owners, gids
+
+    def _search_exact(
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+    ) -> list["_Negated"]:
+        cfg = self._config
+        qlen = q.shape[0]
+        heap: list[_Negated] = []
+        for bucket in buckets:
+            stats.representatives_total += bucket.group_count
+        live = [b for b in buckets if b.group_count]
+        if not live:
+            return heap
+        max_paths = np.array([qlen + b.length - 1 for b in live], dtype=np.float64)
+
+        if not cfg.use_rep_prefilter:
+            # PR-1 eager path: exact DTW for every representative up
+            # front, groups visited in ascending transfer lower bound.
+            raws, owners, gids = self._rep_bound_table(q, live, stats, eager=True)
+            bounds = np.maximum(
+                raws
+                - max_paths[owners]
+                * np.concatenate([b.cheb_radii for b in live]),
+                0.0,
+            ) / max_paths[owners]
+            order = np.argsort(bounds, kind="stable")
+            for pos in range(order.size):
+                idx = order[pos]
+                cutoff = self._cutoff(heap, k)
+                if cfg.use_group_pruning and bounds[idx] > cutoff:
+                    stats.groups_pruned += order.size - pos
+                    break
+                self._refine_members(
+                    q, live[owners[idx]], [int(gids[idx])], k, heap, stats, envelopes
+                )
+            return heap
+
+        # Two-layer lazy cascade: cheap summary bounds rank every group,
+        # exact representative DTW runs in chunked batches only for groups
+        # whose cheap bound undercuts the running cutoff, and verified
+        # groups drain into stacked member refinements.
+        cheap, owners, gids = self._rep_bound_table(q, live, stats, eager=False)
+        bounds = np.maximum(
+            cheap
+            - max_paths[owners] * np.concatenate([b.cheb_radii for b in live]),
+            0.0,
+        ) / max_paths[owners]
+        order = np.argsort(bounds, kind="stable")
+        ordered_bounds = bounds[order]
+        total = order.size
+        ptr = 0
+        chunk = _REP_CHUNK
+        exact_heap: list[tuple[float, int, int]] = []
+        while ptr < total or exact_heap:
+            cutoff = self._cutoff(heap, k)
+            next_cheap = float(ordered_bounds[ptr]) if ptr < total else _INF
+            next_exact = exact_heap[0][0] if exact_heap else _INF
+            if cfg.use_group_pruning and min(next_cheap, next_exact) > cutoff:
+                remaining = total - ptr
+                stats.rep_lb_prunes += remaining
+                stats.rep_dtw_skipped += remaining
+                stats.groups_pruned += remaining + len(exact_heap)
+                break
+            if next_cheap <= next_exact:
+                take = order[ptr : ptr + chunk]
+                if cfg.use_group_pruning and math.isfinite(cutoff):
+                    # The chunk is sorted by bound: only the prefix at or
+                    # under the cutoff can still matter this round.
+                    viable = int(
+                        np.searchsorted(
+                            ordered_bounds[ptr : ptr + take.size],
+                            cutoff,
+                            side="right",
+                        )
+                    )
+                    take = take[: max(viable, 1)]
+                ptr += take.size
+                chunk *= 2
+                take_owners = owners[take]
+                for b_i in np.unique(take_owners):
+                    sel = gids[take[take_owners == b_i]]
+                    bucket = live[b_i]
+                    raws = dtw_distance_batch(
+                        q, bucket.centroids[sel], window=cfg.window
+                    )
+                    stats.rep_dtw_calls += sel.size
+                    tight = (
+                        np.maximum(
+                            raws - max_paths[b_i] * bucket.cheb_radii[sel], 0.0
+                        )
+                        / max_paths[b_i]
+                    )
+                    for pos in range(sel.size):
+                        heapq.heappush(
+                            exact_heap,
+                            (float(tight[pos]), int(b_i), int(sel[pos])),
+                        )
+            else:
+                # Drain verified groups (tight bound within the cutoff and
+                # under every unevaluated cheap bound) into one stacked
+                # refinement per bucket.  The top entry is always
+                # drainable here: this branch implies next_exact <
+                # next_cheap, and the prune check above (same guard, same
+                # cutoff) would have stopped the loop were it over the
+                # cutoff.
+                _, b_i, g_idx = heapq.heappop(exact_heap)
+                drained: dict[int, list[int]] = {b_i: [g_idx]}
+                count = 1
+                while exact_heap and count < chunk:
+                    tight, b_i, g_idx = exact_heap[0]
+                    if tight > next_cheap:
+                        break
+                    if cfg.use_group_pruning and tight > cutoff:
+                        break
+                    heapq.heappop(exact_heap)
+                    drained.setdefault(b_i, []).append(g_idx)
+                    count += 1
+                for b_i, g_list in drained.items():
+                    self._refine_members(
+                        q, live[b_i], g_list, k, heap, stats, envelopes
+                    )
+        return heap
+
+    def _search_fast(
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        envelopes: QueryEnvelopeCache,
+    ) -> list["_Negated"]:
+        cfg = self._config
+        qlen = q.shape[0]
+        heap: list[_Negated] = []
+        for bucket in buckets:
+            stats.representatives_total += bucket.group_count
+        live = [b for b in buckets if b.group_count]
+        if not live:
+            return heap
+        # The ranking estimate divides raw DTW by the minimum possible
+        # warping-path length — a consistent estimator, exact whenever the
+        # optimal path takes no detours.
+        scales = np.array([max(qlen, b.length) for b in live], dtype=np.float64)
+
+        if not cfg.use_rep_prefilter:
+            # Eager ranking: exact DTW to every representative, then
+            # refine in ascending estimate order.
+            raws, owners, gids = self._rep_bound_table(q, live, stats, eager=True)
+            order = np.argsort(raws / scales[owners], kind="stable")
+            for rank in range(order.size):
+                if rank >= cfg.refine_groups and len(heap) >= k:
+                    break
+                idx = order[rank]
+                self._refine_members(
+                    q, live[owners[idx]], [int(gids[idx])], k, heap, stats, envelopes
+                )
+            return heap
+
+        # Lazy ranking: cheap bounds on the estimate order the queue; a
+        # representative's exact DTW runs (chunk-batched) only while its
+        # bound could still place it among the refined groups.
+        cheap, owners, gids = self._rep_bound_table(q, live, stats, eager=False)
+        bounds = cheap / scales[owners]
+        order = np.argsort(bounds, kind="stable")
+        ordered_bounds = bounds[order]
+        total = order.size
+        ptr = 0
+        chunk = _REP_CHUNK
+        exact_heap: list[tuple[float, int, int]] = []
+        refined = 0
+        while ptr < total or exact_heap:
+            if refined >= cfg.refine_groups and len(heap) >= k:
+                break
+            # An exact entry is the true next-best only once no
+            # unevaluated bound can undercut or tie it.
+            while ptr < total and (
+                not exact_heap or ordered_bounds[ptr] <= exact_heap[0][0]
+            ):
+                take = order[ptr : ptr + chunk]
+                ptr += take.size
+                chunk *= 2
+                take_owners = owners[take]
+                for b_i in np.unique(take_owners):
+                    sel = gids[take[take_owners == b_i]]
+                    bucket = live[b_i]
+                    raws = dtw_distance_batch(
+                        q, bucket.centroids[sel], window=cfg.window
+                    )
+                    stats.rep_dtw_calls += sel.size
+                    est = raws / scales[b_i]
+                    for pos in range(sel.size):
+                        heapq.heappush(
+                            exact_heap, (float(est[pos]), int(b_i), int(sel[pos]))
+                        )
+            if not exact_heap:
+                break
+            _, b_i, g_idx = heapq.heappop(exact_heap)
+            self._refine_members(q, live[b_i], [g_idx], k, heap, stats, envelopes)
+            refined += 1
+        stats.rep_dtw_skipped += total - ptr
+        return heap
 
     @staticmethod
     def _cutoff(heap: list, k: int) -> float:

@@ -24,7 +24,13 @@ import numpy as np
 from repro.distances.metrics import as_sequence
 from repro.exceptions import ValidationError
 
-__all__ = ["QueryEnvelopeCache", "keogh_envelope", "sliding_max", "sliding_min"]
+__all__ = [
+    "QueryEnvelopeCache",
+    "keogh_envelope",
+    "keogh_envelope_batch",
+    "sliding_max",
+    "sliding_min",
+]
 
 
 def _sliding_extreme(arr: np.ndarray, radius: int, *, take_max: bool) -> np.ndarray:
@@ -79,6 +85,32 @@ def keogh_envelope(values, radius: int) -> tuple[np.ndarray, np.ndarray]:
     return _sliding_extreme(arr, radius, take_max=False), _sliding_extreme(
         arr, radius, take_max=True
     )
+
+
+def keogh_envelope_batch(rows, radius: int) -> tuple[np.ndarray, np.ndarray]:
+    """Keogh envelopes of every row of a 2-D stack at once.
+
+    Returns ``(lower, upper)`` with the same shape as *rows*; row ``g`` is
+    exactly ``keogh_envelope(rows[g], radius)`` (cross-checked by the
+    property tests).  Used to build the persisted per-representative
+    envelopes of :class:`repro.core.base.RepresentativeSummary` without a
+    Python loop over groups: the stack is edge-padded with ``±inf`` and a
+    sliding-window view reduces each centred window in one vector
+    operation per row block.
+    """
+    mat = np.asarray(rows, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValidationError(f"rows must be 2-D, got shape {mat.shape}")
+    if radius < 0:
+        raise ValidationError(f"radius must be >= 0, got {radius}")
+    if mat.shape[0] == 0 or radius == 0:
+        return mat.copy(), mat.copy()
+    lo_pad = np.pad(mat, ((0, 0), (radius, radius)), constant_values=np.inf)
+    hi_pad = np.pad(mat, ((0, 0), (radius, radius)), constant_values=-np.inf)
+    window = 2 * radius + 1
+    lower = np.lib.stride_tricks.sliding_window_view(lo_pad, window, axis=1).min(axis=2)
+    upper = np.lib.stride_tricks.sliding_window_view(hi_pad, window, axis=1).max(axis=2)
+    return lower, upper
 
 
 class QueryEnvelopeCache:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.distances.dtw import _ground_is_squared
+from repro.distances.dtw import _as_query_stack, _ground_is_squared
 from repro.distances.envelope import keogh_envelope
 from repro.distances.metrics import as_sequence
 from repro.exceptions import ValidationError
@@ -32,9 +32,11 @@ __all__ = [
     "lb_cascade",
     "lb_keogh",
     "lb_keogh_batch",
+    "lb_keogh_reverse_batch",
     "lb_keogh_terms",
     "lb_kim",
     "lb_kim_batch",
+    "lb_kim_endpoints_batch",
 ]
 
 
@@ -116,6 +118,105 @@ def lb_kim_batch(x, rows, *, ground: str = "l1") -> np.ndarray:
         )
         bound = bound + second + penult
     return bound.astype(np.float64, copy=False)
+
+
+def _as_query_rows(x) -> tuple[np.ndarray, bool]:
+    """*x* as a ``(Q, n)`` stack plus whether the input was a single query.
+
+    Shares the batch kernel's validator so "what counts as a query
+    stack" is defined in exactly one place.
+    """
+    probe = _as_query_stack(x)
+    if probe.ndim == 2:
+        return probe, False
+    return probe[None, :], True
+
+
+def lb_kim_endpoints_batch(
+    x, endpoints: np.ndarray, m: int, *, ground: str = "l1"
+) -> np.ndarray:
+    """:func:`lb_kim_batch` evaluated from persisted endpoint summaries.
+
+    *endpoints* is a ``(G, 4)`` array whose columns are each candidate's
+    first, second, penultimate, and last value (``rows[:, [0, 1, -2, -1]]``
+    — well defined for any length >= 2) and *m* the candidates' common
+    length.  Bitwise identical to :func:`lb_kim_batch` on the full stack
+    (property-tested); this is the form the representative-layer cascade
+    uses so the constant-time bound never touches the centroid matrix.
+    *x* may also be a ``(Q, n)`` stack of equal-length queries, giving a
+    ``(Q, G)`` bound table in one broadcasted evaluation (the multi-query
+    planner's bound stage).
+    """
+    qs, single = _as_query_rows(x)
+    pts = np.asarray(endpoints, dtype=np.float64)
+    if pts.ndim != 2 or (pts.shape[0] and pts.shape[1] != 4):
+        raise ValidationError(f"endpoints must be (G, 4), got shape {pts.shape}")
+    if m < 2:
+        raise ValidationError(f"candidate length must be >= 2, got {m}")
+    if pts.shape[0] == 0:
+        return np.empty(0) if single else np.empty((qs.shape[0], 0))
+    squared = _ground_is_squared(ground)
+
+    def d(u, v) -> np.ndarray:
+        # u: one value per query (Q,); v: one value per candidate (G,).
+        diff = u[:, None] - v[None, :]
+        return diff * diff if squared else np.abs(diff)
+
+    first, second, penult, last = (pts[:, c] for c in range(4))
+    bound = d(qs[:, 0], first)
+    n = qs.shape[1]
+    if n > 1 or m > 1:
+        bound = bound + d(qs[:, -1], last)
+    if n >= 3 and m >= 3 and (n >= 4 or m >= 4):
+        # See lb_kim for why one side must have >= 4 points: it keeps the
+        # second/penultimate candidate cell sets disjoint from the
+        # endpoint cells, so no ground cost is double counted.
+        bound = bound + np.minimum(
+            np.minimum(d(qs[:, 1], first), d(qs[:, 1], second)),
+            d(qs[:, 0], second),
+        )
+        bound = bound + np.minimum(
+            np.minimum(d(qs[:, -2], last), d(qs[:, -2], penult)),
+            d(qs[:, -1], penult),
+        )
+    return bound[0] if single else bound
+
+
+def lb_keogh_reverse_batch(
+    x, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1"
+) -> np.ndarray:
+    """Keogh bound of a sequence against many candidate envelopes.
+
+    The mirror image of :func:`lb_keogh_batch`: *lower*/*upper* are per-
+    candidate envelopes — ``(G, n)`` arrays, or ``(G, 1)`` per-candidate
+    global min/max bands — and the bound for candidate ``g`` is the total
+    cost of *x* escaping candidate ``g``'s tube.  Provably a DTW lower
+    bound whenever each envelope's radius covers the DTW band (a ``(G, 1)``
+    min/max band covers any radius, including unconstrained DTW: every
+    warping path matches each ``x[i]`` to *some* candidate point).  *x*
+    may also be a ``(Q, n)`` query stack, giving a ``(Q, G)`` table.
+    """
+    qs, single = _as_query_rows(x)
+    lo = np.asarray(lower, dtype=np.float64)
+    hi = np.asarray(upper, dtype=np.float64)
+    if lo.ndim != 2 or hi.shape != lo.shape:
+        raise ValidationError(
+            f"envelopes must be matching 2-D stacks, got {lo.shape} / {hi.shape}"
+        )
+    if lo.shape[1] not in (1, qs.shape[1]):
+        raise ValidationError(
+            f"envelope width {lo.shape[1]} matches neither the sequence "
+            f"length {qs.shape[1]} nor a (G, 1) min/max band"
+        )
+    # (G, n) envelopes broadcast elementwise against each query; (G, 1)
+    # min/max bands broadcast every point against the same band.  Either
+    # way the breach tensor is (Q, G, n), summed to (Q, G).
+    stacked = qs[:, None, :]
+    breach = np.where(
+        stacked > hi, stacked - hi, np.where(stacked < lo, lo - stacked, 0.0)
+    )
+    out = _cost(breach, _ground_is_squared(ground)).sum(axis=2)
+    return out[0] if single else out
 
 
 def lb_keogh_terms(candidate, lower: np.ndarray, upper: np.ndarray, *, ground: str = "l1") -> np.ndarray:

@@ -16,6 +16,13 @@ registration, saves) take the exclusive side of their dataset only, and
 ``load_dataset``/``unload_dataset`` exclusively lock the registry because
 they change the table every other request routes through.
 
+Throughput-sensitive clients should prefer ``query_batch`` over a stream
+of single-query requests: one request pays the HTTP round trip, JSON
+envelope, and lock acquisition once for the whole batch, and the engine's
+multi-query planner stacks the batch's kernel work (see
+``QueryProcessor.batch_matches``) — it holds the same shared read lock,
+so it never blocks other readers.
+
 The server runs on a daemon thread (``start()``/``stop()``), which is how
 the examples and integration tests drive a real client/server round trip
 in-process.

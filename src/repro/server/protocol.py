@@ -26,6 +26,7 @@ OPERATIONS: dict[str, tuple[str, ...]] = {
     "query_preview": ("dataset", "series"),
     "best_match": ("dataset", "query"),
     "k_best": ("dataset", "query", "k"),
+    "query_batch": ("dataset", "queries"),
     "matches_within": ("dataset", "query", "threshold"),
     "seasonal": ("dataset", "series", "length"),
     "sensitivity": ("dataset", "query", "thresholds"),
@@ -52,6 +53,7 @@ READ_ONLY_OPERATIONS: frozenset[str] = frozenset(
         "query_preview",
         "best_match",
         "k_best",
+        "query_batch",
         "matches_within",
         "seasonal",
         "sensitivity",

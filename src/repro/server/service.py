@@ -162,6 +162,23 @@ class OnexService:
         matches = self._engine.k_best_matches(name, query, int(params["k"]))
         return {"matches": [self._match_payload(name, query, m) for m in matches]}
 
+    def _op_query_batch(self, params: dict) -> Any:
+        """Many best-match queries in one request (one lock acquisition,
+        one shared-state preparation, stacked kernel execution)."""
+        name = str(params["dataset"])
+        specs = params["queries"]
+        if not isinstance(specs, list) or not specs:
+            raise ProtocolError("'queries' must be a non-empty list")
+        queries = [self._resolve_query(name, spec) for spec in specs]
+        k = int(params.get("k", 1))
+        per_query = self._engine.batch_best_matches(name, queries, k)
+        return {
+            "results": [
+                {"matches": [self._match_payload(name, q, m) for m in matches]}
+                for q, matches in zip(queries, per_query)
+            ]
+        }
+
     def _op_matches_within(self, params: dict) -> Any:
         name = str(params["dataset"])
         query = self._resolve_query(name, params["query"])

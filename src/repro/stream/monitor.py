@@ -12,13 +12,21 @@ two complementary event kinds (:class:`~repro.stream.events.StreamEvent`):
 
 ``"window"`` — the ONEX group-level prefilter.  The ingestor assigns each
     newly completed pattern-length window to a similarity group anyway;
-    the monitor caches the raw DTW from its pattern to every group
-    representative (batched, computed lazily as groups appear) and uses
-    the ED→DTW transfer lower bound ``DTW(p, rep) - (2m-1) * cheb_radius``
-    to discard windows whose group provably cannot hold a match — only
-    survivors pay an exact DTW verification.  Representatives never move
-    (fixed-representative ingestion), so cached representative distances
-    stay valid; radii only grow, which keeps the bound conservative.
+    the monitor prunes in two representative-layer stages.  First the
+    bucket's persisted summaries
+    (:class:`repro.core.base.RepresentativeSummary`, shared with the
+    query processor's prefilter; monitor DTW is unconstrained, so the
+    applicable bounds are the endpoint LB_Kim and per-centroid min/max
+    band — the fixed-radius Keogh envelopes only engage banded queries)
+    give a *cheap* lower bound on ``DTW(pattern, rep)`` with no DTW at
+    all; a window whose group satisfies ``cheap - (2m-1) * cheb_radius >
+    epsilon`` is discarded without the representative ever being
+    DTW-evaluated.  Surviving groups get their exact representative DTW
+    computed once, lazily, and cached; the tighter transfer bound
+    ``DTW(p, rep) - (2m-1) * cheb_radius`` prunes again before any
+    window pays an exact DTW verification.  Representatives never move
+    (fixed-representative ingestion), so both caches stay valid; radii
+    only grow, which keeps the bounds conservative.
 
 A :class:`MonitorRegistry` owns the monitors of one base, assigns the
 registry-wide event sequence numbers, and buffers events for polling.
@@ -33,7 +41,7 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.base import OnexBase, WindowAssignment
-from repro.distances.dtw import dtw_distance, dtw_distance_batch
+from repro.distances.dtw import dtw_distance
 from repro.distances.metrics import as_sequence
 from repro.exceptions import DatasetError, ValidationError
 from repro.stream.events import KIND_MATCH, KIND_WINDOW, StreamEvent
@@ -74,11 +82,16 @@ class PatternMonitor:
         self._epsilon = float(epsilon)
         self._series = series
         self._matchers: dict[str, tuple[int, OnlineSpringMatcher]] = {}
-        # Raw DTW(pattern, representative) per group of the pattern-length
-        # bucket, extended lazily as ingestion spawns groups.
+        # Representative-layer caches over the pattern-length bucket,
+        # extended as ingestion spawns groups: cheap summary bounds
+        # (batched, no DTW) for every group, exact DTW(pattern, rep)
+        # computed one group at a time only when the cheap bound cannot
+        # prune (NaN = not yet needed).
+        self._rep_lb = np.empty(0)
         self._rep_dtw = np.empty(0)
         self.windows_checked = 0
         self.windows_pruned = 0
+        self.rep_dtw_calls = 0
 
     @property
     def pattern_length(self) -> int:
@@ -138,18 +151,27 @@ class PatternMonitor:
                 continue
             self.windows_checked += 1
             g = assignment.group_index
-            if g >= self._rep_dtw.shape[0]:
+            if g >= self._rep_lb.shape[0]:
                 self._extend_rep_cache(bucket)
             cheb = float(bucket.cheb_radii[g])
-            lower = self._rep_dtw[g] - max_path * cheb
-            if lower > self._epsilon:
+            if self._rep_lb[g] - max_path * cheb > self._epsilon:
+                # The cheap summary bound already rules the whole group
+                # out — the representative never gets a DTW call.
+                self.windows_pruned += 1
+                continue
+            raw_rep = float(self._rep_dtw[g])
+            if math.isnan(raw_rep):
+                raw_rep = float(dtw_distance(self._pattern, bucket.centroids[g]))
+                self._rep_dtw[g] = raw_rep
+                self.rep_dtw_calls += 1
+            if raw_rep - max_path * cheb > self._epsilon:
                 self.windows_pruned += 1
                 continue
             if cheb == 0.0:
                 # Every member of a zero-radius group equals the
                 # representative, so the cached representative DTW *is*
                 # the exact distance (fresh singletons hit this path).
-                raw = float(self._rep_dtw[g])
+                raw = raw_rep
             else:
                 raw = float(dtw_distance(self._pattern, dataset.values(ref)))
             if raw <= self._epsilon:
@@ -172,10 +194,19 @@ class PatternMonitor:
         return out
 
     def _extend_rep_cache(self, bucket) -> None:
-        """Batch-evaluate DTW(pattern, representative) for new groups."""
-        known = self._rep_dtw.shape[0]
-        fresh = dtw_distance_batch(self._pattern, bucket.centroids[known:])
-        self._rep_dtw = np.concatenate([self._rep_dtw, fresh])
+        """Extend the cheap-bound cache to newly spawned groups.
+
+        The cheap bounds come from the bucket's persisted representative
+        summaries in one batched evaluation (no DTW); the exact slots are
+        seeded NaN and filled one group at a time when the cheap bound
+        cannot prune.
+        """
+        known = self._rep_lb.shape[0]
+        fresh = bucket.rep_summary.cheap_bounds(self._pattern, None, start=known)
+        self._rep_lb = np.concatenate([self._rep_lb, fresh])
+        self._rep_dtw = np.concatenate(
+            [self._rep_dtw, np.full(fresh.shape[0], np.nan)]
+        )
 
     def describe(self) -> dict:
         """Registration/introspection payload."""
@@ -186,6 +217,7 @@ class PatternMonitor:
             "series": self._series,
             "windows_checked": self.windows_checked,
             "windows_pruned": self.windows_pruned,
+            "rep_dtw_calls": self.rep_dtw_calls,
         }
 
 

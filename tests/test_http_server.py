@@ -77,6 +77,37 @@ class TestHttpApi:
         assert payload["result"]["view"] == "similarity"
         assert payload["result"]["connectors"]
 
+    def test_query_batch_round_trip(self, server):
+        """One request answers a whole batch, identically to singles."""
+        queries = [
+            {"series": "MA/GrowthRate", "start": 0, "length": 5},
+            {"series": "CA/GrowthRate", "start": 1, "length": 4},
+        ]
+        status, payload = post(
+            server,
+            {
+                "op": "query_batch",
+                "params": {"dataset": "MATTERS-sim", "queries": queries},
+            },
+        )
+        assert status == 200
+        assert payload["ok"], payload
+        results = payload["result"]["results"]
+        assert len(results) == 2
+        for entry, query in zip(results, queries):
+            _, single = post(
+                server,
+                {
+                    "op": "best_match",
+                    "params": {"dataset": "MATTERS-sim", "query": query},
+                },
+            )
+            assert single["ok"]
+            best = entry["matches"][0]
+            assert best["match_series"] == single["result"]["match_series"]
+            assert best["match_start"] == single["result"]["match_start"]
+            assert best["distance"] == pytest.approx(single["result"]["distance"])
+
     def test_health_reports_loaded_datasets(self, server):
         status, payload = get(server, "/health")
         assert "MATTERS-sim" in payload["datasets"]

@@ -177,6 +177,32 @@ class TestStatsAndPruning:
         assert stats.groups_refined >= 1
         assert stats.member_dtw_calls >= 1
 
+    def test_representative_layer_counters_populated(self, base):
+        """The prefilter's counters record real work on a pruning-friendly
+        query: representatives skipped without DTW, groups pruned with
+        only the cheap bound, and the call/skip split covering the total."""
+        processor = QueryProcessor(base, QueryConfig(mode="exact"))
+        processor.best_match(SubsequenceRef(0, 0, 7))
+        stats = processor.last_stats
+        assert stats.rep_lb_prunes > 0
+        assert stats.rep_dtw_skipped > 0
+        assert stats.rep_dtw_calls + stats.rep_dtw_skipped <= stats.representatives_total
+        # Threshold queries populate the same layer.
+        processor.matches_within(SubsequenceRef(0, 0, 5), 0.04)
+        stats = processor.last_stats
+        assert stats.rep_lb_prunes > 0
+        assert stats.rep_dtw_skipped > 0
+
+    def test_batch_queries_counter_populated(self, base):
+        rng = np.random.default_rng(81)
+        processor = QueryProcessor(base, QueryConfig(mode="exact"))
+        queries = [rng.uniform(size=6) for _ in range(4)]
+        single = [processor.best_match(q, normalize=False) for q in queries]
+        assert processor.last_stats.batch_queries == 0
+        batched = processor.batch_matches(queries, 1, normalize=False)
+        assert processor.last_stats.batch_queries == 4
+        assert [m[0].ref for m in batched] == [m.ref for m in single]
+
     def test_group_pruning_reduces_work(self, base):
         q = SubsequenceRef(1, 1, 7)
         with_pruning = QueryProcessor(

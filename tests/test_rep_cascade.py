@@ -1,0 +1,339 @@
+"""Representative-layer cascade, banded/paired kernels, and batch queries.
+
+Property tests for the PR-3 surface: the band-limited batch kernel is
+bit-identical to the full kernel at every window radius, the persisted
+representative summaries give provable lower bounds and survive
+persistence (including pre-v3 archives without them), the centroid
+prefilter is result-preserving in exact mode, and the multi-query
+execution layer returns exactly what per-query submission returns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import (
+    OnexBase,
+    RepresentativeSummary,
+    default_envelope_radius,
+)
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.distances.dtw import (
+    _dtw_batch_banded,
+    _dtw_batch_full,
+    _dtw_batch_scalar,
+    dtw_distance,
+    dtw_distance_batch,
+    dtw_distance_batch_banded,
+    effective_band,
+)
+from repro.distances.envelope import keogh_envelope, keogh_envelope_batch
+from repro.distances.lower_bounds import (
+    lb_kim_batch,
+    lb_kim_endpoints_batch,
+)
+from repro.exceptions import ValidationError
+
+finite_floats = st.floats(min_value=-25.0, max_value=25.0, allow_nan=False)
+
+
+def sequences(min_size=1, max_size=10):
+    return st.lists(finite_floats, min_size=min_size, max_size=max_size)
+
+
+class TestBandedKernel:
+    """The banded kernel matches the full kernel for *every* radius."""
+
+    @given(
+        x=sequences(),
+        rows=st.lists(sequences(min_size=4, max_size=4), min_size=1, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_banded_matches_full_for_every_radius(self, x, rows):
+        a = np.asarray(x)
+        mat = np.asarray(rows)
+        n, m = a.shape[0], mat.shape[1]
+        for window in range(0, n + m):
+            band = effective_band(n, m, window)
+            want_d, want_p = _dtw_batch_full(a, mat, band, False, True)
+            got_d, got_p = _dtw_batch_banded(a, mat, band, False, True)
+            assert np.array_equal(want_d, got_d)
+            assert np.array_equal(want_p, got_p)
+
+    @given(
+        x=sequences(min_size=2, max_size=8),
+        rows=st.lists(sequences(min_size=6, max_size=6), min_size=1, max_size=3),
+        window=st.integers(min_value=0, max_value=12),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scalar_and_dispatch_match_full(self, x, rows, window):
+        a = np.asarray(x)
+        mat = np.asarray(rows)
+        band = effective_band(a.shape[0], mat.shape[1], window)
+        want_d, want_p = _dtw_batch_full(a, mat, band, False, True)
+        scal_d, scal_p = _dtw_batch_scalar(a, mat, band, False, True)
+        disp_d, disp_p = dtw_distance_batch(
+            a, mat, window=window, with_path_length=True
+        )
+        pub_d, pub_p = dtw_distance_batch_banded(
+            a, mat, window=window, with_path_length=True
+        )
+        for got_d, got_p in ((scal_d, scal_p), (disp_d, disp_p), (pub_d, pub_p)):
+            assert np.array_equal(want_d, got_d)
+            assert np.array_equal(want_p, got_p)
+
+    def test_banded_requires_window(self):
+        with pytest.raises(ValidationError):
+            dtw_distance_batch_banded([1.0, 2.0], np.ones((2, 2)), window=None)
+
+    @given(
+        pairs=st.lists(
+            st.tuples(sequences(min_size=5, max_size=5), sequences(min_size=7, max_size=7)),
+            min_size=1,
+            max_size=5,
+        ),
+        window=st.one_of(st.none(), st.integers(min_value=0, max_value=10)),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_paired_mode_matches_per_pair(self, pairs, window):
+        X = np.asarray([p[0] for p in pairs])
+        M = np.asarray([p[1] for p in pairs])
+        got_d, got_p = dtw_distance_batch(X, M, window=window, with_path_length=True)
+        for i in range(len(pairs)):
+            want_d, want_p = dtw_distance_batch(
+                X[i], M[i : i + 1], window=window, with_path_length=True
+            )
+            assert got_d[i] == want_d[0]
+            assert got_p[i] == want_p[0]
+
+    def test_paired_mode_row_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            dtw_distance_batch(np.ones((3, 4)), np.ones((2, 4)))
+
+
+class TestRepresentativeSummary:
+    @given(
+        rows=st.lists(sequences(min_size=6, max_size=6), min_size=1, max_size=6),
+        radius=st.integers(min_value=0, max_value=8),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_envelope_batch_matches_scalar(self, rows, radius):
+        mat = np.asarray(rows)
+        lo, hi = keogh_envelope_batch(mat, radius)
+        for g in range(mat.shape[0]):
+            want_lo, want_hi = keogh_envelope(mat[g], radius)
+            assert np.array_equal(lo[g], want_lo)
+            assert np.array_equal(hi[g], want_hi)
+
+    @given(
+        x=sequences(min_size=2, max_size=9),
+        rows=st.lists(sequences(min_size=5, max_size=5), min_size=1, max_size=5),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_kim_endpoints_matches_full_stack(self, x, rows):
+        mat = np.asarray(rows)
+        endpoints = mat[:, [0, 1, -2, -1]]
+        got = lb_kim_endpoints_batch(x, endpoints, mat.shape[1])
+        assert np.array_equal(got, lb_kim_batch(x, mat))
+
+    @given(
+        x=sequences(min_size=2, max_size=8),
+        rows=st.lists(sequences(min_size=6, max_size=6), min_size=1, max_size=5),
+        window=st.one_of(st.none(), st.integers(min_value=0, max_value=8)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cheap_bounds_never_exceed_dtw(self, x, rows, window):
+        """The summary bounds provably lower-bound (banded) DTW."""
+        mat = np.asarray(rows)
+        summary = RepresentativeSummary(mat.shape[1])
+        summary.extend(mat)
+        q = np.asarray(x)
+        band = effective_band(q.shape[0], mat.shape[1], window)
+        bounds = summary.cheap_bounds(q, band)
+        for g in range(mat.shape[0]):
+            exact = dtw_distance(q, mat[g], window=window)
+            assert bounds[g] <= exact + 1e-9
+
+    def test_cheap_bounds_multi_matches_single(self):
+        rng = np.random.default_rng(17)
+        mat = rng.normal(size=(7, 8))
+        summary = RepresentativeSummary(8)
+        summary.extend(mat)
+        for n in (5, 8, 11):
+            queries = rng.normal(size=(4, n))
+            for band in (None, 1, default_envelope_radius(8), 7):
+                multi = summary.cheap_bounds_multi(queries, band)
+                for i in range(queries.shape[0]):
+                    assert np.array_equal(
+                        multi[i], summary.cheap_bounds(queries[i], band)
+                    )
+
+    def test_extend_matches_bulk_build(self):
+        rng = np.random.default_rng(18)
+        mat = rng.normal(size=(9, 10))
+        bulk = RepresentativeSummary(10)
+        bulk.extend(mat)
+        incremental = RepresentativeSummary(10)
+        for row in mat:
+            incremental.extend(row[None, :])
+        for attr in ("env_lo", "env_hi", "endpoints", "minmax"):
+            assert np.array_equal(getattr(bulk, attr), getattr(incremental, attr))
+
+
+@pytest.fixture(scope="module")
+def walk_base():
+    rng = np.random.default_rng(71)
+    arrays = [rng.normal(size=n).cumsum() for n in (30, 26, 22, 28)]
+    dataset = TimeSeriesDataset.from_arrays(arrays, name="cascade-walks")
+    base = OnexBase(
+        dataset, BuildConfig(similarity_threshold=0.08, min_length=5, max_length=9)
+    )
+    base.build()
+    return base
+
+
+class TestPrefilterResultPreserving:
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_mode_identical_prefilter_on_vs_off(self, walk_base, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.uniform(size=int(rng.integers(5, 10)))
+        k = int(rng.integers(1, 6))
+        on = QueryProcessor(walk_base, QueryConfig(mode="exact"))
+        off = QueryProcessor(
+            walk_base, QueryConfig(mode="exact", use_rep_prefilter=False)
+        )
+        got = on.k_best_matches(q, k, normalize=False)
+        want = off.k_best_matches(q, k, normalize=False)
+        assert [(m.ref, m.distance) for m in got] == [
+            (m.ref, m.distance) for m in want
+        ]
+
+    def test_fast_mode_identical_prefilter_on_vs_off(self, walk_base):
+        rng = np.random.default_rng(9)
+        on = QueryProcessor(walk_base, QueryConfig(mode="fast", refine_groups=3))
+        off = QueryProcessor(
+            walk_base,
+            QueryConfig(mode="fast", refine_groups=3, use_rep_prefilter=False),
+        )
+        for _ in range(10):
+            q = rng.uniform(size=7)
+            got = on.k_best_matches(q, 4, normalize=False)
+            want = off.k_best_matches(q, 4, normalize=False)
+            assert [(m.ref, m.distance) for m in got] == [
+                (m.ref, m.distance) for m in want
+            ]
+
+    def test_threshold_query_identical_prefilter_on_vs_off(self, walk_base):
+        rng = np.random.default_rng(10)
+        on = QueryProcessor(walk_base, QueryConfig(mode="exact"))
+        off = QueryProcessor(
+            walk_base, QueryConfig(mode="exact", use_rep_prefilter=False)
+        )
+        for _ in range(5):
+            q = rng.uniform(size=6)
+            got = on.matches_within(q, 0.06, normalize=False)
+            want = off.matches_within(q, 0.06, normalize=False)
+            assert [(m.ref, m.distance) for m in got] == [
+                (m.ref, m.distance) for m in want
+            ]
+
+    def test_prefilter_skips_representative_dtw(self, walk_base):
+        rng = np.random.default_rng(11)
+        processor = QueryProcessor(walk_base, QueryConfig(mode="exact"))
+        skipped = 0
+        for _ in range(5):
+            processor.best_match(rng.uniform(size=6), normalize=False)
+            stats = processor.last_stats
+            assert (
+                stats.rep_dtw_calls + stats.rep_dtw_skipped
+                <= stats.representatives_total
+            )
+            skipped += stats.rep_dtw_skipped
+        assert skipped > 0, "prefilter never skipped a representative DTW"
+
+
+class TestSummaryPersistence:
+    def test_roundtrip_and_backward_compat(self, walk_base, tmp_path):
+        path = tmp_path / "base.npz"
+        walk_base.save(path)
+        loaded = OnexBase.load(path, walk_base.raw_dataset)
+        for length in walk_base.lengths:
+            want = walk_base.bucket(length).rep_summary
+            got = loaded.bucket(length).rep_summary
+            assert got.radius == want.radius
+            for attr in ("env_lo", "env_hi", "endpoints", "minmax"):
+                assert np.array_equal(getattr(got, attr), getattr(want, attr))
+        # Strip the v3 summary arrays to simulate an older archive: the
+        # load succeeds and the summaries rebuild lazily, identically.
+        with np.load(path, allow_pickle=False) as archive:
+            kept = {k: archive[k] for k in archive.files if "_rep_" not in k}
+        old_path = tmp_path / "pre_v3.npz"
+        np.savez_compressed(old_path, **kept)
+        old = OnexBase.load(old_path, walk_base.raw_dataset)
+        for length in walk_base.lengths:
+            want = walk_base.bucket(length).rep_summary
+            got = old.bucket(length).rep_summary
+            for attr in ("env_lo", "env_hi", "endpoints", "minmax"):
+                assert np.array_equal(getattr(got, attr), getattr(want, attr))
+
+    def test_summary_stays_live_under_appends(self, walk_base, tmp_path):
+        path = tmp_path / "base.npz"
+        walk_base.save(path)
+        loaded = OnexBase.load(path, walk_base.raw_dataset)
+        rng = np.random.default_rng(12)
+        loaded.add_series(TimeSeries("appended", rng.normal(size=24).cumsum()))
+        for bucket in loaded.buckets():
+            summary = bucket.rep_summary
+            assert summary.count == bucket.group_count
+            rebuilt = RepresentativeSummary(bucket.length)
+            rebuilt.extend(bucket.centroids)
+            for attr in ("env_lo", "env_hi", "endpoints", "minmax"):
+                assert np.array_equal(getattr(summary, attr), getattr(rebuilt, attr))
+
+
+class TestBatchMatches:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            QueryConfig(mode="exact"),
+            QueryConfig(mode="exact", use_rep_prefilter=False),
+            QueryConfig(mode="exact", use_group_pruning=False),
+            QueryConfig(mode="exact", batch_min_members=0),
+            QueryConfig(mode="fast", refine_groups=2),
+        ],
+        ids=["exact", "no-prefilter", "no-pruning", "always-batched", "fast"],
+    )
+    def test_batch_identical_to_sequential(self, walk_base, config):
+        rng = np.random.default_rng(13)
+        queries = [rng.uniform(size=n) for n in (6, 6, 7, 5, 9, 6)]
+        processor = QueryProcessor(walk_base, config)
+        want = [processor.k_best_matches(q, 3, normalize=False) for q in queries]
+        got = processor.batch_matches(queries, 3, normalize=False)
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            assert [(m.ref, m.distance) for m in a] == [
+                (m.ref, m.distance) for m in b
+            ]
+        assert processor.last_stats.batch_queries == len(queries)
+
+    def test_batch_empty(self, walk_base):
+        processor = QueryProcessor(walk_base, QueryConfig(mode="exact"))
+        assert processor.batch_matches([]) == []
+        assert processor.last_stats.batch_queries == 0
+
+    def test_batch_invalid_k(self, walk_base):
+        with pytest.raises(ValidationError):
+            QueryProcessor(walk_base).batch_matches([[0.1, 0.2]], 0)
+
+    def test_batch_respects_lengths_restriction(self, walk_base):
+        rng = np.random.default_rng(14)
+        processor = QueryProcessor(walk_base, QueryConfig(mode="exact"))
+        results = processor.batch_matches(
+            [rng.uniform(size=6) for _ in range(3)], 2, lengths=[5], normalize=False
+        )
+        assert all(m.length == 5 for matches in results for m in matches)

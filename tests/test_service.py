@@ -157,6 +157,47 @@ class TestExploration:
         dists = [m["distance"] for m in matches]
         assert dists == sorted(dists)
 
+    def test_query_batch(self, service):
+        queries = [
+            {"series": "CA/GrowthRate", "start": 0, "length": 5},
+            {"series": "NY/GrowthRate", "start": 2, "length": 5},
+            [0.2, 0.4, 0.5, 0.3, 0.1],
+        ]
+        resp = service.handle(
+            Request(
+                "query_batch",
+                {"dataset": "MATTERS-sim", "queries": queries, "k": 2},
+            )
+        )
+        assert resp.ok, resp.error_message
+        results = resp.result["results"]
+        assert len(results) == 3
+        for entry, query in zip(results, queries):
+            assert len(entry["matches"]) == 2
+            single = service.handle(
+                Request(
+                    "k_best",
+                    {"dataset": "MATTERS-sim", "query": query, "k": 2},
+                )
+            )
+            assert single.ok
+            want = [
+                (m["match_series"], m["match_start"], m["distance"])
+                for m in single.result["matches"]
+            ]
+            got = [
+                (m["match_series"], m["match_start"], m["distance"])
+                for m in entry["matches"]
+            ]
+            assert got == want
+
+    def test_query_batch_rejects_empty(self, service):
+        resp = service.handle(
+            Request("query_batch", {"dataset": "MATTERS-sim", "queries": []})
+        )
+        assert not resp.ok
+        assert "non-empty" in resp.error_message
+
     def test_matches_within(self, service):
         resp = service.handle(
             Request(
