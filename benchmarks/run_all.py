@@ -35,7 +35,11 @@ from repro.baselines.ucr_suite import UcrSuiteSearcher
 from repro.core.base import OnexBase
 from repro.core.config import BuildConfig, QueryConfig
 from repro.core.query import QueryProcessor
+from repro.core.seasonal import find_seasonal_patterns
+from repro.core.sensitivity import similarity_profile
+from repro.core.threshold import recommend_thresholds
 from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
+from repro.data.timeseries import TimeSeries
 from repro.server.http import OnexHttpServer
 from repro.server.service import OnexService
 from repro.stream import StreamIngestor
@@ -116,9 +120,11 @@ def run(config: dict) -> dict:
 
     stream_report = run_stream(config)
     batch_report = run_batch_queries(config)
+    analytics_report = run_analytics(config, dataset, base)
 
     return {
         "config": config,
+        "analytics": analytics_report,
         "stream": stream_report,
         "base": {
             "series": len(dataset),
@@ -231,6 +237,95 @@ def run_batch_queries(config: dict) -> dict:
     }
 
 
+def run_analytics(config: dict, dataset, base: OnexBase) -> dict:
+    """E17: the analytics layer on the batched cascade, gated on exactness.
+
+    Measures both sides of the rebuilt operations on the headline
+    collection: the seasonal verification over the stitched GrowthRate
+    panel (condensed-pairwise DTW vs the seed per-pair scalar scan), the
+    verified sensitivity profile (one stacked member-DTW call per bucket
+    vs one scalar ``dtw_path`` per ambiguous member), and the threshold
+    recommendation (the base's normalised value store vs re-normalising
+    and materialising every window).  Every pair must return identical
+    results — the speedups are pure execution-strategy wins.
+    """
+    repeats = config["repeats"]
+    panel = TimeSeries(
+        "panel/GrowthRate", np.concatenate([s.values for s in dataset])
+    )
+    seasonal_args = (panel, 12, 0.1)
+    t_seasonal_batched = _timed(
+        lambda: find_seasonal_patterns(*seasonal_args, use_batching=True),
+        repeats,
+    )
+    t_seasonal_scalar = _timed(
+        lambda: find_seasonal_patterns(*seasonal_args, use_batching=False),
+        repeats,
+    )
+    seasonal_batched = find_seasonal_patterns(*seasonal_args, use_batching=True)
+    seasonal_scalar = find_seasonal_patterns(*seasonal_args, use_batching=False)
+    seasonal_identical = [
+        (p.starts, p.max_pairwise_dtw) for p in seasonal_batched
+    ] == [(p.starts, p.max_pairwise_dtw) for p in seasonal_scalar]
+
+    rng = np.random.default_rng(55)
+    queries = [rng.uniform(size=6) for _ in range(config["queries"])]
+    grid = (0.01, 0.02, 0.05, 0.1, 0.15, 0.2)
+
+    def profiles(use_batching: bool):
+        return [
+            similarity_profile(
+                base, q, grid, verify=True, normalize=False,
+                use_batching=use_batching,
+            )
+            for q in queries
+        ]
+
+    t_profile_batched = _timed(lambda: profiles(True), repeats)
+    t_profile_scalar = _timed(lambda: profiles(False), repeats)
+    profile_identical = all(
+        a.points == b.points and a.candidates == b.candidates
+        for a, b in zip(profiles(True), profiles(False))
+    )
+
+    t_recommend_base = _timed(
+        lambda: recommend_thresholds(dataset, 6, base=base), max(repeats, 3)
+    )
+    t_recommend_standalone = _timed(
+        lambda: recommend_thresholds(dataset, 6), max(repeats, 3)
+    )
+    recommend_identical = recommend_thresholds(
+        dataset, 6, base=base
+    ) == recommend_thresholds(dataset, 6)
+
+    return {
+        "seasonal": {
+            "series_points": len(panel),
+            "length": seasonal_args[1],
+            "threshold": seasonal_args[2],
+            "patterns": len(seasonal_batched),
+            "batched_seconds": round(t_seasonal_batched, 4),
+            "scalar_seconds": round(t_seasonal_scalar, 4),
+            "speedup": round(t_seasonal_scalar / t_seasonal_batched, 2),
+            "identical": seasonal_identical,
+        },
+        "profile": {
+            "queries": len(queries),
+            "grid": list(grid),
+            "batched_seconds": round(t_profile_batched, 4),
+            "scalar_seconds": round(t_profile_scalar, 4),
+            "speedup": round(t_profile_scalar / t_profile_batched, 2),
+            "identical": profile_identical,
+        },
+        "recommend": {
+            "base_seconds": round(t_recommend_base, 5),
+            "standalone_seconds": round(t_recommend_standalone, 5),
+            "speedup": round(t_recommend_standalone / t_recommend_base, 2),
+            "identical": recommend_identical,
+        },
+    }
+
+
 def run_stream(config: dict) -> dict:
     """E15 smoke: per-append ingest cost, rebuild ratio, monitor exactness."""
     rng = np.random.default_rng(71)
@@ -302,6 +397,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr3.json"),
         help="where the representative-cascade + batch-query section lands",
     )
+    parser.add_argument(
+        "--pr4-output",
+        type=Path,
+        default=Path("BENCH_pr4.json"),
+        help="where the E17 analytics section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -326,6 +427,20 @@ def main(argv: list[str] | None = None) -> int:
         "prefilter_paths_identical": report["prefilter_paths_identical"],
     }
     args.pr3_output.write_text(json.dumps(pr3, indent=2) + "\n")
+    pr4 = {
+        "config": report["config"],
+        "analytics": report["analytics"],
+    }
+    args.pr4_output.write_text(json.dumps(pr4, indent=2) + "\n")
+    analytics = report["analytics"]
+    for op in ("seasonal", "profile", "recommend"):
+        if not analytics[op]["identical"]:
+            print(
+                f"ERROR: batched {op} analytics diverge from the seed "
+                "scalar path",
+                file=sys.stderr,
+            )
+            return 1
     if not report["refinement_paths_identical"]:
         print("ERROR: batched and legacy refinement disagree", file=sys.stderr)
         return 1

@@ -10,7 +10,13 @@ operations so everything the HTTP API offers is scriptable:
   persisted centroid envelopes and the band-limited kernel).
 - ``seasonal`` — recurring patterns within one series.
 - ``thresholds`` — data-driven similarity-threshold suggestions.
+- ``recommend`` — the same recommendation with the sampling knobs
+  (``--samples``, ``--sample-seed``) exposed; reads the loaded base's
+  normalised value store, so it answers at serving speed.
 - ``sensitivity`` — match-count curve across candidate thresholds.
+- ``profile`` — the full sensitivity workflow in one command: the grid
+  defaults to the recommender's data-driven quantiles and ambiguous
+  members are verified exactly through the batched cascade.
 - ``stream`` — replay a series as a live stream against a standing
   pattern monitor (the streaming subsystem end to end).
 - ``serve`` — run the HTTP JSON API (the demo's web backend).
@@ -86,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_source_options(p)
     p.add_argument("--length", type=int, required=True)
 
+    p = sub.add_parser("recommend", help="similarity-threshold recommendation "
+                                         "(thresholds + sampling knobs)")
+    add_source_options(p)
+    p.add_argument("--length", type=int, required=True)
+    p.add_argument("--samples", type=int, default=2000,
+                   help="random subsequence pairs sampled")
+    p.add_argument("--sample-seed", type=int, default=0,
+                   help="RNG seed of the pair sampling")
+
     p = sub.add_parser("sensitivity", help="match counts across thresholds")
     add_source_options(p)
     p.add_argument("--series", required=True)
@@ -94,6 +109,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", nargs="+", type=float,
                    default=[0.02, 0.05, 0.1, 0.2])
     p.add_argument("--verify", action="store_true")
+
+    p = sub.add_parser(
+        "profile",
+        help="verified sensitivity profile over a data-driven threshold grid",
+    )
+    add_source_options(p)
+    p.add_argument("--series", required=True)
+    p.add_argument("--start", type=int, default=0)
+    p.add_argument("--length", type=int, required=True,
+                   help="brushed window length (also the length the "
+                        "default grid is recommended for)")
+    p.add_argument("--grid", nargs="+", type=float, default=None,
+                   help="explicit thresholds (default: the recommender's "
+                        "quantiles for the brushed length, plus 2x the "
+                        "default suggestion)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="bounds-only curves (skip exact resolution of "
+                        "ambiguous members)")
 
     p = sub.add_parser(
         "stream",
@@ -266,13 +299,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit(result, args, human)
         return 0
 
-    if args.command == "thresholds":
-        result = _call(
-            service, "thresholds", {"dataset": dataset, "length": args.length}
-        )
+    if args.command in ("thresholds", "recommend"):
+        params = {"dataset": dataset, "length": args.length}
+        if args.command == "recommend":
+            params["samples"] = args.samples
+            params["seed"] = args.sample_seed
+        result = _call(service, "thresholds", params)
 
         def human(payload):
-            print(f"suggested thresholds for length {payload['length']}:")
+            print(f"suggested thresholds for length {payload['length']} "
+                  f"({payload['samples']} sampled pairs):")
             for label, value in payload["suggestions"].items():
                 print(f"  {label:>4}: {value:.5f}")
             print(f"default: {payload['default']:.5f}")
@@ -345,7 +381,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         _emit(result, args, human)
         return 0
 
-    if args.command == "sensitivity":
+    if args.command in ("sensitivity", "profile"):
+        if args.command == "profile":
+            grid = args.grid
+            if grid is None:
+                # Data-driven default: the recommender's quantiles for the
+                # brushed length, widened by 2x the default suggestion so
+                # the flood-in region is visible too.
+                rec = _call(
+                    service,
+                    "thresholds",
+                    {"dataset": dataset, "length": args.length},
+                )
+                grid = sorted(
+                    set(rec["suggestions"].values()) | {2 * rec["default"]}
+                )
+            verify = not args.no_verify
+        else:
+            grid, verify = args.grid, args.verify
         result = _call(
             service,
             "sensitivity",
@@ -353,8 +406,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "dataset": dataset,
                 "query": {"series": args.series, "start": args.start,
                           "length": args.length},
-                "thresholds": args.grid,
-                "verify": args.verify,
+                "thresholds": grid,
+                "verify": verify,
             },
         )
 

@@ -106,6 +106,14 @@ class QueryConfig:
         exceeds the whole computation.  The default was picked from
         ``benchmarks/bench_rep_cascade.py`` (see DESIGN.md §1); ``0``
         forces every unit through the batched path.
+    use_analytics_batching:
+        Run the analytics operations — seasonal verification, the
+        sensitivity profile, and threshold recommendation — on the
+        batched cascade (condensed pairwise DTW, summary-bound group
+        prescreen, stacked member verification; the default).  ``False``
+        routes them through the retained seed scalar implementations —
+        identical results, kept for ablations and the exactness
+        cross-checks (``benchmarks/run_all.py`` E17).
     """
 
     mode: str = "fast"
@@ -116,6 +124,7 @@ class QueryConfig:
     use_member_batching: bool = True
     use_rep_prefilter: bool = True
     batch_min_members: int = 8
+    use_analytics_batching: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):

@@ -253,18 +253,26 @@ class OnexEngine:
         if threshold is None:
             threshold = entry.base.config.similarity_threshold
         series = entry.dataset[series_name]
+        kwargs.setdefault("use_batching", self._query_config.use_analytics_batching)
         return find_seasonal_patterns(series, length, threshold, **kwargs)
 
     def recommend_thresholds(
         self, dataset_name: str, length: int, **kwargs
     ) -> ThresholdRecommendation:
-        return recommend_thresholds(self._entry(dataset_name).dataset, length, **kwargs)
+        entry = self._entry(dataset_name)
+        # The built base can answer the sampling from its normalised value
+        # store; the scalar config flag keeps the standalone path
+        # reachable for cross-checks.
+        if self._query_config.use_analytics_batching:
+            kwargs.setdefault("base", entry.base)
+        return recommend_thresholds(entry.dataset, length, **kwargs)
 
     def similarity_profile(
         self, dataset_name: str, query, thresholds, **kwargs
     ) -> SensitivityProfile:
         """Match-count sensitivity across thresholds (§2's "varying
         parameters" exploration)."""
+        kwargs.setdefault("use_batching", self._query_config.use_analytics_batching)
         return similarity_profile(
             self._entry(dataset_name).base, query, thresholds, **kwargs
         )

@@ -7,6 +7,18 @@ the windows of the *single* series are clustered into similarity groups
 with ED, and groups containing several non-overlapping windows are
 reported as recurring patterns, verified pairwise under DTW.
 
+Verification is where the work is, and it runs on the batched kernel
+cascade (DESIGN.md §4): all unique occurrence pairs of a group are bounded
+at once — a vectorised mean-L1 *upper* bound plus the
+:func:`~repro.distances.lower_bounds.lb_pairwise_table` LB_Kim/LB_Keogh
+*lower* table — and exact DTW runs only for the pairs that can still
+decide the group's worst pairwise distance, stacked into condensed
+paired-kernel calls (:func:`~repro.distances.dtw.dtw_distance_condensed`).
+Tight groups resolve with a handful of kernel invocations where the seed
+implementation paid one scalar ``dtw_path`` per pair per drop iteration;
+results are identical (the scalar twin stays reachable with
+``use_batching=False`` and the property suite cross-checks them).
+
 :func:`find_seasonal_patterns` is self-contained (it builds its own
 per-series groups) so the seasonal operation does not require the whole
 collection's base to cover the requested window length.
@@ -14,17 +26,47 @@ collection's base to cover the requested window length.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.grouping import cluster_subsequences
+from repro.core.validation import as_int_arg, as_optional_int_arg
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
 from repro.data.timeseries import TimeSeries
-from repro.distances.dtw import dtw_distance
+from repro.distances.dtw import dtw_distance, dtw_distance_condensed
+from repro.distances.lower_bounds import lb_pairwise_table
 from repro.exceptions import ValidationError
 
 __all__ = ["SeasonalPattern", "find_seasonal_patterns"]
+
+#: Pairs evaluated per round of the lazy worst-pair walk; grows
+#: geometrically within one group so adversarial bound distributions cost
+#: O(log pairs) kernel calls while tight groups stop after the first one.
+_PAIR_CHUNK = 16
+
+#: ``np.triu_indices(n, 1)`` memoised by ``n`` — the verifier's drop loop
+#: re-enumerates the active pairs every iteration, and the enumeration for
+#: one set size never changes.  The cache is bounded by total stored pair
+#: count, not entry count: one entry costs O(n^2) memory, so a plain
+#: entry cap would let a run over a long series pin O(n^3) bytes.
+_TRIU_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_TRIU_CACHE_BUDGET = 1 << 21  # ~32 MB of index pairs at two int64 per pair
+_triu_cache_used = 0
+
+
+def _unique_pairs(n: int) -> tuple[np.ndarray, np.ndarray]:
+    global _triu_cache_used
+    try:
+        return _TRIU_CACHE[n]
+    except KeyError:
+        pairs = np.triu_indices(n, k=1)
+        count = pairs[0].size
+        if _triu_cache_used + count <= _TRIU_CACHE_BUDGET:
+            _TRIU_CACHE[n] = pairs
+            _triu_cache_used += count
+        return pairs
 
 
 @dataclass(frozen=True)
@@ -59,17 +101,183 @@ class SeasonalPattern:
 
 
 def _select_nonoverlapping(
-    refs: list[SubsequenceRef], centroid: np.ndarray, values_of
+    refs: list[SubsequenceRef], centroid: np.ndarray, rows: np.ndarray
 ) -> list[SubsequenceRef]:
-    """Greedy maximum set of non-overlapping members, closest-first."""
-    scored = sorted(
-        refs, key=lambda ref: float(np.abs(values_of(ref) - centroid).mean())
-    )
+    """Greedy maximum set of non-overlapping members, closest-first.
+
+    *rows* carries the members' values aligned with *refs*; the closeness
+    scores come from one vectorised pass instead of a per-ref reduction.
+    """
+    scores = np.abs(rows - centroid).mean(axis=1)
+    order = sorted(range(len(refs)), key=lambda k: float(scores[k]))
     chosen: list[SubsequenceRef] = []
-    for ref in scored:
+    for k in order:
+        ref = refs[k]
         if all(not ref.overlaps(kept) for kept in chosen):
             chosen.append(ref)
     return sorted(chosen, key=lambda ref: ref.start)
+
+
+class _PairwiseWorstFinder:
+    """Exact worst pairwise normalised DTW over a shrinking occurrence set.
+
+    Bounds every unique pair once up front — the diagonal-path mean-L1
+    upper bound (any warping path through equal-length sequences is at
+    most the diagonal's cost over at least its length) and the
+    LB_Kim/LB_Keogh lower table scaled by the maximal path length — then
+    answers each ``worst(active)`` request by evaluating exact DTW only
+    for pairs whose upper bound can still reach the running maximum, in
+    descending-bound condensed-kernel chunks.  Exact values are memoised,
+    so the drop loop of the verifier never recomputes a pair (the seed
+    implementation recomputed every pair on every drop).
+
+    The returned ``(worst, pair)`` is identical to the scalar scan's,
+    including the first-pair-wins tie-break: a pair is skipped only when
+    its upper bound is *strictly* below a proven exact value or below
+    another pair's lower bound, either of which places it strictly under
+    the maximum.
+    """
+
+    #: Below this many unique pairs the bound tables cost more than the
+    #: DTW they could save; the finder then evaluates every pair eagerly
+    #: in one condensed call and answers ``worst`` by lookup (memoisation
+    #: across drop iterations is still the big win over the scalar scan).
+    _BOUNDS_MIN_PAIRS = 16
+
+    def __init__(self, rows: np.ndarray, window: int | None) -> None:
+        self._rows = rows
+        self._window = window
+        n, length = rows.shape
+        self._exact = np.full((n, n), np.nan)
+        np.fill_diagonal(self._exact, 0.0)
+        self._use_bounds = n * (n - 1) // 2 >= self._BOUNDS_MIN_PAIRS
+        if self._use_bounds:
+            max_path = 2 * length - 1
+            diffs = np.abs(rows[:, None, :] - rows[None, :, :])
+            self._upper = diffs.mean(axis=2)
+            self._lower = lb_pairwise_table(rows, radius=window) / max_path
+        else:
+            iu, ju = _unique_pairs(n)
+            raws, plens = dtw_distance_condensed(
+                rows, pairs=(iu, ju), window=window, with_path_length=True
+            )
+            values = raws / plens
+            self._exact[iu, ju] = values
+            self._exact[ju, iu] = values
+
+    def worst(self, active: list[int]) -> tuple[float, tuple[int, int]]:
+        """Max exact pairwise DTW over *active* and its first attaining pair.
+
+        Returns positions into *active* (matching the scalar scan's
+        row-major pair enumeration) so the caller's drop logic is shared
+        between both implementations.
+        """
+        act = np.asarray(active, dtype=np.int64)
+        ai, aj = _unique_pairs(act.size)
+        gi, gj = act[ai], act[aj]
+        exact = self._exact[gi, gj]
+        if not self._use_bounds:
+            worst = float(exact.max())
+            first = int(np.nonzero(exact == worst)[0][0])
+            return worst, (int(ai[first]), int(aj[first]))
+        upper = self._upper[gi, gj]
+        lower = self._lower[gi, gj]
+
+        known = ~np.isnan(exact)
+        best = float(exact[known].max()) if known.any() else -math.inf
+        # Any pair's lower bound is achieved by *some* active pair, so a
+        # pair whose upper bound sits strictly below it can never be the
+        # maximum (nor tie it) — safe to leave unevaluated.
+        skip_bound = max(float(lower.max()), best)
+        pending = np.nonzero(~known & (upper >= skip_bound))[0]
+        order = pending[np.argsort(-upper[pending], kind="stable")]
+        pos = 0
+        chunk = _PAIR_CHUNK
+        while pos < order.size:
+            take = order[pos : pos + chunk]
+            pos += take.size
+            chunk *= 2
+            full = take.size
+            take = take[upper[take] >= skip_bound]
+            if take.size:
+                raws, plens = dtw_distance_condensed(
+                    self._rows,
+                    pairs=(gi[take], gj[take]),
+                    window=self._window,
+                    with_path_length=True,
+                )
+                values = raws / plens
+                self._exact[gi[take], gj[take]] = values
+                self._exact[gj[take], gi[take]] = values
+                exact[take] = values
+                best = max(best, float(values.max()))
+                skip_bound = max(skip_bound, best)
+            if take.size < full:
+                # The order is descending in upper bound: once one entry
+                # falls below the skip bound, every later entry does too.
+                break
+        known = ~np.isnan(exact)
+        worst = float(exact[known].max())
+        first = int(np.nonzero(known & (exact == worst))[0][0])
+        return worst, (int(ai[first]), int(aj[first]))
+
+
+def _verify_batched(
+    chosen: list[SubsequenceRef],
+    centroid: np.ndarray,
+    rows: np.ndarray,
+    threshold: float,
+    window: int | None,
+    min_occurrences: int,
+) -> tuple[list[SubsequenceRef], float] | None:
+    """Batched verify-and-drop: memoised condensed DTW with bound pruning."""
+    centroid_dist = np.abs(rows - centroid).mean(axis=1)
+    finder = _PairwiseWorstFinder(rows, window)
+    active = list(range(len(chosen)))
+    while len(active) >= min_occurrences:
+        worst, (i, j) = finder.worst(active)
+        if worst <= threshold:
+            return [chosen[a] for a in active], worst
+        di = float(centroid_dist[active[i]])
+        dj = float(centroid_dist[active[j]])
+        active.pop(i if di >= dj else j)
+    return None
+
+
+def _verify_scalar(
+    chosen: list[SubsequenceRef],
+    centroid: np.ndarray,
+    rows: np.ndarray,
+    threshold: float,
+    window: int | None,
+    min_occurrences: int,
+) -> tuple[list[SubsequenceRef], float] | None:
+    """Seed scalar verify-and-drop: one ``dtw_distance`` call per pair per
+    iteration.  Kept as the cross-check twin of :func:`_verify_batched`."""
+    chosen = list(chosen)
+    active = list(range(len(chosen)))
+    while len(chosen) >= min_occurrences:
+        values = [rows[a] for a in active]
+        worst = 0.0
+        worst_pair = None
+        for i in range(len(values)):
+            for j in range(i + 1, len(values)):
+                d = dtw_distance(
+                    values[i], values[j], window=window, normalized=True
+                )
+                if d > worst:
+                    worst, worst_pair = d, (i, j)
+        if worst <= threshold:
+            return chosen, worst
+        # Drop whichever of the offending pair is farther from the
+        # centroid and retry with the remainder.
+        i, j = worst_pair
+        di = float(np.abs(values[i] - centroid).mean())
+        dj = float(np.abs(values[j] - centroid).mean())
+        drop = i if di >= dj else j
+        chosen.pop(drop)
+        active.pop(drop)
+    return None
 
 
 def find_seasonal_patterns(
@@ -84,6 +292,7 @@ def find_seasonal_patterns(
     normalize: bool = True,
     remove_level: bool = False,
     ed_threshold: float | None = None,
+    use_batching: bool = True,
 ) -> list[SeasonalPattern]:
     """Find recurring patterns of *length* within one series.
 
@@ -104,7 +313,16 @@ def find_seasonal_patterns(
     a habit recurring at different seasonal levels (winter vs summer
     electricity usage, as in the paper's Fig. 4 narrative) still matches on
     shape.
+
+    *use_batching* selects the condensed-pairwise verifier (the default);
+    ``False`` runs the retained scalar scan — identical results, kept for
+    ablations and the property-suite cross-check.
     """
+    length = as_int_arg(length, "length")
+    step = as_int_arg(step, "step")
+    min_occurrences = as_int_arg(min_occurrences, "min_occurrences")
+    max_patterns = as_optional_int_arg(max_patterns, "max_patterns")
+    window = as_optional_int_arg(window, "window")
     if length < 2:
         raise ValidationError(f"length must be >= 2, got {length}")
     if length > len(series):
@@ -127,48 +345,33 @@ def find_seasonal_patterns(
     if remove_level:
         matrix = matrix - matrix.mean(axis=1, keepdims=True)
     row_of = {ref: k for k, ref in enumerate(refs)}
-
-    def values_of(ref: SubsequenceRef) -> np.ndarray:
-        return matrix[row_of[ref]]
-
     groups = cluster_subsequences(matrix, refs, ed_threshold / 2.0)
+    verify = _verify_batched if use_batching else _verify_scalar
 
     patterns: list[SeasonalPattern] = []
     for group in groups:
         if group.cardinality < min_occurrences:
             continue
-        chosen = _select_nonoverlapping(
-            list(group.members), group.centroid, values_of
+        members = list(group.members)
+        member_rows = matrix[[row_of[m] for m in members]]
+        chosen = _select_nonoverlapping(members, group.centroid, member_rows)
+        if len(chosen) < min_occurrences:
+            continue
+        chosen_rows = matrix[[row_of[r] for r in chosen]]
+        verified = verify(
+            chosen, group.centroid, chosen_rows, threshold, window, min_occurrences
         )
-        # Verify pairwise DTW, dropping the farthest-from-centroid
-        # occurrences until the set is tight or too small.
-        while len(chosen) >= min_occurrences:
-            values = [values_of(ref) for ref in chosen]
-            worst = 0.0
-            worst_pair = None
-            for i in range(len(values)):
-                for j in range(i + 1, len(values)):
-                    d = dtw_distance(
-                        values[i], values[j], window=window, normalized=True
-                    )
-                    if d > worst:
-                        worst, worst_pair = d, (i, j)
-            if worst <= threshold:
-                patterns.append(
-                    SeasonalPattern(
-                        starts=tuple(ref.start for ref in chosen),
-                        length=length,
-                        centroid=group.centroid,
-                        max_pairwise_dtw=worst,
-                    )
-                )
-                break
-            # Drop whichever of the offending pair is farther from the
-            # centroid and retry with the remainder.
-            i, j = worst_pair
-            di = float(np.abs(values[i] - group.centroid).mean())
-            dj = float(np.abs(values[j] - group.centroid).mean())
-            chosen.pop(i if di >= dj else j)
+        if verified is None:
+            continue
+        kept, worst = verified
+        patterns.append(
+            SeasonalPattern(
+                starts=tuple(ref.start for ref in kept),
+                length=length,
+                centroid=group.centroid,
+                max_pairwise_dtw=worst,
+            )
+        )
 
     patterns.sort(key=lambda p: (-p.occurrences, p.max_pairwise_dtw))
     if max_patterns is not None:

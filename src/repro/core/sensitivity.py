@@ -14,6 +14,17 @@ yields, via the transfer inequality, a **certain** interval and a
   lower bound exceeds ``ST``;
 - members between the bounds are ambiguous until verified.
 
+The default implementation rides the batched pruning cascade (DESIGN.md
+§6): groups whose :class:`~repro.core.base.RepresentativeSummary` cheap
+bound already clears the whole grid are skipped without the per-group
+``dtw_path``, member rows come straight from the bucket's stacked member
+matrix, and ``verify=True`` resolves every still-ambiguous member with an
+LB_Kim/LB_Keogh prescreen followed by **one** stacked batch-DTW call per
+bucket — where the seed implementation paid one scalar ``dtw_path`` per
+ambiguous member.  Counts are identical either way; the scalar twin stays
+reachable with ``use_batching=False`` and the property suite cross-checks
+them.
+
 :func:`similarity_profile` returns both count curves over a threshold
 grid (plus exact counts when ``verify=True``), which the Similarity View
 renders as a sensitivity band.
@@ -26,9 +37,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import OnexBase
+from repro.core.validation import as_optional_int_arg
 from repro.data.dataset import SubsequenceRef
 from repro.distances.bounds import path_multiplicities
-from repro.distances.dtw import dtw_path
+from repro.distances.dtw import dtw_distance_batch, dtw_path, effective_band
+from repro.distances.lower_bounds import lb_keogh_batch, lb_kim_batch
+from repro.distances.envelope import keogh_envelope
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import ValidationError
@@ -95,6 +109,7 @@ def similarity_profile(
     window: int | None = None,
     verify: bool = False,
     normalize: bool = True,
+    use_batching: bool = True,
 ) -> SensitivityProfile:
     """Match-count bounds for *query* across candidate *thresholds*.
 
@@ -102,16 +117,148 @@ def similarity_profile(
     member's normalised DTW from both sides; ``verify=True`` additionally
     resolves the ambiguous members with exact DTW so ``exact`` counts are
     populated (still only touching members the bounds cannot decide).
+    *use_batching* selects the cascade implementation (the default);
+    ``False`` runs the retained scalar path — identical counts, kept for
+    ablations and the property-suite cross-check.
     """
+    window = as_optional_int_arg(window, "window")
     grid = tuple(sorted(float(t) for t in thresholds))
     if not grid or grid[0] <= 0:
         raise ValidationError("thresholds must be positive and non-empty")
     q = _resolve_query(base, query, normalize)
-    qlen = q.shape[0]
 
     chosen = base.buckets() if lengths is None else [
         base.bucket(int(n)) for n in sorted(set(lengths))
     ]
+    if use_batching:
+        return _profile_batched(base, q, grid, chosen, window, verify)
+    return _profile_scalar(base, q, grid, chosen, window, verify)
+
+
+def _profile_batched(
+    base: OnexBase,
+    q: np.ndarray,
+    grid: tuple[float, ...],
+    chosen: list,
+    window: int | None,
+    verify: bool,
+) -> SensitivityProfile:
+    """Cascade implementation: cheap group bounds, stacked member rows,
+    and (under ``verify``) one batched member-DTW call per bucket.
+
+    Every shortcut is conservative against the scalar path's own bounds,
+    so the emitted counts are identical:
+
+    - a group is skipped (no ``dtw_path``) only when its summary cheap
+      bound proves every member's scalar *lower* bound would already
+      exceed the whole grid — such members count toward nothing but the
+      candidate total either way;
+    - an ambiguous member skips exact DTW only when LB_Kim/LB_Keogh over
+      the maximal path length proves its distance exceeds the grid — the
+      scalar path's exact value would have counted it out at every
+      threshold too.
+    """
+    qlen = q.shape[0]
+    grid_arr = np.asarray(grid)
+    st_max = grid[-1]
+    candidates = 0
+    lowers: list[np.ndarray] = []
+    uppers: list[np.ndarray] = []
+    verify_units: list[tuple] = []  # (bucket, rows, base offset into arrays)
+    offset = 0
+    for bucket in chosen:
+        length = bucket.length
+        candidates += bucket.member_count
+        if not bucket.group_count:
+            continue
+        max_path = qlen + length - 1
+        min_path = max(qlen, length)
+        bucket.ensure_member_matrix(base.dataset)
+        band = effective_band(qlen, length, window)
+        cheap = bucket.rep_summary.cheap_bounds(q, band)
+        # Conservative against the per-member transfer lower bound: the
+        # cheap bound never exceeds DTW(q, rep) and the group Chebyshev
+        # radius never understates a member's, so a group failing this
+        # test has every member's scalar lower bound above the grid.
+        alive = (cheap - max_path * bucket.cheb_radii) / max_path <= st_max
+        bucket_rows: list[np.ndarray] = []
+        for g_idx in np.nonzero(alive)[0]:
+            group = bucket.groups[int(g_idx)]
+            rep = dtw_path(q, group.centroid, window=window)
+            mult = path_multiplicities(rep.path, length, axis=1)
+            rows = bucket.member_rows(int(g_idx))
+            diffs = np.abs(rows - group.centroid)
+            slack = diffs @ mult
+            cheb = diffs.max(axis=1)
+            uppers.append((rep.distance + slack) / min_path)
+            lowers.append(np.maximum(rep.distance - max_path * cheb, 0.0) / max_path)
+            bucket_rows.append(rows)
+        if verify and bucket_rows:
+            stacked = (
+                bucket_rows[0]
+                if len(bucket_rows) == 1
+                else np.vstack(bucket_rows)
+            )
+            verify_units.append((bucket, stacked, offset))
+            offset += stacked.shape[0]
+
+    lower = np.concatenate(lowers) if lowers else np.empty(0)
+    upper = np.concatenate(uppers) if uppers else np.empty(0)
+
+    exact_distance: np.ndarray | None = None
+    if verify:
+        exact_distance = (lower + upper) / 2.0  # placeholder for decided rows
+        # A member needs exact DTW only when some grid threshold st
+        # satisfies lower <= st < upper (the negation of the scalar
+        # path's "hi <= st or lo > st") — vectorised via two rank
+        # lookups per member against the sorted grid.
+        ambiguous_any = np.searchsorted(grid_arr, upper, side="left") > (
+            np.searchsorted(grid_arr, lower, side="left")
+        )
+        for bucket, rows, start in verify_units:
+            length = bucket.length
+            max_path = qlen + length - 1
+            sl = slice(start, start + rows.shape[0])
+            need = np.nonzero(ambiguous_any[sl])[0]
+            if not need.size:
+                continue
+            need_rows = rows[need]
+            # LB prescreen: a bound already above the whole grid (scaled
+            # by the maximal path length) proves the member matches at no
+            # threshold — exactly what its exact distance would conclude.
+            bound = lb_kim_batch(q, need_rows)
+            if qlen == length:
+                radius = band_radius = effective_band(qlen, length, window)
+                if band_radius is None:
+                    radius = length - 1
+                env_lo, env_hi = keogh_envelope(q, radius)
+                bound = np.maximum(bound, lb_keogh_batch(need_rows, env_lo, env_hi))
+            decided_out = bound / max_path > st_max
+            target = exact_distance[sl]
+            target[need[decided_out]] = np.inf
+            survivors = need[~decided_out]
+            if survivors.size:
+                raws, plens = dtw_distance_batch(
+                    q, need_rows[~decided_out], window=window, with_path_length=True
+                )
+                target[survivors] = raws / plens
+
+    points = _points_from_bounds(grid, lower, upper, exact_distance)
+    return SensitivityProfile(
+        thresholds=grid, points=tuple(points), candidates=candidates
+    )
+
+
+def _profile_scalar(
+    base: OnexBase,
+    q: np.ndarray,
+    grid: tuple[float, ...],
+    chosen: list,
+    window: int | None,
+    verify: bool,
+) -> SensitivityProfile:
+    """Seed scalar implementation, kept as the cross-check twin."""
+    qlen = q.shape[0]
     lowers: list[np.ndarray] = []
     uppers: list[np.ndarray] = []
     members: list[SubsequenceRef] = []
@@ -150,6 +297,18 @@ def similarity_profile(
                     q, base.member_values(ref), window=window
                 ).normalized_distance
 
+    points = _points_from_bounds(grid, lower, upper, exact_distance)
+    return SensitivityProfile(
+        thresholds=grid, points=tuple(points), candidates=lower.shape[0]
+    )
+
+
+def _points_from_bounds(
+    grid: tuple[float, ...],
+    lower: np.ndarray,
+    upper: np.ndarray,
+    exact_distance: np.ndarray | None,
+) -> list[SensitivityPoint]:
     points = []
     for st in grid:
         certain = int((upper <= st).sum())
@@ -164,9 +323,7 @@ def similarity_profile(
                 threshold=st, certain=certain, possible=possible, exact=exact
             )
         )
-    return SensitivityProfile(
-        thresholds=grid, points=tuple(points), candidates=lower.shape[0]
-    )
+    return points
 
 
 def _decided_everywhere(lo: float, hi: float, grid: tuple[float, ...]) -> bool:

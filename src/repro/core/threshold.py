@@ -7,6 +7,15 @@ thresholds by sampling the distribution of pairwise subsequence distances
 in the (normalised) collection and reporting low quantiles: a threshold at
 the q-th quantile makes roughly a q fraction of random subsequence pairs
 "similar", which is the operational meaning analysts care about.
+
+When a built :class:`~repro.core.base.OnexBase` over the same collection
+is supplied, the sampler reuses the base's already-normalised value store
+instead of re-normalising the whole dataset and materialising every
+window: only the sampled windows are gathered (window offsets are pure
+arithmetic over the per-series window counts), which is what makes the
+served ``thresholds`` operation cheap at collection scale.  The sampled
+pairs, and therefore the recommendation, are bit-identical to the
+standalone path — the property suite cross-checks them.
 """
 
 from __future__ import annotations
@@ -15,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.validation import as_int_arg
 from repro.data.dataset import TimeSeriesDataset
 from repro.distances.normalize import RunningStats
 from repro.exceptions import DatasetError, ValidationError
@@ -57,6 +67,50 @@ class ThresholdRecommendation:
         }
 
 
+def _base_value_source(dataset: TimeSeriesDataset, normalize: bool, base):
+    """The base's normalised dataset when it can stand in for the slow path.
+
+    Valid only when *base* indexes exactly this dataset object and was
+    normalised the same way with the same bounds the standalone path would
+    derive right now — then every window it serves is bitwise the window
+    ``dataset.normalized()`` would produce.  Returns ``None`` otherwise
+    (the caller falls back to materialising the windows itself).
+    """
+    if base is None or dataset is not getattr(base, "raw_dataset", None):
+        return None
+    if not base.is_built or normalize != base.config.normalize:
+        return None
+    if normalize and base.normalization_bounds != dataset.global_bounds():
+        return None
+    return base.dataset
+
+
+class _WindowSampler:
+    """Random access to every length-*n* window of a collection, by rank.
+
+    Flat window index ``k`` (the rank in ``iter_subsequences`` order) maps
+    to a (series, start) pair through the cumulative per-series window
+    counts; the series values are stitched into one array once, so a batch
+    of sampled windows resolves as a single strided gather — no window
+    other than the sampled ones is ever materialised.
+    """
+
+    def __init__(self, source: TimeSeriesDataset, length: int) -> None:
+        sizes = [len(s) for s in source]
+        counts = np.array([max(0, size - length + 1) for size in sizes])
+        self.total = int(counts.sum())
+        self._win_offsets = np.concatenate([[0], np.cumsum(counts)])
+        self._val_offsets = np.concatenate([[0], np.cumsum(sizes)])
+        self._concat = np.concatenate([s.values for s in source])
+        self._length = length
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        s_of = np.searchsorted(self._win_offsets, idx, side="right") - 1
+        starts = self._val_offsets[s_of] + (idx - self._win_offsets[s_of])
+        view = np.lib.stride_tricks.sliding_window_view(self._concat, self._length)
+        return view[starts]
+
+
 def recommend_thresholds(
     dataset: TimeSeriesDataset,
     length: int,
@@ -65,13 +119,20 @@ def recommend_thresholds(
     quantiles: tuple[float, ...] = _DEFAULT_QUANTILES,
     normalize: bool = True,
     seed: int = 0,
+    base=None,
 ) -> ThresholdRecommendation:
     """Recommend similarity thresholds for windows of *length*.
 
     Samples up to *samples* random pairs of distinct length-*length*
     subsequences, computes their length-normalised L1 distances, and
     returns the requested distribution *quantiles* as candidate thresholds.
+    *base* optionally supplies a built :class:`~repro.core.base.OnexBase`
+    over the same collection whose normalised value store answers the
+    sampling without re-normalising or materialising every window
+    (bit-identical results; ignored when it cannot stand in).
     """
+    length = as_int_arg(length, "length")
+    samples = as_int_arg(samples, "samples")
     if length < 2:
         raise ValidationError(f"length must be >= 2, got {length}")
     if samples < 10:
@@ -79,21 +140,30 @@ def recommend_thresholds(
     if not quantiles or any(not 0.0 < q < 1.0 for q in quantiles):
         raise ValidationError("quantiles must lie strictly inside (0, 1)")
 
-    if normalize:
-        dataset = dataset.normalized()
-    matrix, refs = dataset.subsequence_matrix(length)
-    if len(refs) < 2:
+    source = _base_value_source(dataset, normalize, base)
+    sampler = None
+    if source is None:
+        if normalize:
+            dataset = dataset.normalized()
+        matrix, refs = dataset.subsequence_matrix(length)
+        n = len(refs)
+    else:
+        sampler = _WindowSampler(source, length)
+        n = sampler.total
+    if n < 2:
         raise DatasetError(
             f"need >= 2 subsequences of length {length} to sample distances"
         )
 
     rng = np.random.default_rng(seed)
-    n = matrix.shape[0]
     count = min(samples, n * (n - 1) // 2)
     left = rng.integers(0, n, size=count)
     right = rng.integers(0, n - 1, size=count)
     right = np.where(right >= left, right + 1, right)  # distinct partner
-    distances = np.abs(matrix[left] - matrix[right]).mean(axis=1)
+    if sampler is None:
+        distances = np.abs(matrix[left] - matrix[right]).mean(axis=1)
+    else:
+        distances = np.abs(sampler.rows(left) - sampler.rows(right)).mean(axis=1)
 
     stats = RunningStats()
     stats.extend(distances)

@@ -1,0 +1,40 @@
+"""Argument validation shared by the analytics entry points.
+
+The analytics operations sit directly behind the JSON service, so their
+arguments can arrive as anything a client manages to send — including a
+numpy array where a scalar length belongs, which used to surface as
+numpy's opaque "truth value of an array is ambiguous" ``ValueError`` deep
+inside :mod:`repro.core.threshold`.  These helpers reject wrong *types*
+with a clear :class:`~repro.exceptions.ValidationError` before any numeric
+code runs; range checks stay with the individual entry points, next to
+the semantics they enforce.
+"""
+
+from __future__ import annotations
+
+import numbers
+
+from repro.exceptions import ValidationError
+
+__all__ = ["as_int_arg", "as_optional_int_arg"]
+
+
+def as_int_arg(value, name: str) -> int:
+    """*value* as a plain ``int``, or :class:`ValidationError`.
+
+    Accepts Python ints and numpy integer scalars; rejects bools, floats
+    (even integral ones — a float length is almost always a unit mistake),
+    arrays, and everything else with a message naming the argument.
+    """
+    if isinstance(value, bool) or not isinstance(value, numbers.Integral):
+        raise ValidationError(
+            f"{name} must be an integer, got {type(value).__name__}"
+        )
+    return int(value)
+
+
+def as_optional_int_arg(value, name: str) -> int | None:
+    """Like :func:`as_int_arg` but passing ``None`` through."""
+    if value is None:
+        return None
+    return as_int_arg(value, name)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.distances.dtw import _as_query_stack, _ground_is_squared
-from repro.distances.envelope import keogh_envelope
+from repro.distances.envelope import keogh_envelope, keogh_envelope_batch
 from repro.distances.metrics import as_sequence
 from repro.exceptions import ValidationError
 
@@ -37,6 +37,7 @@ __all__ = [
     "lb_kim",
     "lb_kim_batch",
     "lb_kim_endpoints_batch",
+    "lb_pairwise_table",
 ]
 
 
@@ -270,6 +271,42 @@ def lb_keogh_batch(rows, lower: np.ndarray, upper: np.ndarray, *, ground: str = 
         )
     breach = np.where(mat > hi, mat - hi, np.where(mat < lo, lo - mat, 0.0))
     return _cost(breach, _ground_is_squared(ground)).sum(axis=1)
+
+
+def lb_pairwise_table(
+    rows, *, radius: int | None = None, ground: str = "l1"
+) -> np.ndarray:
+    """Pairwise DTW lower-bound table over all rows of one stack.
+
+    Entry ``(i, j)`` lower-bounds ``DTW(rows[i], rows[j])`` (banded with
+    any Sakoe–Chiba radius ``<= radius``; *radius* ``None`` means the full
+    length, valid for unconstrained DTW too).  The table is the maximum of
+    the LB_Kim endpoint bound and the Keogh envelope bound, each evaluated
+    for every pair at once from one broadcasted table — no Python loop over
+    pairs.  This is the prescreening stage of the condensed-pairwise
+    seasonal verifier: pairs whose bound already decides the question never
+    reach :func:`repro.distances.dtw.dtw_distance_condensed`.
+
+    The diagonal is 0 by construction (a sequence never escapes its own
+    envelope and its endpoint costs vanish), and the table is symmetric in
+    the bound it proves, though LB_Keogh itself is evaluated row-vs-
+    envelope so entries ``(i, j)`` and ``(j, i)`` may differ; callers
+    reading unique pairs can take ``np.maximum(T, T.T)`` for the tightest
+    symmetric form — this function already returns that maximum.
+    """
+    mat = _as_candidate_stack(rows)
+    g, n = mat.shape
+    if g == 0:
+        return np.empty((0, 0))
+    if n < 2:
+        raise ValidationError(f"rows must have length >= 2, got {n}")
+    if radius is None:
+        radius = n - 1
+    kim = lb_kim_endpoints_batch(mat, mat[:, [0, 1, -2, -1]], n, ground=ground)
+    lo, hi = keogh_envelope_batch(mat, radius)
+    keogh = lb_keogh_reverse_batch(mat, lo, hi, ground=ground)
+    table = np.maximum(kim, np.maximum(keogh, keogh.T))
+    return table
 
 
 def lb_cascade(

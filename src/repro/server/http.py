@@ -194,12 +194,39 @@ def _make_handler(service: OnexService):
             if self.path != "/api":
                 self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
                 return
-            length = int(self.headers.get("Content-Length", 0))
+            # A malformed Content-Length used to raise out of the handler,
+            # killing the connection with no response; so did any decoding
+            # failure Request.from_json does not translate itself.  Every
+            # malformed request now maps to a 400 envelope and the
+            # connection (and server) keeps serving.
+            raw_length = self.headers.get("Content-Length", 0)
+            try:
+                length = int(raw_length)
+                if length < 0:
+                    raise ValueError("negative length")
+            except (TypeError, ValueError):
+                self._send(
+                    400,
+                    Response.failure(
+                        ProtocolError(f"invalid Content-Length: {raw_length!r}")
+                    ).to_dict(),
+                )
+                return
             body = self.rfile.read(length)
             try:
                 request = Request.from_json(body)
             except ProtocolError as exc:
                 self._send(400, Response.failure(exc).to_dict())
+                return
+            except Exception as exc:  # undecodable or pathological bodies
+                self._send(
+                    400,
+                    Response.failure(
+                        ProtocolError(
+                            f"malformed request body: {type(exc).__name__}: {exc}"
+                        )
+                    ).to_dict(),
+                )
                 return
             with locks.guard(request):
                 response = service.handle(request)

@@ -128,6 +128,21 @@ class Response:
             error_message=str(exc),
         )
 
+    @classmethod
+    def internal_error(cls, exc: Exception) -> "Response":
+        """Envelope for unexpected (non-contract) failures.
+
+        The error type is the stable ``"InternalError"`` marker — clients
+        must not dispatch on arbitrary exception class names leaking out
+        of library internals — with the original type preserved in the
+        message for debugging.
+        """
+        return cls(
+            ok=False,
+            error_type="InternalError",
+            error_message=f"{type(exc).__name__}: {exc}",
+        )
+
     def to_dict(self) -> dict:
         if self.ok:
             return {"ok": True, "result": self.result}

@@ -47,7 +47,7 @@ class OnexService:
     # ------------------------------------------------------------------
 
     def handle(self, request: Request | dict | str | bytes) -> Response:
-        """Dispatch one request; all library errors become error responses."""
+        """Dispatch one request; *every* failure becomes an error response."""
         try:
             if isinstance(request, (str, bytes)):
                 request = Request.from_json(request)
@@ -57,6 +57,10 @@ class OnexService:
             return Response.success(handler(request.params))
         except (OnexError, ValueError, TypeError, KeyError, OSError) as exc:
             return Response.failure(exc)
+        except Exception as exc:  # final guard: a handler bug (e.g. an
+            # AttributeError or a numpy edge case) must degrade to a
+            # structured failure, not sever the connection mid-request.
+            return Response.internal_error(exc)
 
     # ------------------------------------------------------------------
     # Operations

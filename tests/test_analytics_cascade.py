@@ -1,0 +1,243 @@
+"""Property tests: the batched analytics paths equal the seed scalar paths.
+
+The seasonal / sensitivity / threshold rebuild (DESIGN.md §6) keeps the
+seed scalar implementations reachable — ``use_batching=False`` on the
+analytics entry points, ``base=None`` on the recommender — precisely so
+these properties can assert, over randomised collections, lengths,
+windows, and threshold grids, that the cascade changes *nothing* about
+the results, only how fast they arrive.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig
+from repro.core.seasonal import find_seasonal_patterns
+from repro.core.sensitivity import similarity_profile
+from repro.core.threshold import recommend_thresholds
+from repro.core.validation import as_int_arg, as_optional_int_arg
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.distances.dtw import dtw_distance
+from repro.distances.lower_bounds import lb_pairwise_table
+from repro.exceptions import ValidationError
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def walk(seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=n).cumsum()
+
+
+class TestSeasonalEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(40, 120),
+        length=st.integers(4, 12),
+        threshold=st.floats(0.01, 0.3),
+        window=st.one_of(st.none(), st.integers(0, 4)),
+        step=st.integers(1, 3),
+    )
+    def test_batched_equals_scalar(self, seed, n, length, threshold, window, step):
+        series = TimeSeries("s", walk(seed, n))
+        kwargs = dict(step=step, window=window)
+        batched = find_seasonal_patterns(
+            series, length, threshold, use_batching=True, **kwargs
+        )
+        scalar = find_seasonal_patterns(
+            series, length, threshold, use_batching=False, **kwargs
+        )
+        assert len(batched) == len(scalar)
+        for a, b in zip(batched, scalar):
+            assert a.starts == b.starts
+            assert a.length == b.length
+            assert a.max_pairwise_dtw == pytest.approx(
+                b.max_pairwise_dtw, abs=1e-12
+            )
+
+    def test_remove_level_and_ed_threshold_equivalence(self):
+        series = TimeSeries("s", walk(7, 200))
+        for kwargs in (
+            dict(remove_level=True),
+            dict(ed_threshold=0.4),
+            dict(remove_level=True, ed_threshold=0.3, min_occurrences=3),
+        ):
+            a = find_seasonal_patterns(
+                series, 10, 0.1, use_batching=True, **kwargs
+            )
+            b = find_seasonal_patterns(
+                series, 10, 0.1, use_batching=False, **kwargs
+            )
+            assert [(p.starts, p.max_pairwise_dtw) for p in a] == [
+                (p.starts, p.max_pairwise_dtw) for p in b
+            ]
+
+
+class TestSensitivityEquivalence:
+    @pytest.fixture(scope="class")
+    def base(self):
+        dataset = TimeSeriesDataset.from_arrays(
+            [walk(151 + k, 24 + 4 * k) for k in range(3)], name="sens"
+        )
+        b = OnexBase(
+            dataset,
+            BuildConfig(similarity_threshold=0.1, min_length=5, max_length=7),
+        )
+        b.build()
+        return b
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        qseed=st.integers(0, 10_000),
+        qlen=st.integers(4, 9),
+        grid=st.lists(
+            st.floats(0.001, 0.5), min_size=1, max_size=6, unique=True
+        ),
+        verify=st.booleans(),
+        window=st.one_of(st.none(), st.integers(0, 3)),
+    )
+    def test_batched_equals_scalar(self, base, qseed, qlen, grid, verify, window):
+        q = np.random.default_rng(qseed).uniform(size=qlen)
+        batched = similarity_profile(
+            base, q, grid, verify=verify, window=window, normalize=False,
+            use_batching=True,
+        )
+        scalar = similarity_profile(
+            base, q, grid, verify=verify, window=window, normalize=False,
+            use_batching=False,
+        )
+        assert batched.candidates == scalar.candidates
+        assert batched.thresholds == scalar.thresholds
+        for a, b in zip(batched.points, scalar.points):
+            assert (a.certain, a.possible, a.exact) == (
+                b.certain, b.possible, b.exact
+            )
+
+
+class TestThresholdEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        length=st.integers(2, 20),
+        samples=st.integers(10, 500),
+        sample_seed=st.integers(0, 50),
+    )
+    def test_base_sampler_equals_standalone(self, seed, length, samples, sample_seed):
+        dataset = TimeSeriesDataset.from_arrays(
+            [walk(seed + k, 20 + 3 * k) for k in range(4)], name="walks"
+        )
+        base = OnexBase(
+            dataset,
+            BuildConfig(similarity_threshold=0.1, min_length=5, max_length=6),
+        )
+        base.build()
+        via_base = recommend_thresholds(
+            dataset, length, samples=samples, seed=sample_seed, base=base
+        )
+        standalone = recommend_thresholds(
+            dataset, length, samples=samples, seed=sample_seed
+        )
+        assert via_base == standalone
+
+    def test_mismatched_base_falls_back(self):
+        """A base over a different collection must not answer the sampling."""
+        a = TimeSeriesDataset.from_arrays([walk(1, 30), walk(2, 30)], name="a")
+        b = TimeSeriesDataset.from_arrays([walk(3, 30), walk(4, 30)], name="b")
+        base_b = OnexBase(
+            b, BuildConfig(similarity_threshold=0.1, min_length=5, max_length=6)
+        )
+        base_b.build()
+        assert recommend_thresholds(a, 6, base=base_b) == recommend_thresholds(a, 6)
+
+    def test_unnormalized_base_mismatch_falls_back(self):
+        ds = TimeSeriesDataset.from_arrays([walk(5, 30), walk(6, 30)], name="d")
+        base = OnexBase(
+            ds,
+            BuildConfig(
+                similarity_threshold=0.1, min_length=5, max_length=6,
+                normalize=False,
+            ),
+        )
+        base.build()
+        # normalize=True request against an unnormalised base: fallback.
+        assert recommend_thresholds(ds, 6, base=base) == recommend_thresholds(ds, 6)
+        # matching normalize=False: the base path applies and agrees.
+        assert recommend_thresholds(
+            ds, 6, normalize=False, base=base
+        ) == recommend_thresholds(ds, 6, normalize=False)
+
+
+class TestPairwiseLowerBoundTable:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.lists(
+            st.lists(finite_floats, min_size=5, max_size=5),
+            min_size=2,
+            max_size=6,
+        ),
+        window=st.one_of(st.none(), st.integers(0, 4)),
+    )
+    def test_never_exceeds_banded_dtw(self, rows, window):
+        mat = np.asarray(rows)
+        table = lb_pairwise_table(mat, radius=window)
+        assert table.shape == (mat.shape[0],) * 2
+        for i in range(mat.shape[0]):
+            for j in range(mat.shape[0]):
+                if i == j:
+                    continue
+                exact = dtw_distance(mat[i], mat[j], window=window)
+                assert table[i, j] <= exact + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValidationError, match="2-D"):
+            lb_pairwise_table(np.zeros(3))
+        with pytest.raises(ValidationError, match="length >= 2"):
+            lb_pairwise_table(np.zeros((2, 1)))
+        assert lb_pairwise_table(np.empty((0, 4))).shape == (0, 0)
+
+
+class TestAnalyticsArgumentValidation:
+    """Regression: array-typed scalars must fail loudly, not with numpy's
+    "truth value of an array is ambiguous" deep in the computation."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return TimeSeriesDataset.from_arrays(
+            [walk(9, 30), walk(10, 30)], name="v"
+        )
+
+    def test_recommend_rejects_non_int_length(self, dataset):
+        for bad in (np.arange(3), 8.0, "8", None, True):
+            with pytest.raises(ValidationError, match="length must be an integer"):
+                recommend_thresholds(dataset, bad)
+
+    def test_recommend_rejects_non_int_samples(self, dataset):
+        with pytest.raises(ValidationError, match="samples must be an integer"):
+            recommend_thresholds(dataset, 8, samples=np.arange(4))
+
+    def test_seasonal_rejects_non_int_args(self, dataset):
+        series = TimeSeries("s", walk(11, 60))
+        with pytest.raises(ValidationError, match="length must be an integer"):
+            find_seasonal_patterns(series, np.arange(2), 0.1)
+        with pytest.raises(ValidationError, match="step must be an integer"):
+            find_seasonal_patterns(series, 10, 0.1, step=2.0)
+        with pytest.raises(ValidationError, match="window must be an integer"):
+            find_seasonal_patterns(series, 10, 0.1, window=np.arange(2))
+
+    def test_sensitivity_rejects_non_int_window(self, dataset):
+        base = OnexBase(
+            dataset,
+            BuildConfig(similarity_threshold=0.1, min_length=5, max_length=6),
+        )
+        base.build()
+        with pytest.raises(ValidationError, match="window must be an integer"):
+            similarity_profile(base, walk(12, 6), (0.1,), window=np.arange(2))
+
+    def test_numpy_integers_accepted(self):
+        assert as_int_arg(np.int64(5), "x") == 5
+        assert as_optional_int_arg(None, "x") is None
+        assert as_optional_int_arg(np.int32(3), "x") == 3

@@ -88,6 +88,52 @@ class TestCommands:
         assert "exact=" in out
         assert "knee" in out
 
+    def test_recommend(self, capsys):
+        code = main(
+            ["--json", "recommend", *FAST, "--length", "5",
+             "--samples", "500", "--sample-seed", "3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["length"] == 5
+        assert payload["samples"] == 500
+        assert "5%" in payload["suggestions"]
+
+    def test_recommend_matches_thresholds_defaults(self, capsys):
+        assert main(["--json", "thresholds", *FAST, "--length", "5"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert main(["--json", "recommend", *FAST, "--length", "5"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["suggestions"] == base["suggestions"]
+
+    def test_profile_default_grid(self, capsys):
+        code = main(
+            ["--json", "profile", *FAST, "--series", "MA/GrowthRate",
+             "--length", "5"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["view"] == "sensitivity"
+        # Verified by default: every grid point carries an exact count
+        # bracketed by the bounds.
+        assert all(e is not None for e in payload["exact"])
+        for certain, exact, possible in zip(
+            payload["certain"], payload["exact"], payload["possible"]
+        ):
+            assert certain <= exact <= possible
+        # The default grid is the recommender's quantiles plus 2x default.
+        assert len(payload["thresholds"]) >= 4
+
+    def test_profile_explicit_grid_no_verify(self, capsys):
+        code = main(
+            ["--json", "profile", *FAST, "--series", "MA/GrowthRate",
+             "--length", "5", "--grid", "0.05", "0.1", "--no-verify"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["thresholds"] == [0.05, 0.1]
+        assert payload["exact"] == [None, None]
+
     def test_error_is_exit_code_one(self, capsys):
         code = main(
             ["query", "--source", "nasdaq", "--series", "MA/GrowthRate"]

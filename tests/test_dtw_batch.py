@@ -98,3 +98,59 @@ def test_batch_banded_property(q, rows, window):
         assert got[k] == pytest.approx(
             dtw_distance(q, mat[k], window=window), abs=1e-9
         )
+
+
+class TestCondensedPairwise:
+    def test_matches_scalar_pairs(self):
+        from repro.distances.dtw import dtw_distance_condensed
+
+        rng = np.random.default_rng(171)
+        rows = rng.normal(size=(7, 9))
+        got = dtw_distance_condensed(rows)
+        iu, ju = np.triu_indices(7, k=1)
+        assert got.shape == (iu.size,)
+        for p in range(iu.size):
+            assert got[p] == pytest.approx(dtw_distance(rows[iu[p]], rows[ju[p]]))
+
+    def test_normalized_matches_dtw_path(self):
+        from repro.distances.dtw import dtw_distance_condensed, dtw_path
+
+        rng = np.random.default_rng(172)
+        rows = rng.normal(size=(6, 8))
+        raws, plens = dtw_distance_condensed(rows, with_path_length=True)
+        iu, ju = np.triu_indices(6, k=1)
+        for p in range(iu.size):
+            want = dtw_path(rows[iu[p]], rows[ju[p]]).normalized_distance
+            assert raws[p] / plens[p] == want
+
+    def test_explicit_pairs_and_window(self):
+        from repro.distances.dtw import dtw_distance_condensed
+
+        rng = np.random.default_rng(173)
+        rows = rng.normal(size=(5, 10))
+        pairs = (np.array([0, 3, 1]), np.array([4, 2, 1]))
+        got = dtw_distance_condensed(rows, pairs=pairs, window=2)
+        for p, (i, j) in enumerate(zip(*pairs)):
+            assert got[p] == pytest.approx(
+                dtw_distance(rows[i], rows[j], window=2)
+            )
+
+    def test_empty_pairs(self):
+        from repro.distances.dtw import dtw_distance_condensed
+
+        assert dtw_distance_condensed(np.zeros((1, 4))).shape == (0,)
+        raws, plens = dtw_distance_condensed(
+            np.zeros((2, 4)),
+            pairs=(np.empty(0, dtype=int), np.empty(0, dtype=int)),
+            with_path_length=True,
+        )
+        assert raws.shape == (0,) and plens.shape == (0,)
+
+    def test_validation(self):
+        from repro.distances.dtw import dtw_distance_condensed
+
+        rows = np.zeros((3, 4))
+        with pytest.raises(ValidationError, match="matching 1-D"):
+            dtw_distance_condensed(rows, pairs=(np.array([0]), np.array([0, 1])))
+        with pytest.raises(ValidationError, match="out of range"):
+            dtw_distance_condensed(rows, pairs=(np.array([0]), np.array([5])))

@@ -308,3 +308,95 @@ def test_lock_table_ignores_unknown_dataset_names():
     with manager.guard(Request("describe", {"dataset": "real"})):
         pass
     assert list(manager._locks) == ["real"]
+
+
+def raw_http(server, request_bytes: bytes) -> bytes:
+    """One raw-socket HTTP exchange (read to EOF; the server closes)."""
+    import socket
+
+    host, port = server.address
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(request_bytes)
+        chunks = []
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                break
+            chunks.append(data)
+    return b"".join(chunks)
+
+
+def parse_raw(response: bytes) -> tuple[int, dict]:
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, json.loads(body)
+
+
+class TestMalformedRequestsSurvived:
+    """Regression: malformed requests must 400, never kill the handler.
+
+    A non-numeric ``Content-Length`` used to raise ``ValueError`` out of
+    ``do_POST`` (connection severed, no response); so did pathological
+    bodies whose decoding failure was not a ``ProtocolError``.
+    """
+
+    def test_malformed_content_length_gets_400(self, server):
+        response = raw_http(
+            server,
+            b"POST /api HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: banana\r\n\r\n",
+        )
+        status, payload = parse_raw(response)
+        assert status == 400
+        assert payload["ok"] is False
+        assert "Content-Length" in payload["error"]["message"]
+
+    def test_negative_content_length_gets_400(self, server):
+        response = raw_http(
+            server,
+            b"POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: -7\r\n\r\n",
+        )
+        status, payload = parse_raw(response)
+        assert status == 400
+        assert payload["ok"] is False
+
+    def test_non_utf8_body_gets_400(self, server):
+        body = b"\xff\xfe\x00garbage\x9c"
+        request = (
+            b"POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        status, payload = parse_raw(raw_http(server, request))
+        assert status == 400
+        assert payload["ok"] is False
+
+    def test_pathologically_nested_body_gets_400(self, server):
+        """Deep nesting blows the JSON parser's recursion limit — a
+        non-ProtocolError escape path before the fix."""
+        body = b"[" * 100_000
+        request = (
+            b"POST /api HTTP/1.1\r\nHost: t\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        status, payload = parse_raw(raw_http(server, request))
+        assert status == 400
+        assert payload["ok"] is False
+        assert "malformed request body" in payload["error"]["message"]
+
+    def test_server_keeps_serving_after_malformed_requests(self, server):
+        for _ in range(3):
+            raw_http(
+                server,
+                b"POST /api HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Length: nope\r\n\r\n",
+            )
+        status, payload = get(server, "/health")
+        assert status == 200
+        assert payload["status"] == "ok"
+        status, payload = post(server, {"op": "list_datasets", "params": {}})
+        assert status == 200
+        assert payload["ok"] is True

@@ -474,3 +474,49 @@ class TestStreamReadPath:
         assert resp.ok
         assert resp.result["events"], "tail match must flush"
         assert resp.result["events"][-1]["kind"] == "match"
+
+
+class TestUnexpectedErrorGuard:
+    """Regression: a handler bug must return a structured failure, not
+    propagate and sever the connection mid-request."""
+
+    def test_unexpected_exception_becomes_internal_error(self, service):
+        def exploding_handler(params):
+            raise AttributeError("handler bug")
+
+        original = service._op_describe
+        service._op_describe = exploding_handler
+        try:
+            resp = service.handle(
+                Request("describe", {"dataset": "MATTERS-sim"})
+            )
+        finally:
+            service._op_describe = original
+        assert not resp.ok
+        assert resp.error_type == "InternalError"
+        assert "AttributeError" in resp.error_message
+        assert "handler bug" in resp.error_message
+
+    def test_numpy_style_exception_becomes_internal_error(self, service):
+        import numpy as np
+
+        def exploding_handler(params):
+            with np.errstate(divide="raise"):
+                return np.float64(1.0) / np.float64(0.0)
+
+        original = service._op_describe
+        service._op_describe = exploding_handler
+        try:
+            resp = service.handle(
+                Request("describe", {"dataset": "MATTERS-sim"})
+            )
+        finally:
+            service._op_describe = original
+        assert not resp.ok
+        assert resp.error_type == "InternalError"
+        assert "FloatingPointError" in resp.error_message
+
+    def test_contract_errors_keep_their_own_type(self, service):
+        resp = service.handle(Request("describe", {"dataset": "missing"}))
+        assert not resp.ok
+        assert resp.error_type == "DatasetError"
