@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import urllib.request
@@ -44,8 +45,10 @@ from repro.server.http import OnexHttpServer
 from repro.server.service import OnexService
 from repro.stream import StreamIngestor
 
-QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120}
-FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3, "appends": 600}
+QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
+         "build": {"similarity_threshold": 0.1, "min_length": 5, "max_length": 10}}
+FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3, "appends": 600,
+        "build": {"similarity_threshold": 0.05, "min_length": 5, "max_length": 24}}
 
 
 def _timed(fn, repeats: int) -> float:
@@ -121,9 +124,11 @@ def run(config: dict) -> dict:
     stream_report = run_stream(config)
     batch_report = run_batch_queries(config)
     analytics_report = run_analytics(config, dataset, base)
+    build_report = run_build(config, dataset)
 
     return {
         "config": config,
+        "build_pipeline": build_report,
         "analytics": analytics_report,
         "stream": stream_report,
         "base": {
@@ -326,6 +331,63 @@ def run_analytics(config: dict, dataset, base: OnexBase) -> dict:
     }
 
 
+def run_build(config: dict, dataset) -> dict:
+    """E18 section: the sharded build pipeline, fingerprint-gated.
+
+    Times the seed's serial build loop (scalar extraction, the retained
+    ``batched=False`` clustering path, dict assembly) against the
+    vectorised single-worker build and the 4-worker process / thread
+    fan-outs on the section's build configuration, interleaved and
+    best-of-``repeats+2`` so frequency drift hits every variant alike.
+    The hard gate — enforced in :func:`main` — is that all four builds
+    produce the same :meth:`OnexBase.structure_fingerprint`.
+    """
+    from bench_build import seed_build
+
+    build_cfg = config["build"]
+    seed_base = OnexBase(dataset, BuildConfig(**build_cfg))
+    one = OnexBase(dataset, BuildConfig(**build_cfg, num_workers=1))
+    proc = OnexBase(dataset, BuildConfig(**build_cfg, num_workers=4))
+    thr = OnexBase(
+        dataset,
+        BuildConfig(**build_cfg, num_workers=4, build_executor="thread"),
+    )
+    times = {"seed": [], "vectorised_1w": [], "parallel_4w_process": [],
+             "parallel_4w_thread": []}
+    for _ in range(config["repeats"] + 2):
+        for key, fn in (
+            ("seed", lambda: seed_build(seed_base)),
+            ("vectorised_1w", one.build),
+            ("parallel_4w_process", proc.build),
+            ("parallel_4w_thread", thr.build),
+        ):
+            start = time.perf_counter()
+            fn()
+            times[key].append(time.perf_counter() - start)
+    best = {key: min(vals) for key, vals in times.items()}
+    want = one.structure_fingerprint()
+    t_par = min(best["parallel_4w_process"], best["parallel_4w_thread"])
+    return {
+        "build_config": build_cfg,
+        "subsequences": one.stats.subsequences,
+        "groups": one.stats.groups,
+        "seconds": {key: round(val, 4) for key, val in best.items()},
+        "speedups": {
+            "vectorised_1w_vs_seed": round(best["seed"] / best["vectorised_1w"], 2),
+            "parallel_4w_best_vs_seed": round(best["seed"] / t_par, 2),
+        },
+        "per_length_seconds": {
+            s.length: round(s.seconds, 4) for s in one.stats.per_length
+        },
+        "cpu_count": os.cpu_count(),
+        "fingerprints_identical": (
+            seed_base.structure_fingerprint() == want
+            and proc.structure_fingerprint() == want
+            and thr.structure_fingerprint() == want
+        ),
+    }
+
+
 def run_stream(config: dict) -> dict:
     """E15 smoke: per-append ingest cost, rebuild ratio, monitor exactness."""
     rng = np.random.default_rng(71)
@@ -403,6 +465,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr4.json"),
         help="where the E17 analytics section lands",
     )
+    parser.add_argument(
+        "--pr5-output",
+        type=Path,
+        default=Path("BENCH_pr5.json"),
+        help="where the E18 build-pipeline section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -432,6 +500,17 @@ def main(argv: list[str] | None = None) -> int:
         "analytics": report["analytics"],
     }
     args.pr4_output.write_text(json.dumps(pr4, indent=2) + "\n")
+    pr5 = {
+        "config": report["config"],
+        "build_pipeline": report["build_pipeline"],
+    }
+    args.pr5_output.write_text(json.dumps(pr5, indent=2) + "\n")
+    if not report["build_pipeline"]["fingerprints_identical"]:
+        print(
+            "ERROR: parallel build fingerprint diverges from the serial build",
+            file=sys.stderr,
+        )
+        return 1
     analytics = report["analytics"]
     for op in ("seasonal", "profile", "recommend"):
         if not analytics[op]["identical"]:

@@ -66,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "evaluations (default: unconstrained; banded "
                             "queries engage the persisted centroid "
                             "envelopes and the band-limited kernel)")
+        p.add_argument("--build-workers", type=int, default=None,
+                       help="fan the per-length base-construction shards "
+                            "over this many worker processes (default: 1, "
+                            "in-process; results are identical at any "
+                            "setting)")
 
     p = sub.add_parser("describe", help="collection and base statistics")
     add_source_options(p)
@@ -151,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="query strategy the service answers with")
     p.add_argument("--window", type=int, default=None,
                    help="Sakoe-Chiba band radius for all DTW evaluations")
+    p.add_argument("--build-workers", type=int, default=None,
+                   help="default worker count for server-side base "
+                        "builds (load_dataset requests may override)")
 
     return parser
 
@@ -168,6 +176,8 @@ def _load_params(args: argparse.Namespace) -> dict:
         params["min_length"] = args.min_length
     if args.max_length is not None:
         params["max_length"] = args.max_length
+    if args.build_workers is not None:
+        params["num_workers"] = args.build_workers
     return params
 
 
@@ -197,7 +207,10 @@ def main(argv=None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
         server = OnexHttpServer(
-            OnexService(QueryConfig(mode=args.mode, window=args.window)),
+            OnexService(
+                QueryConfig(mode=args.mode, window=args.window),
+                default_build_workers=args.build_workers,
+            ),
             host=args.host,
             port=args.port,
         )
@@ -222,7 +235,16 @@ def _dispatch(args: argparse.Namespace) -> int:
                   f"{payload['total_points']} points, lengths "
                   f"{payload['min_length']}..{payload['max_length']}")
             print(f"base: {payload['groups']} groups, "
-                  f"{payload['compaction_ratio']:.1f}x compaction")
+                  f"{payload['compaction_ratio']:.1f}x compaction "
+                  f"({payload['build_seconds']:.3f}s build)")
+            per_length = payload.get("per_length") or []
+            if per_length:
+                print("per-length build breakdown:")
+                for entry in per_length:
+                    print(f"  len {entry['length']:>3}: "
+                          f"{entry['subsequences']:>6} windows -> "
+                          f"{entry['groups']:>5} groups "
+                          f"in {entry['seconds'] * 1e3:7.1f} ms")
 
         _emit(info, args, human)
         return 0

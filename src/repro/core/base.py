@@ -16,14 +16,21 @@ from __future__ import annotations
 
 import json
 import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
 from repro.core.config import BuildConfig
-from repro.core.grouping import SimilarityGroup, cluster_subsequences
+from repro.core.grouping import SimilarityGroup, cluster_subsequence_rows
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.data.windows import (
+    rows_to_series_starts,
+    window_counts,
+    window_matrix,
+    window_view,
+)
 from repro.distances.envelope import keogh_envelope_batch
 from repro.distances.lower_bounds import lb_keogh_reverse_batch, lb_kim_endpoints_batch
 from repro.distances.normalize import minmax_normalize
@@ -32,6 +39,7 @@ from repro.exceptions import DatasetError, NotBuiltError, ValidationError
 __all__ = [
     "BaseStats",
     "LengthBucket",
+    "LengthBuildStats",
     "OnexBase",
     "RepresentativeSummary",
     "WindowAssignment",
@@ -60,13 +68,39 @@ def default_envelope_radius(length: int) -> int:
 
 
 @dataclass(frozen=True)
+class LengthBuildStats:
+    """Construction telemetry for one subsequence length.
+
+    ``seconds`` is the wall-clock cost of that length's shard (extraction
+    + clustering), measured inside the job — on the worker when the build
+    is fanned out, so the per-length numbers expose the shard balance the
+    scheduler achieved.  Lengths indexed after the build by incremental
+    ingestion report ``seconds == 0.0``.
+    """
+
+    length: int
+    subsequences: int
+    groups: int
+    seconds: float
+
+    def as_dict(self) -> dict:
+        return {
+            "length": self.length,
+            "subsequences": self.subsequences,
+            "groups": self.groups,
+            "seconds": self.seconds,
+        }
+
+
+@dataclass(frozen=True)
 class BaseStats:
-    """Construction summary (reported by E1/E7 benchmarks)."""
+    """Construction summary (reported by E1/E7/E18 benchmarks)."""
 
     subsequences: int
     groups: int
     lengths: int
     build_seconds: float
+    per_length: tuple[LengthBuildStats, ...] = ()
 
     @property
     def compaction_ratio(self) -> float:
@@ -258,6 +292,7 @@ class LengthBucket:
         length: int,
         groups: list[SimilarityGroup],
         member_matrix: np.ndarray | None = None,
+        stacks: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.length = length
         self.groups = list(groups)
@@ -266,10 +301,18 @@ class LengthBucket:
         self._centroid_store = np.empty((cap, length), dtype=np.float64)
         self._ed_store = np.empty(cap, dtype=np.float64)
         self._cheb_store = np.empty(cap, dtype=np.float64)
-        for g, group in enumerate(self.groups):
-            self._centroid_store[g] = group.centroid
-            self._ed_store[g] = group.ed_radius
-            self._cheb_store[g] = group.cheb_radius
+        if stacks is not None:
+            # Already-stacked (centroids, ed_radii, cheb_radii) matching
+            # *groups* — the build pipeline hands its shard arrays over
+            # so a many-group bucket skips the per-group copy loop.
+            self._centroid_store[:count] = stacks[0]
+            self._ed_store[:count] = stacks[1]
+            self._cheb_store[:count] = stacks[2]
+        else:
+            for g, group in enumerate(self.groups):
+                self._centroid_store[g] = group.centroid
+                self._ed_store[g] = group.ed_radius
+                self._cheb_store[g] = group.cheb_radius
         offsets = np.cumsum([0] + [g.cardinality for g in self.groups])
         # Per-group physical rows of the member store: a slice while the
         # group's rows are contiguous, else a list of row indices.
@@ -381,14 +424,25 @@ class LengthBucket:
         return self._member_store[np.fromiter(rows, np.int64, len(rows))]
 
     def ensure_member_matrix(self, dataset: TimeSeriesDataset) -> np.ndarray:
-        """Build (once) and return the stacked member-value matrix."""
+        """Build (once) and return the stacked member-value matrix.
+
+        Rows are gathered through the strided extraction kernel — one
+        :func:`~repro.data.windows.window_view` per touched series with a
+        fancy-indexed start gather — instead of resolving members one
+        ``dataset.values`` call at a time (only relevant when loading a
+        pre-v2 archive that carries no persisted matrix).
+        """
         if self._member_store is None:
+            refs = [ref for group in self.groups for ref in group.members]
             matrix = np.empty((self._row_count, self.length), dtype=np.float64)
-            row = 0
-            for group in self.groups:
-                for ref in group.members:
-                    matrix[row] = dataset.values(ref)
-                    row += 1
+            series = np.fromiter(
+                (r.series_index for r in refs), np.int64, len(refs)
+            )
+            starts = np.fromiter((r.start for r in refs), np.int64, len(refs))
+            for si in np.unique(series).tolist():
+                rows = np.nonzero(series == si)[0]
+                windows = window_view(dataset[si].values, self.length)
+                matrix[rows] = windows[starts[rows]]
             self._member_store = matrix
         return self._member_store[: self._row_count]
 
@@ -482,6 +536,54 @@ class LengthBucket:
         return self._row_count - 1
 
 
+def _build_length_shard(
+    series_values: list[np.ndarray],
+    length: int,
+    step: int,
+    group_radius: float,
+    keep_matrix: bool = True,
+) -> dict | None:
+    """Build one length's groups from raw series values (shared-nothing).
+
+    The unit of work of the sharded build pipeline: strided window
+    extraction plus the batched clustering, returning a payload of plain
+    arrays — stacked centroids, radii, and flat member-row indices with
+    group offsets — so the result pickles cheaply across a
+    :class:`~concurrent.futures.ProcessPoolExecutor` boundary.  No handle
+    objects are created here; the parent resolves rows to
+    :class:`SubsequenceRef`\\ s arithmetically during reassembly.  The
+    window matrix rides along only for in-process callers
+    (*keep_matrix*); worker processes drop it — re-extracting on the
+    parent is cheaper than pickling it through the result pipe.  Returns
+    ``None`` when no series is long enough for *length*.
+    """
+    started = time.perf_counter()
+    matrix, _ = window_matrix(series_values, length, step)
+    if matrix.shape[0] == 0:
+        return None
+    groups = cluster_subsequence_rows(matrix, group_radius)
+    count = len(groups)
+    centroids = np.empty((count, length), dtype=np.float64)
+    offsets = np.empty(count + 1, dtype=np.int64)
+    offsets[0] = 0
+    for g, group in enumerate(groups):
+        centroids[g] = group.centroid
+        offsets[g + 1] = offsets[g] + group.rows.shape[0]
+    return {
+        "length": length,
+        "windows": matrix.shape[0],
+        "matrix": matrix if keep_matrix else None,
+        "centroids": centroids,
+        "ed_radii": np.fromiter((g.ed_radius for g in groups), np.float64, count),
+        "cheb_radii": np.fromiter(
+            (g.cheb_radius for g in groups), np.float64, count
+        ),
+        "member_rows": np.concatenate([g.rows for g in groups]),
+        "offsets": offsets,
+        "seconds": time.perf_counter() - started,
+    }
+
+
 class OnexBase:
     """The compact ONEX base over one dataset."""
 
@@ -500,25 +602,74 @@ class OnexBase:
     # ------------------------------------------------------------------
 
     def build(self) -> BaseStats:
-        """Run the offline clustering; idempotent (rebuilds from scratch)."""
+        """Run the offline clustering; idempotent (rebuilds from scratch).
+
+        The construction is a sharded pipeline over the configured length
+        range: each length is an independent, shared-nothing job
+        (:func:`_build_length_shard` — strided extraction plus the batched
+        clustering) and ``BuildConfig.num_workers`` fans the jobs over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`
+        (``build_executor="thread"`` swaps in a thread pool;
+        ``num_workers=1`` runs the same jobs in-process with no executor).
+        Shard payloads are merged in ascending length order regardless of
+        completion order, and the clustering itself is deterministic, so
+        every backend produces an identical base —
+        :meth:`structure_fingerprint` equality is asserted by the tests
+        and the E18 benchmark gate.
+        """
         started = time.perf_counter()
         self._buckets = {}
+        cfg = self._config
+        lengths = list(range(cfg.min_length, cfg.max_length + 1))
+        series_values = [s.values for s in self._dataset]
+        workers = min(cfg.num_workers, len(lengths))
         total_subsequences = 0
         total_groups = 0
-        cfg = self._config
-        for length in range(cfg.min_length, cfg.max_length + 1):
-            matrix, refs = self._dataset.subsequence_matrix(length, step=cfg.step)
-            if not refs:
-                continue
-            groups = cluster_subsequences(matrix, refs, cfg.group_radius)
-            # Gather every group's member values from the already-stacked
-            # subsequence matrix into the bucket's refinement matrix.
-            row_of = {ref: k for k, ref in enumerate(refs)}
-            member_rows = [row_of[m] for g in groups for m in g.members]
-            bucket = LengthBucket(length, groups, matrix[member_rows])
-            self._buckets[length] = bucket
-            total_subsequences += len(refs)
-            total_groups += bucket.group_count
+        per_length: list[LengthBuildStats] = []
+
+        def merge(payloads) -> None:
+            # Consumed lazily and in submission (= ascending length)
+            # order, so at most one shard's window matrix is alive on
+            # the parent at a time — the serial build's peak memory.
+            nonlocal total_subsequences, total_groups
+            for payload in payloads:
+                if payload is None:
+                    continue
+                bucket = self._assemble_bucket(payload)
+                self._buckets[bucket.length] = bucket
+                total_subsequences += payload["windows"]
+                total_groups += bucket.group_count
+                per_length.append(
+                    LengthBuildStats(
+                        length=bucket.length,
+                        subsequences=payload["windows"],
+                        groups=bucket.group_count,
+                        seconds=payload["seconds"],
+                    )
+                )
+
+        if workers <= 1:
+            merge(
+                _build_length_shard(series_values, length, cfg.step, cfg.group_radius)
+                for length in lengths
+            )
+        else:
+            processes = cfg.build_executor != "thread"
+            pool_cls = ProcessPoolExecutor if processes else ThreadPoolExecutor
+            with pool_cls(max_workers=workers) as pool:
+                merge(
+                    pool.map(
+                        _build_length_shard,
+                        [series_values] * len(lengths),
+                        lengths,
+                        [cfg.step] * len(lengths),
+                        [cfg.group_radius] * len(lengths),
+                        # Worker processes drop the window matrix from
+                        # the payload: the parent re-extracts it in one
+                        # strided gather instead of paying the pickle.
+                        [not processes] * len(lengths),
+                    )
+                )
         if not self._buckets:
             raise DatasetError(
                 "no subsequences in the configured length range "
@@ -529,8 +680,61 @@ class OnexBase:
             groups=total_groups,
             lengths=len(self._buckets),
             build_seconds=time.perf_counter() - started,
+            per_length=tuple(per_length),
         )
         return self._stats
+
+    def _assemble_bucket(self, payload: dict) -> LengthBucket:
+        """Reassemble one shard payload into a live :class:`LengthBucket`.
+
+        Runs on the parent: member rows are resolved to
+        :class:`SubsequenceRef` handles with one ``searchsorted`` over the
+        per-series window counts, the groups are rebuilt from the stacked
+        arrays, and the bucket's refinement matrix is gathered from the
+        shard's window matrix.  Bit-identical to what an in-process build
+        of the same length produces (the payload arrays round-trip
+        through pickle exactly).
+        """
+        length = payload["length"]
+        step = self._config.step
+        matrix = payload["matrix"]
+        if matrix is None:
+            matrix, _ = window_matrix(
+                [s.values for s in self._dataset], length, step
+            )
+        counts = window_counts(
+            [len(s) for s in self._dataset], length, step
+        )
+        member_rows = payload["member_rows"]
+        series_idx, starts = rows_to_series_starts(member_rows, counts, step)
+        refs = list(
+            map(
+                SubsequenceRef,
+                series_idx.tolist(),
+                starts.tolist(),
+                [length] * member_rows.shape[0],
+            )
+        )
+        offsets = payload["offsets"].tolist()
+        centroids = payload["centroids"]
+        ed_radii = payload["ed_radii"].tolist()
+        cheb_radii = payload["cheb_radii"].tolist()
+        groups = [
+            SimilarityGroup(
+                length=length,
+                centroid=centroids[g],
+                members=tuple(refs[offsets[g] : offsets[g + 1]]),
+                ed_radius=ed_radii[g],
+                cheb_radius=cheb_radii[g],
+            )
+            for g in range(len(offsets) - 1)
+        ]
+        return LengthBucket(
+            length,
+            groups,
+            matrix[member_rows],
+            stacks=(centroids, payload["ed_radii"], payload["cheb_radii"]),
+        )
 
     # ------------------------------------------------------------------
     # Accessors
@@ -700,11 +904,23 @@ class OnexBase:
         if out:
             created = sum(a.created for a in out)
             old = self.stats
+            per_length = {s.length: s for s in old.per_length}
+            for a in out:
+                prev = per_length.get(a.ref.length)
+                per_length[a.ref.length] = LengthBuildStats(
+                    length=a.ref.length,
+                    subsequences=(prev.subsequences if prev else 0) + 1,
+                    groups=(prev.groups if prev else 0) + int(a.created),
+                    seconds=prev.seconds if prev else 0.0,
+                )
             self._stats = BaseStats(
                 subsequences=old.subsequences + len(out),
                 groups=old.groups + created,
                 lengths=len(self._buckets),
                 build_seconds=old.build_seconds,
+                per_length=tuple(
+                    per_length[length] for length in sorted(per_length)
+                ),
             )
         return out
 
@@ -735,7 +951,7 @@ class OnexBase:
         """
         length = bucket.length
         radius = self._config.group_radius
-        windows = np.lib.stride_tricks.sliding_window_view(values, length)[
+        windows = window_view(values, length)[
             starts.start : starts.stop : starts.step
         ]
         count = windows.shape[0]
@@ -825,6 +1041,7 @@ class OnexBase:
                 "groups": self.stats.groups,
                 "lengths": self.stats.lengths,
                 "build_seconds": self.stats.build_seconds,
+                "per_length": [s.as_dict() for s in self.stats.per_length],
             },
             "dataset_fingerprint": self._fingerprint(),
             "lengths": self.lengths,
@@ -941,6 +1158,10 @@ class OnexBase:
             groups=stats["groups"],
             lengths=stats["lengths"],
             build_seconds=stats["build_seconds"],
+            per_length=tuple(
+                LengthBuildStats(**entry)
+                for entry in stats.get("per_length", ())
+            ),
         )
         return base
 
@@ -952,6 +1173,39 @@ class OnexBase:
         for series in self._dataset:
             digest.update(series.name.encode())
             digest.update(np.ascontiguousarray(series.values).tobytes())
+        return digest.hexdigest()
+
+    def structure_fingerprint(self) -> str:
+        """Content hash of the built structure (groups, radii, members).
+
+        Covers, per ascending length: the stacked centroid matrix, both
+        radius vectors, the group member offsets, and every member's
+        ``(series_index, start)`` handle — everything the query layers
+        read, nothing timing-dependent.  Two bases are result-identical
+        iff their structure fingerprints match; the build scheduler's
+        determinism gate (serial vs thread-pool vs process-pool builds,
+        E18 and ``run_all.py``) compares these.
+        """
+        import hashlib
+
+        self._require_built()
+        digest = hashlib.sha256()
+        for length in self.lengths:
+            bucket = self._buckets[length]
+            digest.update(np.int64(length).tobytes())
+            digest.update(np.ascontiguousarray(bucket.centroids).tobytes())
+            digest.update(np.ascontiguousarray(bucket.ed_radii).tobytes())
+            digest.update(np.ascontiguousarray(bucket.cheb_radii).tobytes())
+            digest.update(bucket.member_offsets.tobytes())
+            members = np.array(
+                [
+                    (m.series_index, m.start)
+                    for g in bucket.groups
+                    for m in g.members
+                ],
+                dtype=np.int64,
+            )
+            digest.update(members.tobytes())
         return digest.hexdigest()
 
     def __repr__(self) -> str:

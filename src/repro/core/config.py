@@ -31,6 +31,20 @@ class BuildConfig:
     normalize:
         Min–max normalise the dataset (collection-level bounds) at load
         time; the paper always does.
+    num_workers:
+        Fan the per-length build jobs over this many workers.  ``1`` (the
+        default) runs the jobs in-process with no executor; higher values
+        engage the configured pool.  Per-length jobs are shared-nothing
+        and merged deterministically, so every setting builds an
+        identical base (``OnexBase.structure_fingerprint``) — this is an
+        execution knob, not a semantic parameter, and it is deliberately
+        **not** persisted in saved archives.
+    build_executor:
+        Pool flavour for ``num_workers > 1``: ``"process"`` (the default;
+        sidesteps the GIL — the clustering scan keeps Python-level
+        bookkeeping per block) or ``"thread"`` (no fork/pickle overhead;
+        useful when the dataset is large relative to the clustering
+        work, or where subprocesses are unavailable).
     """
 
     similarity_threshold: float
@@ -38,6 +52,8 @@ class BuildConfig:
     max_length: int
     step: int = 1
     normalize: bool = True
+    num_workers: int = 1
+    build_executor: str = "process"
 
     def __post_init__(self) -> None:
         if not self.similarity_threshold > 0:
@@ -52,6 +68,15 @@ class BuildConfig:
             )
         if self.step < 1:
             raise ValidationError(f"step must be >= 1, got {self.step}")
+        if self.num_workers < 1:
+            raise ValidationError(
+                f"num_workers must be >= 1, got {self.num_workers}"
+            )
+        if self.build_executor not in ("process", "thread"):
+            raise ValidationError(
+                "build_executor must be 'process' or 'thread', "
+                f"got {self.build_executor!r}"
+            )
 
     @property
     def group_radius(self) -> float:

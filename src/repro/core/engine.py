@@ -61,6 +61,8 @@ class OnexEngine:
         max_length: int | None = None,
         step: int = 1,
         normalize: bool = True,
+        num_workers: int = 1,
+        build_executor: str = "process",
     ) -> BaseStats:
         """Register *dataset* and build its ONEX base.
 
@@ -69,6 +71,10 @@ class OnexEngine:
         length range defaults to the collection's shortest series length on
         both ends widened down to half of it — a pragmatic default that
         keeps preprocessing proportional to the data.
+
+        *num_workers* fans the per-length build shards over a process (or
+        thread, per *build_executor*) pool; every setting produces an
+        identical base, so it is purely a build-latency knob.
         """
         if dataset.name in self._loaded:
             raise DatasetError(f"dataset {dataset.name!r} already loaded")
@@ -88,6 +94,8 @@ class OnexEngine:
             max_length=max_length,
             step=step,
             normalize=normalize,
+            num_workers=num_workers,
+            build_executor=build_executor,
         )
         base = OnexBase(dataset, config)
         stats = base.build()

@@ -29,14 +29,33 @@ from repro.viz.payloads import (
 __all__ = ["OnexService"]
 
 #: Keyword arguments of load_dataset requests forwarded to the engine.
-_LOAD_OPTIONS = ("similarity_threshold", "min_length", "max_length", "step", "normalize")
+_LOAD_OPTIONS = (
+    "similarity_threshold",
+    "min_length",
+    "max_length",
+    "step",
+    "normalize",
+    "num_workers",
+    "build_executor",
+)
 
 
 class OnexService:
-    """Handles protocol requests against one engine instance."""
+    """Handles protocol requests against one engine instance.
 
-    def __init__(self, query_config: QueryConfig | None = None) -> None:
+    *default_build_workers* applies to ``load_dataset`` requests that do
+    not name ``num_workers`` themselves — the ``serve --build-workers``
+    deployment knob; explicit request parameters always win.
+    """
+
+    def __init__(
+        self,
+        query_config: QueryConfig | None = None,
+        *,
+        default_build_workers: int | None = None,
+    ) -> None:
         self._engine = OnexEngine(query_config)
+        self._default_build_workers = default_build_workers
 
     @property
     def engine(self) -> OnexEngine:
@@ -92,6 +111,12 @@ class OnexService:
                 "or 'ucr:<path>')"
             )
         options = {k: params[k] for k in _LOAD_OPTIONS if k in params}
+        if "num_workers" in options:
+            options["num_workers"] = int(options["num_workers"])
+        elif self._default_build_workers is not None:
+            options["num_workers"] = self._default_build_workers
+        if "build_executor" in options:
+            options["build_executor"] = str(options["build_executor"])
         stats = self._engine.load_dataset(dataset, **options)
         return {
             "dataset": dataset.name,
@@ -109,10 +134,14 @@ class OnexService:
     def _op_describe(self, params: dict) -> Any:
         name = str(params["dataset"])
         info = self._engine.base(name).raw_dataset.describe()
-        stats = self._engine.stats(name)
+        # Live base stats (not the load-time snapshot): incremental
+        # ingestion updates the per-length breakdown in place.
+        stats = self._engine.base(name).stats
         info["groups"] = stats.groups
         info["compaction_ratio"] = stats.compaction_ratio
         info["series_names"] = self._engine.base(name).dataset.names
+        info["build_seconds"] = stats.build_seconds
+        info["per_length"] = [s.as_dict() for s in stats.per_length]
         return info
 
     def _op_overview(self, params: dict) -> Any:
