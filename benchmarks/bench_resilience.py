@@ -1,0 +1,149 @@
+"""E19: resilience — deadline overhead, cutoff latency, load shedding.
+
+Three claims from the robustness layer, measured on the headline MATTERS
+base: (1) carrying an ample deadline through the exact cascade costs
+nothing measurable and never changes an answer — the budget checks are
+pure control flow; (2) a 1 ms budget turns every long-running operation
+into a structured :class:`DeadlineExceeded` within tens of
+milliseconds — the cooperative checkpoints bound the worst-case overrun
+to one chunk of work; (3) a server at 4x its admission cap sheds the
+excess immediately with 503s while every accepted request still returns
+the exact answer.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.core.deadline import Deadline
+from repro.core.query import QueryProcessor
+from repro.core.sensitivity import similarity_profile
+from repro.exceptions import DeadlineExceeded
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+from repro.testing import faults
+
+GRID = (0.01, 0.05, 0.1, 0.2)
+
+
+def test_ample_deadline_is_free_and_identical(benchmark, matters_base):
+    """An un-pressed deadline changes neither answers nor (much) latency."""
+    processor = QueryProcessor(matters_base, QueryConfig(mode="exact"))
+    rng = np.random.default_rng(55)
+    queries = [rng.uniform(size=6) for _ in range(4)]
+    ample = Deadline.after(120_000)
+
+    def with_deadline():
+        return [
+            processor.best_match(q, normalize=False, deadline=ample)
+            for q in queries
+        ]
+
+    guarded = benchmark(with_deadline)
+    bare = [processor.best_match(q, normalize=False) for q in queries]
+    assert [(m.ref, m.distance) for m in guarded] == [
+        (m.ref, m.distance) for m in bare
+    ], "an ample deadline changed exact-mode answers"
+    benchmark.extra_info["queries"] = len(queries)
+    benchmark.extra_info["identical_to_undeadlined"] = True
+
+
+def test_one_ms_budget_cuts_every_operation_fast(matters_base):
+    """A 1 ms deadline yields a structured error in well under 100 ms."""
+    processor = QueryProcessor(matters_base, QueryConfig(mode="exact"))
+    query = [0.2, 0.5, 0.3, 0.6, 0.4]
+    operations = {
+        "best_match": lambda d: processor.best_match(
+            query, normalize=False, deadline=d
+        ),
+        "k_best": lambda d: processor.k_best_matches(
+            query, 5, normalize=False, deadline=d
+        ),
+        "matches_within": lambda d: processor.matches_within(
+            query, 0.5, normalize=False, deadline=d
+        ),
+        "sensitivity": lambda d: similarity_profile(
+            matters_base, query, GRID, normalize=False, deadline=d
+        ),
+    }
+    for name, op in operations.items():
+        started = time.perf_counter()
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            op(Deadline.after(1.0))
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        assert elapsed_ms < 100.0, f"{name} overran its 1ms budget: {elapsed_ms:.1f}ms"
+        assert excinfo.value.details()["stage"], name
+
+
+def test_overload_sheds_fast_and_accepted_stay_exact(benchmark, matters_base):
+    """Burst at 4x the admission cap: excess 503s return immediately."""
+    service = OnexService()
+    rng = np.random.default_rng(55)
+    query = [float(v) for v in rng.uniform(size=6)]
+    with OnexHttpServer(service, max_in_flight=2, max_queue=2) as server:
+
+        def post(op, params):
+            request = urllib.request.Request(
+                server.url + "/api",
+                json.dumps({"op": op, "params": params}).encode(),
+                {"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=120) as resp:
+                    return resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read())
+
+        status, body = post(
+            "load_dataset",
+            {"source": "matters", "seed": 2013, "years": 16, "min_years": 10,
+             "indicators": ["GrowthRate"], "similarity_threshold": 0.1,
+             "min_length": 5, "max_length": 8},
+        )
+        assert status == 200 and body["ok"], body
+        name = body["result"]["dataset"]
+        want = post("best_match", {"dataset": name, "query": query})[1]["result"]
+
+        def burst():
+            outcomes = []
+            lock = threading.Lock()
+
+            def one():
+                started = time.perf_counter()
+                status, body = post(
+                    "best_match", {"dataset": name, "query": query}
+                )
+                with lock:
+                    outcomes.append(
+                        (status, body, time.perf_counter() - started)
+                    )
+
+            with faults.inject("server.handle", "sleep", seconds=0.2):
+                threads = [threading.Thread(target=one) for _ in range(8)]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+            return outcomes
+
+        outcomes = benchmark.pedantic(burst, rounds=3, iterations=1)
+
+    accepted = [(b, s) for code, b, s in outcomes if code == 200]
+    shed = [(b, s) for code, b, s in outcomes if code == 503]
+    assert accepted and shed, "the burst produced no shedding"
+    for body, _ in accepted:
+        assert body["result"]["distance"] == pytest.approx(want["distance"])
+        assert body["result"]["exact"] is True
+    shed_ms = sorted(seconds * 1e3 for _, seconds in shed)
+    p99 = shed_ms[min(len(shed_ms) - 1, round(0.99 * len(shed_ms)))]
+    # A shed answer never waits on the slow in-flight work (200ms here).
+    assert p99 < 150.0, f"shed p99 {p99:.0f}ms is not bounded"
+    benchmark.extra_info["accepted"] = len(accepted)
+    benchmark.extra_info["shed"] = len(shed)
+    benchmark.extra_info["shed_p99_ms"] = round(p99, 2)

@@ -23,7 +23,9 @@ import argparse
 import json
 import os
 import sys
+import threading
 import time
+import urllib.error
 import urllib.request
 from pathlib import Path
 
@@ -35,15 +37,18 @@ from repro.baselines.spring import SpringMatcher
 from repro.baselines.ucr_suite import UcrSuiteSearcher
 from repro.core.base import OnexBase
 from repro.core.config import BuildConfig, QueryConfig
+from repro.core.deadline import Deadline
 from repro.core.query import QueryProcessor
 from repro.core.seasonal import find_seasonal_patterns
 from repro.core.sensitivity import similarity_profile
 from repro.core.threshold import recommend_thresholds
 from repro.data.matters import STATE_ABBREVIATIONS, build_matters_collection
 from repro.data.timeseries import TimeSeries
+from repro.exceptions import DeadlineExceeded
 from repro.server.http import OnexHttpServer
 from repro.server.service import OnexService
 from repro.stream import StreamIngestor
+from repro.testing import faults
 
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
          "build": {"similarity_threshold": 0.1, "min_length": 5, "max_length": 10}}
@@ -125,9 +130,11 @@ def run(config: dict) -> dict:
     batch_report = run_batch_queries(config)
     analytics_report = run_analytics(config, dataset, base)
     build_report = run_build(config, dataset)
+    resilience_report = run_resilience(config, base)
 
     return {
         "config": config,
+        "resilience": resilience_report,
         "build_pipeline": build_report,
         "analytics": analytics_report,
         "stream": stream_report,
@@ -388,6 +395,150 @@ def run_build(config: dict, dataset) -> dict:
     }
 
 
+def run_resilience(config: dict, base: OnexBase) -> dict:
+    """E19 section: the robustness layer, gated on three hard claims.
+
+    On the headline base: (1) an ample deadline (two minutes) changes no
+    exact answer — the checkpoints are pure control flow; (2) a 1 ms
+    deadline turns each long-running operation into a structured
+    :class:`DeadlineExceeded` in under 100 ms — cooperative checks bound
+    the overrun to one chunk of work; (3) a server burst at 4x the
+    admission cap sheds the excess with immediate 503s while every
+    accepted request returns the exact answer.  All three are enforced
+    in :func:`main`.
+    """
+    rng = np.random.default_rng(55)
+    queries = [rng.uniform(size=6) for _ in range(config["queries"])]
+    processor = QueryProcessor(base, QueryConfig(mode="exact"))
+    ample = Deadline.after(120_000)
+    guarded = [
+        processor.best_match(q, normalize=False, deadline=ample) for q in queries
+    ]
+    bare = [processor.best_match(q, normalize=False) for q in queries]
+    ample_identical = all(
+        a.ref == b.ref and abs(a.distance - b.distance) < 1e-12
+        for a, b in zip(guarded, bare)
+    )
+
+    query = queries[0]
+    grid = (0.01, 0.05, 0.1, 0.2)
+    operations = {
+        "best_match": lambda d: processor.best_match(
+            query, normalize=False, deadline=d
+        ),
+        "k_best": lambda d: processor.k_best_matches(
+            query, 5, normalize=False, deadline=d
+        ),
+        "matches_within": lambda d: processor.matches_within(
+            query, 0.5, normalize=False, deadline=d
+        ),
+        "sensitivity": lambda d: similarity_profile(
+            base, query, grid, normalize=False, deadline=d
+        ),
+    }
+    cutoff = {}
+    for name, op in operations.items():
+        started = time.perf_counter()
+        try:
+            op(Deadline.after(1.0))
+            structured, stage = False, None
+        except DeadlineExceeded as exc:
+            structured, stage = True, exc.details()["stage"]
+        cutoff[name] = {
+            "elapsed_ms": round((time.perf_counter() - started) * 1e3, 2),
+            "structured": structured,
+            "stage": stage,
+        }
+    cutoff_ok = all(
+        entry["structured"] and entry["elapsed_ms"] < 100.0
+        for entry in cutoff.values()
+    )
+
+    overload = _run_overload_burst()
+    return {
+        "ample_deadline_identical": ample_identical,
+        "one_ms_cutoff": cutoff,
+        "one_ms_cutoff_ok": cutoff_ok,
+        "overload": overload,
+    }
+
+
+def _run_overload_burst() -> dict:
+    """Burst a small server at 4x its in-flight cap and classify outcomes."""
+    query = [0.2, 0.5, 0.3, 0.6, 0.4, 0.3]
+
+    def post(url: str, op: str, params: dict):
+        request = urllib.request.Request(
+            url + "/api",
+            json.dumps({"op": op, "params": params}).encode(),
+            {"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as resp:
+                return resp.status, dict(resp.headers), json.loads(resp.read())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers or {}), json.loads(exc.read())
+
+    with OnexHttpServer(OnexService(), max_in_flight=2, max_queue=2) as server:
+        _, _, loaded = post(
+            server.url,
+            "load_dataset",
+            {"source": "matters", "seed": 5, "years": 16, "min_years": 10,
+             "indicators": ["GrowthRate"], "similarity_threshold": 0.2,
+             "min_length": 5, "max_length": 8},
+        )
+        name = loaded["result"]["dataset"]
+        want = post(server.url, "best_match", {"dataset": name, "query": query})
+        want_distance = want[2]["result"]["distance"]
+
+        outcomes = []
+        lock = threading.Lock()
+
+        def one():
+            started = time.perf_counter()
+            status, headers, body = post(
+                server.url, "best_match", {"dataset": name, "query": query}
+            )
+            with lock:
+                outcomes.append(
+                    (status, headers, body, time.perf_counter() - started)
+                )
+
+        with faults.inject("server.handle", "sleep", seconds=0.2):
+            threads = [threading.Thread(target=one) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+    accepted = [entry for entry in outcomes if entry[0] == 200]
+    shed = [entry for entry in outcomes if entry[0] == 503]
+    accepted_exact = bool(accepted) and all(
+        body["ok"]
+        and abs(body["result"]["distance"] - want_distance) < 1e-9
+        and body["result"]["exact"]
+        for _, _, body, _ in accepted
+    )
+    shed_structured = bool(shed) and all(
+        headers.get("Retry-After") == "1"
+        and body["error"]["type"] == "OverloadedError"
+        for _, headers, body, _ in shed
+    )
+    shed_ms = sorted(seconds * 1e3 for _, _, _, seconds in shed) or [0.0]
+    return {
+        "burst": len(outcomes),
+        "max_in_flight": 2,
+        "max_queue": 2,
+        "accepted": len(accepted),
+        "shed": len(shed),
+        "accepted_exact": accepted_exact,
+        "shed_structured_503": shed_structured,
+        "shed_p99_ms": round(
+            shed_ms[min(len(shed_ms) - 1, round(0.99 * len(shed_ms)))], 2
+        ),
+    }
+
+
 def run_stream(config: dict) -> dict:
     """E15 smoke: per-append ingest cost, rebuild ratio, monitor exactness."""
     rng = np.random.default_rng(71)
@@ -471,6 +622,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr5.json"),
         help="where the E18 build-pipeline section lands",
     )
+    parser.add_argument(
+        "--pr6-output",
+        type=Path,
+        default=Path("BENCH_pr6.json"),
+        help="where the E19 resilience section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -505,6 +662,35 @@ def main(argv: list[str] | None = None) -> int:
         "build_pipeline": report["build_pipeline"],
     }
     args.pr5_output.write_text(json.dumps(pr5, indent=2) + "\n")
+    pr6 = {
+        "config": report["config"],
+        "resilience": report["resilience"],
+    }
+    args.pr6_output.write_text(json.dumps(pr6, indent=2) + "\n")
+    resilience = report["resilience"]
+    if not resilience["ample_deadline_identical"]:
+        print(
+            "ERROR: an ample deadline changed exact-mode answers",
+            file=sys.stderr,
+        )
+        return 1
+    if not resilience["one_ms_cutoff_ok"]:
+        print(
+            "ERROR: a 1ms deadline did not yield a structured "
+            "DeadlineExceeded within 100ms for every operation",
+            file=sys.stderr,
+        )
+        return 1
+    if not (
+        resilience["overload"]["accepted_exact"]
+        and resilience["overload"]["shed_structured_503"]
+    ):
+        print(
+            "ERROR: overload burst broke exactness or shed without "
+            "structured 503s",
+            file=sys.stderr,
+        )
+        return 1
     if not report["build_pipeline"]["fingerprints_identical"]:
         print(
             "ERROR: parallel build fingerprint diverges from the serial build",

@@ -33,7 +33,8 @@ import json
 import sys
 
 from repro.core.config import QueryConfig
-from repro.exceptions import OnexError
+from repro.exceptions import OnexError, RemoteError
+from repro.server.client import OnexClient
 from repro.server.http import OnexHttpServer
 from repro.server.protocol import Request
 from repro.server.service import OnexService
@@ -71,6 +72,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "over this many worker processes (default: 1, "
                             "in-process; results are identical at any "
                             "setting)")
+        p.add_argument("--timeout-ms", type=float, default=None,
+                       help="deadline for each long-running operation; an "
+                            "exceeded budget yields a structured "
+                            "DeadlineExceeded error with progress so far")
+        p.add_argument("--allow-partial", action="store_true",
+                       help="with --timeout-ms: degrade to the best "
+                            "verified partial result (flagged exact=false) "
+                            "instead of erroring, where supported")
+        p.add_argument("--server", default=None, metavar="URL",
+                       help="route every operation to a running ONEX "
+                            "server at URL (e.g. http://127.0.0.1:8765) "
+                            "instead of executing in-process; read-only "
+                            "operations are retried with backoff when the "
+                            "server sheds load")
 
     p = sub.add_parser("describe", help="collection and base statistics")
     add_source_options(p)
@@ -159,6 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--build-workers", type=int, default=None,
                    help="default worker count for server-side base "
                         "builds (load_dataset requests may override)")
+    p.add_argument("--max-in-flight", type=int, default=8,
+                   help="requests executing concurrently before arrivals "
+                        "queue (admission control)")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="requests waiting for a slot before arrivals are "
+                        "shed with 503 + Retry-After")
+    p.add_argument("--drain-timeout", type=float, default=5.0,
+                   help="seconds shutdown waits for in-flight requests "
+                        "before abandoning them")
+    p.add_argument("--default-timeout-ms", type=float, default=None,
+                   help="server-side deadline applied to long-running "
+                        "operations that carry no timeout_ms of their own")
 
     return parser
 
@@ -181,8 +208,25 @@ def _load_params(args: argparse.Namespace) -> dict:
     return params
 
 
-def _call(service: OnexService, op: str, params: dict) -> dict:
-    response = service.handle(Request(op, params))
+def _deadline_options(args: argparse.Namespace) -> dict:
+    """The request-level deadline parameters the flags translate to.
+
+    Harmless on operations that ignore them (the service validates and
+    applies them only where the protocol documents support).
+    """
+    opts: dict = {}
+    if getattr(args, "timeout_ms", None) is not None:
+        opts["timeout_ms"] = args.timeout_ms
+        if getattr(args, "allow_partial", False):
+            opts["allow_partial"] = True
+    return opts
+
+
+def _call(backend, op: str, params: dict) -> dict:
+    """Dispatch one operation in-process or over HTTP (``--server``)."""
+    if isinstance(backend, OnexClient):
+        return backend.call(op, params)  # RemoteError is an OnexError
+    response = backend.handle(Request(op, params))
     if not response.ok:
         raise OnexError(f"{response.error_type}: {response.error_message}")
     return response.result
@@ -210,9 +254,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             OnexService(
                 QueryConfig(mode=args.mode, window=args.window),
                 default_build_workers=args.build_workers,
+                default_timeout_ms=args.default_timeout_ms,
             ),
             host=args.host,
             port=args.port,
+            max_in_flight=args.max_in_flight,
+            max_queue=args.max_queue,
+            drain_timeout=args.drain_timeout,
         )
         print(f"ONEX server listening on {server.url} (Ctrl-C to stop)")
         try:
@@ -221,11 +269,27 @@ def _dispatch(args: argparse.Namespace) -> int:
             server.stop()
         return 0
 
-    service = OnexService(
-        QueryConfig(mode="fast", refine_groups=3, window=args.window)
-    )
-    loaded = _call(service, "load_dataset", _load_params(args))
-    dataset = loaded["dataset"]
+    if args.server:
+        service = OnexClient(args.server)
+    else:
+        service = OnexService(
+            QueryConfig(mode="fast", refine_groups=3, window=args.window)
+        )
+    deadline_opts = _deadline_options(args)
+    try:
+        loaded = _call(
+            service, "load_dataset", {**_load_params(args), **deadline_opts}
+        )
+        dataset = loaded["dataset"]
+    except RemoteError as exc:
+        # A shared server may already hold this dataset — reuse it (the
+        # engine quotes the name in the error message).
+        if (
+            exc.error_type != "DatasetError"
+            or "already loaded" not in exc.error_message
+        ):
+            raise
+        dataset = exc.error_message.split("'")[1]
 
     if args.command == "describe":
         info = _call(service, "describe", {"dataset": dataset})
@@ -263,6 +327,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                         for start in args.starts
                     ],
                     "k": args.k,
+                    **deadline_opts,
                 },
             )
 
@@ -285,6 +350,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 "query": {"series": args.series, "start": args.start,
                           "length": args.length},
                 "k": args.k,
+                **deadline_opts,
             },
         )
 
@@ -305,6 +371,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             "length": args.length,
             "step": args.step,
             "remove_level": args.remove_level,
+            **deadline_opts,
         }
         if args.threshold is not None:
             params["threshold"] = args.threshold
@@ -430,6 +497,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                           "length": args.length},
                 "thresholds": grid,
                 "verify": verify,
+                **deadline_opts,
             },
         )
 

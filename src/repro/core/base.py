@@ -15,7 +15,9 @@ preprocessing-on-load workflow.
 from __future__ import annotations
 
 import json
+import os
 import time
+import zipfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -23,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.config import BuildConfig
+from repro.core.deadline import Deadline
 from repro.core.grouping import SimilarityGroup, cluster_subsequence_rows
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
 from repro.data.windows import (
@@ -34,7 +37,14 @@ from repro.data.windows import (
 from repro.distances.envelope import keogh_envelope_batch
 from repro.distances.lower_bounds import lb_keogh_reverse_batch, lb_kim_endpoints_batch
 from repro.distances.normalize import minmax_normalize
-from repro.exceptions import DatasetError, NotBuiltError, ValidationError
+from repro.exceptions import (
+    BuildWorkerError,
+    DatasetError,
+    NotBuiltError,
+    PersistenceError,
+    ValidationError,
+)
+from repro.testing import faults
 
 __all__ = [
     "BaseStats",
@@ -49,9 +59,27 @@ __all__ = [
 #: ``.npz`` layout version written by :meth:`OnexBase.save`.  Version 2
 #: added the stacked member-value matrices (PR 1); version 3 adds the
 #: persisted representative summaries (centroid Keogh envelopes, endpoint
-#: and min/max summaries).  :meth:`OnexBase.load` accepts any older
-#: archive and rebuilds the missing arrays lazily.
-FORMAT_VERSION = 3
+#: and min/max summaries); version 4 adds a content checksum over every
+#: stored array, verified on load.  :meth:`OnexBase.load` accepts any
+#: older archive and rebuilds (or skips verifying) the missing pieces.
+FORMAT_VERSION = 4
+
+
+def _checksum_arrays(named_arrays) -> str:
+    """sha256 over ``(key, array)`` pairs — the archive content checksum.
+
+    Covers key, shape, and raw bytes of every stored array, so bit flips
+    the zip layer's per-entry CRC happens to miss (or a tampered,
+    re-zipped archive) still surface as a checksum mismatch on load.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    for key, arr in named_arrays:
+        digest.update(key.encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
 
 
 def default_envelope_radius(length: int) -> int:
@@ -558,6 +586,7 @@ def _build_length_shard(
     ``None`` when no series is long enough for *length*.
     """
     started = time.perf_counter()
+    faults.fire("build.shard", length=length)
     matrix, _ = window_matrix(series_values, length, step)
     if matrix.shape[0] == 0:
         return None
@@ -596,12 +625,14 @@ class OnexBase:
         self._dataset = dataset.normalized() if config.normalize else dataset
         self._buckets: dict[int, LengthBucket] = {}
         self._stats: BaseStats | None = None
+        #: Shards re-run serially after a worker crash in the last build.
+        self.build_shard_retries = 0
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
-    def build(self) -> BaseStats:
+    def build(self, deadline: Deadline | None = None) -> BaseStats:
         """Run the offline clustering; idempotent (rebuilds from scratch).
 
         The construction is a sharded pipeline over the configured length
@@ -616,9 +647,17 @@ class OnexBase:
         every backend produces an identical base —
         :meth:`structure_fingerprint` equality is asserted by the tests
         and the E18 benchmark gate.
+
+        A crashed or killed pool worker loses only its shard: the build
+        re-runs that length serially in the parent (determinism makes the
+        retry bit-identical; ``build_shard_retries`` counts them) and
+        raises :class:`~repro.exceptions.BuildWorkerError` only when the
+        serial retry fails too.  A *deadline* is checked between merged
+        shards and raises with per-length progress.
         """
         started = time.perf_counter()
         self._buckets = {}
+        self.build_shard_retries = 0
         cfg = self._config
         lengths = list(range(cfg.min_length, cfg.max_length + 1))
         series_values = [s.values for s in self._dataset]
@@ -633,6 +672,16 @@ class OnexBase:
             # the parent at a time — the serial build's peak memory.
             nonlocal total_subsequences, total_groups
             for payload in payloads:
+                faults.fire("build.merge")
+                if deadline is not None:
+                    deadline.check(
+                        "base build",
+                        {
+                            "lengths_merged": len(per_length),
+                            "lengths_total": len(lengths),
+                            "groups": total_groups,
+                        },
+                    )
                 if payload is None:
                     continue
                 bucket = self._assemble_bucket(payload)
@@ -657,19 +706,49 @@ class OnexBase:
             processes = cfg.build_executor != "thread"
             pool_cls = ProcessPoolExecutor if processes else ThreadPoolExecutor
             with pool_cls(max_workers=workers) as pool:
-                merge(
-                    pool.map(
+                futures = [
+                    pool.submit(
                         _build_length_shard,
-                        [series_values] * len(lengths),
-                        lengths,
-                        [cfg.step] * len(lengths),
-                        [cfg.group_radius] * len(lengths),
+                        series_values,
+                        length,
+                        cfg.step,
+                        cfg.group_radius,
                         # Worker processes drop the window matrix from
                         # the payload: the parent re-extracts it in one
                         # strided gather instead of paying the pickle.
-                        [not processes] * len(lengths),
+                        not processes,
                     )
-                )
+                    for length in lengths
+                ]
+
+                def drain():
+                    # Still ascending length order — submit-per-shard
+                    # (instead of pool.map) is what lets one crashed
+                    # worker lose only its own shard.
+                    for length, future in zip(lengths, futures):
+                        try:
+                            yield future.result()
+                        except Exception as exc:
+                            # A killed worker surfaces as BrokenExecutor
+                            # (and poisons every later future of a
+                            # process pool); each failed shard re-runs
+                            # serially in the parent, bit-identically.
+                            self.build_shard_retries += 1
+                            try:
+                                yield _build_length_shard(
+                                    series_values,
+                                    length,
+                                    cfg.step,
+                                    cfg.group_radius,
+                                )
+                            except Exception as retry_exc:
+                                raise BuildWorkerError(
+                                    f"build shard for length {length} failed "
+                                    f"in a pool worker ({exc}) and again on "
+                                    "serial retry"
+                                ) from retry_exc
+
+                merge(drain())
         if not self._buckets:
             raise DatasetError(
                 "no subsequences in the configured length range "
@@ -1014,7 +1093,7 @@ class OnexBase:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Serialise the built base to a single ``.npz`` file.
+        """Serialise the built base to a single ``.npz`` file, atomically.
 
         Stores config, group centroids, radii, member handles, and the
         stacked per-length member-value matrices (``len{n}_member_matrix``,
@@ -1023,9 +1102,18 @@ class OnexBase:
         The dataset itself is not stored; :meth:`load` re-attaches to an
         equal dataset and rebuilds the matrices when loading an archive
         from before they were persisted.
+
+        The archive is written to a same-directory temp file, fsynced,
+        and renamed into place — a crash mid-save never clobbers a
+        previously saved base.  A sha256 checksum over every stored array
+        rides in the metadata and is verified by :meth:`load`.
         """
         self._require_built()
         path = Path(path)
+        if not path.name.endswith(".npz"):
+            # np.savez appends the suffix when handed a filename; writing
+            # through a file object (for the atomic rename) must match.
+            path = Path(str(path) + ".npz")
         payload: dict[str, np.ndarray] = {}
         meta = {
             "format_version": FORMAT_VERSION,
@@ -1047,7 +1135,6 @@ class OnexBase:
             "lengths": self.lengths,
             "norm_bounds": list(self._norm_bounds) if self._norm_bounds else None,
         }
-        payload["meta"] = np.array(json.dumps(meta))
         for length in self.lengths:
             bucket = self._buckets[length]
             prefix = f"len{length}"
@@ -1074,7 +1161,22 @@ class OnexBase:
             payload[f"{prefix}_rep_env_radius"] = np.array(
                 summary.radius, dtype=np.int64
             )
-        np.savez_compressed(path, **payload)
+        meta["content_checksum"] = _checksum_arrays(sorted(payload.items()))
+        payload["meta"] = np.array(json.dumps(meta))
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(fh, **payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            faults.fire("persist.save", path=str(tmp))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @classmethod
     def load(cls, path, dataset: TimeSeriesDataset) -> "OnexBase":
@@ -1082,10 +1184,48 @@ class OnexBase:
 
         The dataset must be the one the base was built from (checked with a
         content fingerprint) — the base stores member *handles*, not values.
+
+        A truncated, tampered, or otherwise unreadable archive raises
+        :class:`~repro.exceptions.PersistenceError` (wrapping the varied
+        zipfile/numpy error surface); v4 archives additionally verify the
+        stored content checksum.  A missing file stays
+        ``FileNotFoundError``.
         """
         path = Path(path)
+        try:
+            return cls._load_archive(path, dataset)
+        except FileNotFoundError:
+            raise
+        except (DatasetError, PersistenceError):
+            raise
+        except (
+            zipfile.BadZipFile,
+            EOFError,
+            OSError,
+            ValueError,
+            KeyError,
+            TypeError,
+        ) as exc:
+            raise PersistenceError(
+                f"corrupt or unreadable base archive {path}: {exc}"
+            ) from exc
+
+    @classmethod
+    def _load_archive(cls, path: Path, dataset: TimeSeriesDataset) -> "OnexBase":
         with np.load(path, allow_pickle=False) as archive:
             meta = json.loads(str(archive["meta"]))
+            stored_checksum = meta.get("content_checksum")
+            if stored_checksum is not None:
+                actual = _checksum_arrays(
+                    (key, archive[key])
+                    for key in sorted(archive.files)
+                    if key != "meta"
+                )
+                if actual != stored_checksum:
+                    raise PersistenceError(
+                        f"base archive {path} failed its content checksum "
+                        "(truncated or tampered with)"
+                    )
             config = BuildConfig(**meta["config"])
             base = cls(dataset, config)
             saved_bounds = meta.get("norm_bounds")

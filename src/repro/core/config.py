@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.deadline import Deadline
 from repro.exceptions import ValidationError
 
 __all__ = ["BuildConfig", "QueryConfig"]
@@ -139,6 +140,13 @@ class QueryConfig:
         routes them through the retained seed scalar implementations —
         identical results, kept for ablations and the exactness
         cross-checks (``benchmarks/run_all.py`` E17).
+    deadline:
+        Default cooperative :class:`~repro.core.deadline.Deadline` for
+        every operation run under this config, checked at the cascade's
+        chunk boundaries (DESIGN.md §6).  ``None`` (the default) runs
+        unbounded; per-call ``deadline=`` arguments override it.  A
+        finished-in-budget operation is bit-identical to an unbounded
+        one — the deadline is pure control flow, never a result knob.
     """
 
     mode: str = "fast"
@@ -150,6 +158,7 @@ class QueryConfig:
     use_rep_prefilter: bool = True
     batch_min_members: int = 8
     use_analytics_batching: bool = True
+    deadline: Deadline | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("fast", "exact"):
@@ -163,4 +172,8 @@ class QueryConfig:
         if self.batch_min_members < 0:
             raise ValidationError(
                 f"batch_min_members must be >= 0, got {self.batch_min_members}"
+            )
+        if self.deadline is not None and not isinstance(self.deadline, Deadline):
+            raise ValidationError(
+                f"deadline must be a Deadline, got {type(self.deadline).__name__}"
             )

@@ -63,6 +63,7 @@ class OnexEngine:
         normalize: bool = True,
         num_workers: int = 1,
         build_executor: str = "process",
+        deadline=None,
     ) -> BaseStats:
         """Register *dataset* and build its ONEX base.
 
@@ -74,7 +75,10 @@ class OnexEngine:
 
         *num_workers* fans the per-length build shards over a process (or
         thread, per *build_executor*) pool; every setting produces an
-        identical base, so it is purely a build-latency knob.
+        identical base, so it is purely a build-latency knob.  A
+        *deadline* (:class:`~repro.core.deadline.Deadline`) bounds the
+        build cooperatively, checked between merged shards; when it
+        fires, no partially built dataset is registered.
         """
         if dataset.name in self._loaded:
             raise DatasetError(f"dataset {dataset.name!r} already loaded")
@@ -98,7 +102,7 @@ class OnexEngine:
             build_executor=build_executor,
         )
         base = OnexBase(dataset, config)
-        stats = base.build()
+        stats = base.build(deadline)
         self._loaded[dataset.name] = LoadedDataset(
             dataset=dataset,
             base=base,
@@ -132,14 +136,16 @@ class OnexEngine:
             entry.ingestor = StreamIngestor(entry.base)
         return entry.ingestor
 
-    def append_points(self, dataset_name: str, series_name: str, values) -> dict:
+    def append_points(
+        self, dataset_name: str, series_name: str, values, deadline=None
+    ) -> dict:
         """Append live points to a series, indexing completed windows.
 
         The series is created on first contact; values are raw units,
         normalised with the base's build-time bounds.  Returns the ingest
         summary, including any monitor events the append emitted.
         """
-        return self.stream(dataset_name).append_points(series_name, values)
+        return self.stream(dataset_name).append_points(series_name, values, deadline)
 
     def register_monitor(
         self,

@@ -71,12 +71,13 @@ import heapq
 import math
 import os
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.core.base import LengthBucket, OnexBase
 from repro.core.config import QueryConfig
+from repro.core.deadline import Deadline
 from repro.data.dataset import SubsequenceRef
 from repro.distances.dtw import (
     dtw_distance_batch,
@@ -88,7 +89,8 @@ from repro.distances.envelope import QueryEnvelopeCache
 from repro.distances.lower_bounds import lb_keogh_batch, lb_kim, lb_kim_batch
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
-from repro.exceptions import ValidationError
+from repro.exceptions import DeadlineExceeded, ValidationError
+from repro.testing import faults
 
 __all__ = ["Match", "QueryProcessor", "QueryStats"]
 
@@ -104,7 +106,14 @@ _REP_CHUNK = 16
 
 @dataclass(frozen=True)
 class Match:
-    """One retrieved subsequence with its similarity to the query."""
+    """One retrieved subsequence with its similarity to the query.
+
+    ``exact`` is ``True`` for every match a search ran to completion —
+    the usual case.  A search that hit its deadline with
+    ``allow_partial=True`` returns its best *verified* candidates with
+    ``exact=False``: each distance is a true DTW distance, but a better
+    match may exist in the unexplored remainder.
+    """
 
     ref: SubsequenceRef
     series_name: str
@@ -112,6 +121,7 @@ class Match:
     raw_distance: float
     path: tuple[tuple[int, int], ...]
     group: tuple[int, int]
+    exact: bool = True
 
     @property
     def start(self) -> int:
@@ -145,6 +155,7 @@ class QueryStats:
     member_lb_prunes: int = 0
     member_dtw_calls: int = 0
     batch_queries: int = 0
+    partial_results: int = 0
 
     def merge(self, other: "QueryStats") -> None:
         for name in vars(other):
@@ -179,27 +190,55 @@ class QueryProcessor:
     # Public query API
     # ------------------------------------------------------------------
 
-    def best_match(self, query, *, lengths=None, normalize: bool = True) -> Match:
+    def best_match(
+        self,
+        query,
+        *,
+        lengths=None,
+        normalize: bool = True,
+        deadline: Deadline | None = None,
+    ) -> Match:
         """The most similar indexed subsequence to *query* (§3.3).
 
         *query* is an array of raw-unit values (normalised into the base's
         value space when the base was built normalised, unless *normalize*
         is false) or a :class:`SubsequenceRef` into the indexed dataset.
         *lengths* optionally restricts candidate subsequence lengths.
+        *deadline* bounds the search cooperatively (default: the config's
+        deadline); see :meth:`k_best_matches`.
         """
-        matches = self.k_best_matches(query, 1, lengths=lengths, normalize=normalize)
+        matches = self.k_best_matches(
+            query, 1, lengths=lengths, normalize=normalize, deadline=deadline
+        )
         return matches[0]
 
     def k_best_matches(
-        self, query, k: int, *, lengths=None, normalize: bool = True
+        self,
+        query,
+        k: int,
+        *,
+        lengths=None,
+        normalize: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[Match]:
-        """The *k* most similar indexed subsequences, best first."""
+        """The *k* most similar indexed subsequences, best first.
+
+        With a *deadline*, the cascade checks the budget at every chunk
+        boundary: an in-budget search is bit-identical to an unbounded
+        one; an exceeded budget raises
+        :class:`~repro.exceptions.DeadlineExceeded` reporting partial
+        progress — unless the deadline allows partial results, in which
+        case the best candidates verified so far return with
+        ``Match.exact == False``.
+        """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
         q = self._resolve_query(query, normalize)
         buckets = self._select_buckets(lengths)
         stats = QueryStats()
-        matches = self._run_search(q, buckets, k, stats)
+        matches = self._run_search(
+            q, buckets, k, stats, deadline=self._deadline(deadline)
+        )
         self.last_stats = stats
         return matches
 
@@ -211,6 +250,7 @@ class QueryProcessor:
         lengths=None,
         normalize: bool = True,
         max_workers: int | None = None,
+        deadline: Deadline | None = None,
     ) -> list[list[Match]]:
         """The *k* best matches for every query of a batch, in one call.
 
@@ -230,6 +270,7 @@ class QueryProcessor:
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
+        deadline = self._deadline(deadline)
         resolved = [self._resolve_query(query, normalize) for query in queries]
         stats = QueryStats()
         stats.batch_queries = len(resolved)
@@ -255,7 +296,7 @@ class QueryProcessor:
             )
             try:
                 results, per_query = self._batch_search_exact(
-                    resolved, buckets, k, pool
+                    resolved, buckets, k, pool, deadline
                 )
             finally:
                 if pool is not None:
@@ -267,7 +308,7 @@ class QueryProcessor:
 
         def run_one(q: np.ndarray) -> tuple[list[Match], QueryStats]:
             one = QueryStats()
-            return self._run_search(q, buckets, k, one), one
+            return self._run_search(q, buckets, k, one, deadline=deadline), one
 
         if max_workers > 1 and len(resolved) > 1:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
@@ -285,6 +326,7 @@ class QueryProcessor:
         buckets: list[LengthBucket],
         k: int,
         pool: ThreadPoolExecutor | None,
+        deadline: Deadline | None = None,
     ) -> tuple[list[list[Match]], list[QueryStats]]:
         """Shared exact-mode planner: one set of kernel calls for a batch.
 
@@ -328,6 +370,45 @@ class QueryProcessor:
                 return list(pool.map(lambda j: j(), jobs))
             return [job() for job in jobs]
 
+        def assemble(partial: bool) -> tuple[list[list[Match]], list[QueryStats]]:
+            results: list[list[Match]] = []
+            for qi, heap in enumerate(heaps):
+                if not heap:
+                    if partial:
+                        # This query had no verified candidate when the
+                        # budget fired; partial mode degrades it to empty.
+                        results.append([])
+                        continue
+                    raise ValidationError(
+                        "no indexed subsequences matched the query"
+                    )
+                candidates = sorted(wrapper.candidate for wrapper in heap)
+                results.append(
+                    [self._to_match(c, qs[qi], exact=not partial) for c in candidates]
+                )
+            return results, stats
+
+        def barrier(stage: str) -> bool:
+            """Deadline check between planner rounds (True = stop, partial)."""
+            faults.fire("query.rep_chunk")
+            if deadline is None or not deadline.expired:
+                return False
+            if deadline.allow_partial and any(heaps):
+                for one in stats:
+                    one.partial_results += 1
+                return True
+            merged = QueryStats()
+            for one in stats:
+                merged.merge(one)
+            best = None
+            for heap in heaps:
+                if heap:
+                    c = min(wrapper.candidate for wrapper in heap)
+                    if best is None or c.distance < best["distance"]:
+                        best = self._best_summary(c)
+            self._raise_deadline(deadline, stage, merged, best)
+            return True  # unreachable
+
         # Cheap group lower bounds per (query, bucket): (Q, G_b) tables,
         # one broadcasted evaluation per (bucket, query-length class).
         glb: list[np.ndarray] = []
@@ -362,6 +443,8 @@ class QueryProcessor:
             self._batch_refine_stacked(
                 plan, live, qs, k, heaps, stats, envs, run_jobs
             )
+        if barrier("batch seed refinement"):
+            return assemble(True)
 
         # Round 2: paired representative DTW for pairs under the cutoff.
         tight: list[np.ndarray] = [
@@ -407,6 +490,8 @@ class QueryProcessor:
             tight[b_i][oq, og] = (
                 np.maximum(raws - max_path * bucket.cheb_radii[og], 0.0) / max_path
             )
+        if barrier("batch representative DTW"):
+            return assemble(True)
 
         # Round 3: bulk member refinement — surviving pairs grouped into
         # one stacked cascade per (bucket, class).
@@ -426,14 +511,7 @@ class QueryProcessor:
                     if g_list:
                         plan.setdefault((b_i, qlen), []).append((qi, g_list))
         self._batch_refine_stacked(plan, live, qs, k, heaps, stats, envs, run_jobs)
-
-        results: list[list[Match]] = []
-        for qi, heap in enumerate(heaps):
-            if not heap:
-                raise ValidationError("no indexed subsequences matched the query")
-            candidates = sorted(wrapper.candidate for wrapper in heap)
-            results.append([self._to_match(c, qs[qi]) for c in candidates])
-        return results, stats
+        return assemble(False)
 
     def _batch_refine_stacked(
         self,
@@ -506,20 +584,33 @@ class QueryProcessor:
                 )
 
     def _run_search(
-        self, q: np.ndarray, buckets: list[LengthBucket], k: int, stats: QueryStats
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        deadline: Deadline | None = None,
     ) -> list[Match]:
         envelopes = QueryEnvelopeCache(q)
+        before = stats.partial_results
         if self._config.mode == "fast":
-            heap = self._search_fast(q, buckets, k, stats, envelopes)
+            heap = self._search_fast(q, buckets, k, stats, envelopes, deadline)
         else:
-            heap = self._search_exact(q, buckets, k, stats, envelopes)
+            heap = self._search_exact(q, buckets, k, stats, envelopes, deadline)
         if not heap:
             raise ValidationError("no indexed subsequences matched the query")
+        partial = stats.partial_results > before
         candidates = sorted(wrapper.candidate for wrapper in heap)
-        return [self._to_match(c, q) for c in candidates]
+        return [self._to_match(c, q, exact=not partial) for c in candidates]
 
     def matches_within(
-        self, query, threshold: float, *, lengths=None, normalize: bool = True
+        self,
+        query,
+        threshold: float,
+        *,
+        lengths=None,
+        normalize: bool = True,
+        deadline: Deadline | None = None,
     ) -> list[Match]:
         """Every indexed subsequence with normalised DTW <= *threshold*.
 
@@ -527,17 +618,38 @@ class QueryProcessor:
         groups whose *cheap* representative bound already exceeds the
         threshold are skipped without any DTW at all, groups whose exact
         representative bound exceeds it are skipped without member work,
-        and every surviving member is verified exactly.
+        and every surviving member is verified exactly.  A fired
+        *deadline* with ``allow_partial`` returns the (complete) matches
+        of the buckets scanned so far, flagged ``exact=False``.
         """
         if not threshold > 0:
             raise ValidationError(f"threshold must be > 0, got {threshold}")
+        deadline = self._deadline(deadline)
         q = self._resolve_query(query, normalize)
         qlen = q.shape[0]
         cfg = self._config
         stats = QueryStats()
         envelopes = QueryEnvelopeCache(q)
         out: list[Match] = []
+        partial = False
         for bucket in self._select_buckets(lengths):
+            faults.fire("query.refine_unit")
+            if deadline is not None and deadline.expired:
+                if deadline.allow_partial and out:
+                    stats.partial_results += 1
+                    partial = True
+                    break
+                best = None
+                if out:
+                    m = min(out, key=lambda m: (m.distance, m.ref))
+                    best = {
+                        "series": m.series_name,
+                        "start": m.start,
+                        "length": m.length,
+                        "distance": m.distance,
+                        "exact": False,
+                    }
+                self._raise_deadline(deadline, "threshold scan", stats, best)
             count = bucket.group_count
             stats.representatives_total += count
             if not count:
@@ -571,7 +683,87 @@ class QueryProcessor:
                     )
                 )
         self.last_stats = stats
+        if partial:
+            out = [replace(m, exact=False) for m in out]
         return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    # ------------------------------------------------------------------
+    # Deadline handling
+    # ------------------------------------------------------------------
+
+    def _deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """The effective deadline: the per-call one, else the config default."""
+        if deadline is None:
+            return self._config.deadline
+        if not isinstance(deadline, Deadline):
+            raise ValidationError(
+                f"deadline must be a Deadline, got {type(deadline).__name__}"
+            )
+        return deadline
+
+    def _best_summary(self, candidate: _Candidate) -> dict:
+        """The best-so-far candidate as the dict DeadlineExceeded reports."""
+        series = self._base.dataset[candidate.ref.series_index]
+        return {
+            "series": series.name,
+            "start": candidate.ref.start,
+            "length": candidate.ref.length,
+            "distance": candidate.distance,
+            "exact": False,
+        }
+
+    def _deadline_fired(
+        self,
+        deadline: Deadline | None,
+        stage: str,
+        stats: QueryStats,
+        heap: list["_Negated"],
+    ) -> bool:
+        """Handle an expired deadline at a chunk boundary.
+
+        ``False`` while budget remains (or there is no deadline).  With
+        ``allow_partial`` and at least one verified candidate on the
+        heap, counts a partial result and returns ``True`` — the caller
+        breaks and returns its best-so-far heap.  Otherwise raises
+        :class:`DeadlineExceeded` carrying the work counters and the
+        best verified candidate, if any.
+        """
+        if deadline is None or not deadline.expired:
+            return False
+        if deadline.allow_partial and heap:
+            stats.partial_results += 1
+            return True
+        best = (
+            self._best_summary(min(wrapper.candidate for wrapper in heap))
+            if heap
+            else None
+        )
+        self._raise_deadline(deadline, stage, stats, best)
+        return True  # unreachable
+
+    @staticmethod
+    def _raise_deadline(
+        deadline: Deadline, stage: str, stats: QueryStats, best: dict | None
+    ) -> None:
+        """Raise the enriched :class:`DeadlineExceeded` for a fired deadline."""
+        progress = {
+            "groups_pruned": stats.groups_pruned,
+            "groups_refined": stats.groups_refined,
+            "rep_dtw_calls": stats.rep_dtw_calls,
+            "member_dtw_calls": stats.member_dtw_calls,
+            "members_scanned": stats.members_scanned,
+        }
+        try:
+            deadline.check(stage, progress)
+        except DeadlineExceeded as exc:
+            exc.best = best
+            raise
+        raise DeadlineExceeded(  # pragma: no cover - expired deadlines raise above
+            f"deadline exceeded during {stage}",
+            stage=stage,
+            progress=progress,
+            best=best,
+        )
 
     # ------------------------------------------------------------------
     # Member-layer refinement
@@ -941,6 +1133,7 @@ class QueryProcessor:
         k: int,
         stats: QueryStats,
         envelopes: QueryEnvelopeCache,
+        deadline: Deadline | None = None,
     ) -> list["_Negated"]:
         cfg = self._config
         qlen = q.shape[0]
@@ -964,6 +1157,11 @@ class QueryProcessor:
             ) / max_paths[owners]
             order = np.argsort(bounds, kind="stable")
             for pos in range(order.size):
+                faults.fire("query.refine_unit")
+                if self._deadline_fired(
+                    deadline, "eager representative refinement", stats, heap
+                ):
+                    return heap
                 idx = order[pos]
                 cutoff = self._cutoff(heap, k)
                 if cfg.use_group_pruning and bounds[idx] > cutoff:
@@ -991,6 +1189,11 @@ class QueryProcessor:
         chunk = _REP_CHUNK
         exact_heap: list[tuple[float, int, int]] = []
         while ptr < total or exact_heap:
+            faults.fire("query.rep_chunk")
+            if self._deadline_fired(
+                deadline, "representative cascade", stats, heap
+            ):
+                return heap
             cutoff = self._cutoff(heap, k)
             next_cheap = float(ordered_bounds[ptr]) if ptr < total else _INF
             next_exact = exact_heap[0][0] if exact_heap else _INF
@@ -1055,6 +1258,11 @@ class QueryProcessor:
                     drained.setdefault(b_i, []).append(g_idx)
                     count += 1
                 for b_i, g_list in drained.items():
+                    faults.fire("query.refine_unit")
+                    if self._deadline_fired(
+                        deadline, "member refinement", stats, heap
+                    ):
+                        return heap
                     self._refine_members(
                         q, live[b_i], g_list, k, heap, stats, envelopes
                     )
@@ -1067,6 +1275,7 @@ class QueryProcessor:
         k: int,
         stats: QueryStats,
         envelopes: QueryEnvelopeCache,
+        deadline: Deadline | None = None,
     ) -> list["_Negated"]:
         cfg = self._config
         qlen = q.shape[0]
@@ -1087,6 +1296,11 @@ class QueryProcessor:
             raws, owners, gids = self._rep_bound_table(q, live, stats, eager=True)
             order = np.argsort(raws / scales[owners], kind="stable")
             for rank in range(order.size):
+                faults.fire("query.refine_unit")
+                if self._deadline_fired(
+                    deadline, "eager representative refinement", stats, heap
+                ):
+                    return heap
                 if rank >= cfg.refine_groups and len(heap) >= k:
                     break
                 idx = order[rank]
@@ -1108,6 +1322,11 @@ class QueryProcessor:
         exact_heap: list[tuple[float, int, int]] = []
         refined = 0
         while ptr < total or exact_heap:
+            faults.fire("query.rep_chunk")
+            if self._deadline_fired(
+                deadline, "representative ranking", stats, heap
+            ):
+                break
             if refined >= cfg.refine_groups and len(heap) >= k:
                 break
             # An exact entry is the true next-best only once no
@@ -1165,7 +1384,9 @@ class QueryProcessor:
         chosen = sorted(set(int(n) for n in lengths))
         return [self._base.bucket(n) for n in chosen]
 
-    def _to_match(self, candidate, q: np.ndarray | None = None) -> Match:
+    def _to_match(
+        self, candidate, q: np.ndarray | None = None, *, exact: bool = True
+    ) -> Match:
         inner = candidate.candidate if isinstance(candidate, _Negated) else candidate
         series = self._base.dataset[inner.ref.series_index]
         path = inner.path
@@ -1182,6 +1403,7 @@ class QueryProcessor:
             raw_distance=inner.raw,
             path=path,
             group=inner.group,
+            exact=exact,
         )
 
 

@@ -31,13 +31,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.deadline import Deadline
 from repro.core.grouping import cluster_subsequences
 from repro.core.validation import as_int_arg, as_optional_int_arg
 from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
 from repro.data.timeseries import TimeSeries
 from repro.distances.dtw import dtw_distance, dtw_distance_condensed
 from repro.distances.lower_bounds import lb_pairwise_table
-from repro.exceptions import ValidationError
+from repro.exceptions import DeadlineExceeded, ValidationError
+from repro.testing import faults
 
 __all__ = ["SeasonalPattern", "find_seasonal_patterns"]
 
@@ -144,9 +146,15 @@ class _PairwiseWorstFinder:
     #: across drop iterations is still the big win over the scalar scan).
     _BOUNDS_MIN_PAIRS = 16
 
-    def __init__(self, rows: np.ndarray, window: int | None) -> None:
+    def __init__(
+        self,
+        rows: np.ndarray,
+        window: int | None,
+        deadline: Deadline | None = None,
+    ) -> None:
         self._rows = rows
         self._window = window
+        self._deadline = deadline
         n, length = rows.shape
         self._exact = np.full((n, n), np.nan)
         np.fill_diagonal(self._exact, 0.0)
@@ -194,6 +202,12 @@ class _PairwiseWorstFinder:
         pos = 0
         chunk = _PAIR_CHUNK
         while pos < order.size:
+            faults.fire("seasonal.pair_chunk")
+            if self._deadline is not None:
+                self._deadline.check(
+                    "seasonal pair verification",
+                    {"pairs_evaluated": pos, "pairs_pending": int(order.size - pos)},
+                )
             take = order[pos : pos + chunk]
             pos += take.size
             chunk *= 2
@@ -229,10 +243,11 @@ def _verify_batched(
     threshold: float,
     window: int | None,
     min_occurrences: int,
+    deadline: Deadline | None = None,
 ) -> tuple[list[SubsequenceRef], float] | None:
     """Batched verify-and-drop: memoised condensed DTW with bound pruning."""
     centroid_dist = np.abs(rows - centroid).mean(axis=1)
-    finder = _PairwiseWorstFinder(rows, window)
+    finder = _PairwiseWorstFinder(rows, window, deadline)
     active = list(range(len(chosen)))
     while len(active) >= min_occurrences:
         worst, (i, j) = finder.worst(active)
@@ -251,12 +266,18 @@ def _verify_scalar(
     threshold: float,
     window: int | None,
     min_occurrences: int,
+    deadline: Deadline | None = None,
 ) -> tuple[list[SubsequenceRef], float] | None:
     """Seed scalar verify-and-drop: one ``dtw_distance`` call per pair per
     iteration.  Kept as the cross-check twin of :func:`_verify_batched`."""
     chosen = list(chosen)
     active = list(range(len(chosen)))
     while len(chosen) >= min_occurrences:
+        faults.fire("seasonal.pair_chunk")
+        if deadline is not None:
+            deadline.check(
+                "seasonal pair verification", {"occurrences_active": len(active)}
+            )
         values = [rows[a] for a in active]
         worst = 0.0
         worst_pair = None
@@ -293,6 +314,7 @@ def find_seasonal_patterns(
     remove_level: bool = False,
     ed_threshold: float | None = None,
     use_batching: bool = True,
+    deadline: Deadline | None = None,
 ) -> list[SeasonalPattern]:
     """Find recurring patterns of *length* within one series.
 
@@ -317,6 +339,10 @@ def find_seasonal_patterns(
     *use_batching* selects the condensed-pairwise verifier (the default);
     ``False`` runs the retained scalar scan — identical results, kept for
     ablations and the property-suite cross-check.
+
+    A *deadline* is checked per candidate group and per pair-DTW chunk;
+    with ``allow_partial`` the miner returns the (fully verified)
+    patterns found before the budget fired instead of raising.
     """
     length = as_int_arg(length, "length")
     step = as_int_arg(step, "step")
@@ -349,7 +375,19 @@ def find_seasonal_patterns(
     verify = _verify_batched if use_batching else _verify_scalar
 
     patterns: list[SeasonalPattern] = []
-    for group in groups:
+    for scanned, group in enumerate(groups):
+        faults.fire("seasonal.group")
+        if deadline is not None and deadline.expired:
+            if deadline.allow_partial:
+                break
+            deadline.check(
+                "seasonal group scan",
+                {
+                    "groups_scanned": scanned,
+                    "groups_total": len(groups),
+                    "patterns_found": len(patterns),
+                },
+            )
         if group.cardinality < min_occurrences:
             continue
         members = list(group.members)
@@ -358,9 +396,22 @@ def find_seasonal_patterns(
         if len(chosen) < min_occurrences:
             continue
         chosen_rows = matrix[[row_of[r] for r in chosen]]
-        verified = verify(
-            chosen, group.centroid, chosen_rows, threshold, window, min_occurrences
-        )
+        try:
+            verified = verify(
+                chosen,
+                group.centroid,
+                chosen_rows,
+                threshold,
+                window,
+                min_occurrences,
+                deadline,
+            )
+        except DeadlineExceeded:
+            if deadline is not None and deadline.allow_partial:
+                # Patterns verified so far are complete; a half-verified
+                # group is dropped rather than reported loosely.
+                break
+            raise
         if verified is None:
             continue
         kept, worst = verified

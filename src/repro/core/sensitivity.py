@@ -37,6 +37,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import OnexBase
+from repro.core.deadline import Deadline
 from repro.core.validation import as_optional_int_arg
 from repro.data.dataset import SubsequenceRef
 from repro.distances.bounds import path_multiplicities
@@ -46,6 +47,7 @@ from repro.distances.envelope import keogh_envelope
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import ValidationError
+from repro.testing import faults
 
 __all__ = ["SensitivityPoint", "SensitivityProfile", "similarity_profile"]
 
@@ -110,6 +112,7 @@ def similarity_profile(
     verify: bool = False,
     normalize: bool = True,
     use_batching: bool = True,
+    deadline: Deadline | None = None,
 ) -> SensitivityProfile:
     """Match-count bounds for *query* across candidate *thresholds*.
 
@@ -120,6 +123,11 @@ def similarity_profile(
     *use_batching* selects the cascade implementation (the default);
     ``False`` runs the retained scalar path — identical counts, kept for
     ablations and the property-suite cross-check.
+
+    A *deadline* is checked at every length-bucket boundary and always
+    raises when it fires: a profile over a subset of buckets would
+    silently understate every count, so there is no partial degrade here
+    (``allow_partial`` is ignored).
     """
     window = as_optional_int_arg(window, "window")
     grid = tuple(sorted(float(t) for t in thresholds))
@@ -131,8 +139,20 @@ def similarity_profile(
         base.bucket(int(n)) for n in sorted(set(lengths))
     ]
     if use_batching:
-        return _profile_batched(base, q, grid, chosen, window, verify)
-    return _profile_scalar(base, q, grid, chosen, window, verify)
+        return _profile_batched(base, q, grid, chosen, window, verify, deadline)
+    return _profile_scalar(base, q, grid, chosen, window, verify, deadline)
+
+
+def _check_bucket_deadline(
+    deadline: Deadline | None, scanned: int, total: int
+) -> None:
+    """The shared per-bucket chunk boundary of both profile twins."""
+    faults.fire("sensitivity.bucket")
+    if deadline is not None:
+        deadline.check(
+            "sensitivity profile",
+            {"buckets_scanned": scanned, "buckets_total": total},
+        )
 
 
 def _profile_batched(
@@ -142,6 +162,7 @@ def _profile_batched(
     chosen: list,
     window: int | None,
     verify: bool,
+    deadline: Deadline | None = None,
 ) -> SensitivityProfile:
     """Cascade implementation: cheap group bounds, stacked member rows,
     and (under ``verify``) one batched member-DTW call per bucket.
@@ -166,7 +187,8 @@ def _profile_batched(
     uppers: list[np.ndarray] = []
     verify_units: list[tuple] = []  # (bucket, rows, base offset into arrays)
     offset = 0
-    for bucket in chosen:
+    for scanned, bucket in enumerate(chosen):
+        _check_bucket_deadline(deadline, scanned, len(chosen))
         length = bucket.length
         candidates += bucket.member_count
         if not bucket.group_count:
@@ -215,7 +237,8 @@ def _profile_batched(
         ambiguous_any = np.searchsorted(grid_arr, upper, side="left") > (
             np.searchsorted(grid_arr, lower, side="left")
         )
-        for bucket, rows, start in verify_units:
+        for scanned, (bucket, rows, start) in enumerate(verify_units):
+            _check_bucket_deadline(deadline, scanned, len(verify_units))
             length = bucket.length
             max_path = qlen + length - 1
             sl = slice(start, start + rows.shape[0])
@@ -256,13 +279,15 @@ def _profile_scalar(
     chosen: list,
     window: int | None,
     verify: bool,
+    deadline: Deadline | None = None,
 ) -> SensitivityProfile:
     """Seed scalar implementation, kept as the cross-check twin."""
     qlen = q.shape[0]
     lowers: list[np.ndarray] = []
     uppers: list[np.ndarray] = []
     members: list[SubsequenceRef] = []
-    for bucket in chosen:
+    for scanned, bucket in enumerate(chosen):
+        _check_bucket_deadline(deadline, scanned, len(chosen))
         length = bucket.length
         max_path = qlen + length - 1
         min_path = max(qlen, length)

@@ -12,11 +12,17 @@ the semantics they enforce.
 
 from __future__ import annotations
 
+import math
 import numbers
 
 from repro.exceptions import ValidationError
 
-__all__ = ["as_int_arg", "as_optional_int_arg"]
+__all__ = [
+    "as_bool_arg",
+    "as_int_arg",
+    "as_optional_int_arg",
+    "as_optional_timeout_ms",
+]
 
 
 def as_int_arg(value, name: str) -> int:
@@ -38,3 +44,36 @@ def as_optional_int_arg(value, name: str) -> int | None:
     if value is None:
         return None
     return as_int_arg(value, name)
+
+
+def as_bool_arg(value, name: str) -> bool:
+    """*value* as a plain ``bool``, or :class:`ValidationError`.
+
+    Strict: only actual booleans pass.  JSON has a real boolean type, so
+    a 0/1 or "true" here is a client bug worth surfacing, not coercing.
+    """
+    if not isinstance(value, bool):
+        raise ValidationError(
+            f"{name} must be a boolean, got {type(value).__name__}"
+        )
+    return value
+
+
+def as_optional_timeout_ms(value, name: str = "timeout_ms") -> float | None:
+    """*value* as a positive, finite millisecond budget; ``None`` passes.
+
+    Accepts ints and floats (numpy scalars included); rejects bools,
+    non-positive, non-finite, and non-numeric values.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, numbers.Real):
+        raise ValidationError(
+            f"{name} must be a number, got {type(value).__name__}"
+        )
+    value = float(value)
+    if not (value > 0 and math.isfinite(value)):
+        raise ValidationError(
+            f"{name} must be positive and finite, got {value}"
+        )
+    return value

@@ -39,3 +39,87 @@ class InvariantError(OnexError):
 
 class ProtocolError(OnexError):
     """Raised for malformed client/server requests or responses."""
+
+
+class DeadlineExceeded(OnexError):
+    """Raised when a cooperative deadline or cancellation fires mid-operation.
+
+    Carries what the operation accomplished before the budget ran out:
+    *stage* names the chunk boundary that observed the expiry, *progress*
+    holds the work counters accumulated so far (groups pruned, DTW calls
+    done, ...), and *best* is the best *verified* candidate at that point
+    (``None`` when nothing was verified yet).  Searches run with
+    ``allow_partial=True`` return that candidate as a degraded result
+    (``Match.exact == False``) instead of raising.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: str | None = None,
+        progress: dict | None = None,
+        best: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.progress = dict(progress) if progress else {}
+        self.best = best
+
+    def details(self) -> dict:
+        """Structured payload for error envelopes (JSON-safe)."""
+        return {"stage": self.stage, "progress": self.progress, "best": self.best}
+
+
+class PersistenceError(OnexError):
+    """Raised when a persisted base archive is truncated, tampered with,
+    or otherwise unreadable.
+
+    Wraps the varied zipfile/numpy surface of a corrupt ``.npz`` into one
+    typed error; a checksum mismatch (content tampering the zip layer
+    cannot see) raises it too.  A missing file stays ``FileNotFoundError``.
+    """
+
+
+class BuildWorkerError(OnexError):
+    """Raised when a build shard fails in a worker *and* in the serial
+    re-execution the build pipeline falls back to.
+
+    A crashed pool worker alone never surfaces this: the failed shard is
+    re-run in-process automatically and the build proceeds.
+    """
+
+
+class ShutdownTimeoutError(OnexError):
+    """Raised when the HTTP server's serve thread fails to terminate
+    within the shutdown drain budget (a leaked thread, previously silent).
+    """
+
+
+class RemoteError(OnexError):
+    """A server-reported failure relayed by the HTTP client.
+
+    ``error_type`` preserves the server-side exception class name (so
+    callers can dispatch without string-parsing the message) and
+    ``details`` the structured payload when the server sent one — e.g. a
+    remote ``DeadlineExceeded``'s stage/progress/best snapshot.
+    """
+
+    def __init__(
+        self, error_type: str, message: str, details: dict | None = None
+    ) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.error_message = message
+        self.details = details
+
+
+class OverloadedError(OnexError):
+    """Raised client-side when the server sheds load (HTTP 503) and the
+    retry budget is exhausted.  ``retry_after`` echoes the server's last
+    ``Retry-After`` hint in seconds, when one was given.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after

@@ -4,15 +4,26 @@
 - :mod:`repro.server.service` — transport-agnostic request handler over
   :class:`repro.core.engine.OnexEngine` (loading datasets triggers
   server-side preprocessing, exactly as in §4 "Data Loading into ONEX").
-- :mod:`repro.server.http` — a stdlib-only threaded HTTP JSON API.
+- :mod:`repro.server.http` — a stdlib-only threaded HTTP JSON API with
+  admission control and graceful draining.
+- :mod:`repro.server.client` — a retrying HTTP client (read-only
+  operations only; honours ``Retry-After``).
 """
 
-from repro.server.http import DatasetLockManager, OnexHttpServer, ReadWriteLock
+from repro.server.client import OnexClient
+from repro.server.http import (
+    AdmissionGate,
+    DatasetLockManager,
+    OnexHttpServer,
+    ReadWriteLock,
+)
 from repro.server.protocol import Request, Response
 from repro.server.service import OnexService
 
 __all__ = [
+    "AdmissionGate",
     "DatasetLockManager",
+    "OnexClient",
     "OnexHttpServer",
     "OnexService",
     "ReadWriteLock",

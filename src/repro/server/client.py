@@ -1,0 +1,171 @@
+"""HTTP client for the ONEX server, with overload-aware retries.
+
+:class:`OnexClient` speaks the :mod:`repro.server.protocol` envelopes
+over plain urllib (stdlib only, like the server).  Its retry policy is
+deliberately narrow:
+
+- Only **read-only** operations (``protocol.READ_ONLY_OPERATIONS``) are
+  retried.  A shed request (503) provably never executed, but a
+  connection that died mid-flight may have — replaying a ``load_dataset``
+  or ``append_points`` could duplicate work, so mutating operations fail
+  fast and leave the decision to the caller.
+- Retries back off exponentially with full jitter, and a server-sent
+  ``Retry-After`` hint is honoured as the floor of the next delay.
+- An exhausted budget raises :class:`~repro.exceptions.OverloadedError`
+  (for sheds) or the underlying transport error, never a silent retry
+  loop.
+
+Server-reported application errors arrive as
+:class:`~repro.exceptions.RemoteError` carrying the server's error type
+and structured details (e.g. a remote ``DeadlineExceeded``'s progress
+snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from typing import Any
+
+from repro.exceptions import OverloadedError, ProtocolError, RemoteError
+from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
+
+__all__ = ["OnexClient"]
+
+
+class OnexClient:
+    """Calls one ONEX server; safe retries for read-only operations.
+
+    *max_retries* bounds the re-sends after the first attempt;
+    *backoff_base_s*/*backoff_cap_s* shape the jittered exponential
+    delays.  *sleep* and *rng* exist for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout_s: float = 30.0,
+        max_retries: int = 3,
+        backoff_base_s: float = 0.1,
+        backoff_cap_s: float = 2.0,
+        sleep=time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random()
+        self.retries_performed = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def call(self, op: str, params: dict | None = None) -> Any:
+        """Execute one operation; returns the result payload.
+
+        Raises :class:`RemoteError` for server-reported failures,
+        :class:`OverloadedError` when the server keeps shedding past the
+        retry budget, and the transport error when the connection fails
+        on a non-retryable operation.
+        """
+        request = Request(op, dict(params or {}))  # validates locally
+        body = request.to_json().encode()
+        retryable = op in READ_ONLY_OPERATIONS
+        attempt = 0
+        while True:
+            try:
+                status, headers, payload = self._post(body)
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                if not retryable or attempt >= self.max_retries:
+                    raise
+                self._backoff(attempt, None)
+                attempt += 1
+                continue
+            if status == 503:
+                retry_after = _parse_retry_after(headers)
+                if not retryable or attempt >= self.max_retries:
+                    raise OverloadedError(
+                        f"server overloaded after {attempt + 1} attempt(s)",
+                        retry_after=retry_after,
+                    )
+                self._backoff(attempt, retry_after)
+                attempt += 1
+                continue
+            response = Response.from_json(payload)
+            if response.ok:
+                return response.result
+            raise RemoteError(
+                response.error_type or "UnknownError",
+                response.error_message or "",
+                response.error_details,
+            )
+
+    def health(self) -> dict:
+        """The server's ``/health`` payload (never retried)."""
+        return self._get("/health")
+
+    def ready(self) -> bool:
+        """Whether the server currently admits requests (``/ready``)."""
+        try:
+            return bool(self._get("/ready").get("ready"))
+        except urllib.error.HTTPError as exc:
+            if exc.code == 503:  # draining: a well-formed "not ready"
+                return False
+            raise
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _post(self, body: bytes) -> tuple[int, dict, bytes]:
+        req = urllib.request.Request(
+            f"{self.url}/api",
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                return resp.status, dict(resp.headers), resp.read()
+        except urllib.error.HTTPError as exc:
+            # Protocol-level statuses (400 envelopes, 503 sheds) are
+            # responses, not transport failures.
+            return exc.code, dict(exc.headers or {}), exc.read()
+
+    def _get(self, path: str) -> dict:
+        with urllib.request.urlopen(
+            f"{self.url}{path}", timeout=self.timeout_s
+        ) as resp:
+            payload = json.loads(resp.read())
+        if not isinstance(payload, dict):
+            raise ProtocolError(f"{path} returned a non-object payload")
+        return payload
+
+    def _backoff(self, attempt: int, retry_after: float | None) -> None:
+        """Sleep before re-sending: jittered exponential, floored at the
+        server's ``Retry-After`` hint when one was given."""
+        cap = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
+        delay = self._rng.uniform(0.0, cap)
+        if retry_after is not None:
+            delay = max(delay, retry_after)
+        self.retries_performed += 1
+        if delay > 0:
+            self._sleep(delay)
+
+
+def _parse_retry_after(headers: dict) -> float | None:
+    for name, value in headers.items():
+        if name.lower() == "retry-after":
+            try:
+                return float(value)
+            except (TypeError, ValueError):
+                return None
+    return None

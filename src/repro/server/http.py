@@ -4,8 +4,14 @@ Endpoints:
 
 - ``POST /api`` — a protocol request as the JSON body; returns the
   response envelope.  Engine errors map to 200-with-``ok: false`` (they
-  are application results); malformed envelopes map to 400.
-- ``GET /health`` — liveness plus loaded dataset names.
+  are application results); malformed envelopes map to 400; requests the
+  admission gate sheds map to 503 with a ``Retry-After`` header and an
+  ``OverloadedError`` envelope.
+- ``GET /health`` — liveness plus loaded dataset names, in-flight and
+  shed counts, and per-operation p50/p99 latency from a ring buffer.
+- ``GET /ready`` — 200 while the gate admits requests, 503 once the
+  server is draining for shutdown (load balancers stop routing here
+  before ``stop()`` aborts anything).
 
 Concurrency model: one reader/writer lock per loaded dataset, plus a
 registry-level lock guarding the dataset table itself.  Read-only
@@ -15,6 +21,14 @@ proceed in parallel; mutating operations (loads, series appends, monitor
 registration, saves) take the exclusive side of their dataset only, and
 ``load_dataset``/``unload_dataset`` exclusively lock the registry because
 they change the table every other request routes through.
+
+Overload model: ahead of the locks sits an :class:`AdmissionGate` — at
+most *max_in_flight* requests execute while up to *max_queue* wait; any
+further arrival is shed immediately with a structured 503 instead of
+stacking an unbounded number of handler threads onto the engine.  A shed
+request did not execute at all, so retrying it (the client helper in
+:mod:`repro.server.client` does, for read-only operations) is always
+safe.
 
 Throughput-sensitive clients should prefer ``query_batch`` over a stream
 of single-query requests: one request pays the HTTP round trip, JSON
@@ -32,14 +46,27 @@ from __future__ import annotations
 
 import json
 import threading
+import time
+from collections import deque
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import ProtocolError
+from repro.exceptions import (
+    OverloadedError,
+    ProtocolError,
+    ShutdownTimeoutError,
+    ValidationError,
+)
 from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
 from repro.server.service import OnexService
+from repro.testing import faults
 
-__all__ = ["DatasetLockManager", "OnexHttpServer", "ReadWriteLock"]
+__all__ = [
+    "AdmissionGate",
+    "DatasetLockManager",
+    "OnexHttpServer",
+    "ReadWriteLock",
+]
 
 
 class ReadWriteLock:
@@ -167,26 +194,185 @@ class DatasetLockManager:
                     yield
 
 
-def _make_handler(service: OnexService):
+class AdmissionGate:
+    """Bounded admission for request handlers: execute, queue, or shed.
+
+    At most *max_in_flight* requests execute concurrently; up to
+    *max_queue* more wait their turn; anything beyond that is shed
+    (``try_acquire`` returns False) so overload produces fast structured
+    503s instead of an unbounded pile of handler threads all contending
+    for the engine.  ``close()`` flips the gate into draining mode: new
+    arrivals and parked waiters are shed immediately, and ``wait_idle``
+    lets a shutdown path watch the in-flight count reach zero.
+    """
+
+    def __init__(self, max_in_flight: int = 8, max_queue: int = 16) -> None:
+        if not isinstance(max_in_flight, int) or max_in_flight < 1:
+            raise ValidationError(
+                f"max_in_flight must be a positive int, got {max_in_flight!r}"
+            )
+        if not isinstance(max_queue, int) or max_queue < 0:
+            raise ValidationError(
+                f"max_queue must be a non-negative int, got {max_queue!r}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._waiting = 0
+        self._open = True
+        self._shed = 0
+
+    @property
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    @property
+    def shed(self) -> int:
+        """Requests rejected (queue full or gate draining) so far."""
+        with self._cond:
+            return self._shed
+
+    @property
+    def is_open(self) -> bool:
+        with self._cond:
+            return self._open
+
+    def try_acquire(self) -> bool:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        False means the request was shed and must not execute.
+        """
+        with self._cond:
+            if not self._open:
+                self._shed += 1
+                return False
+            if self._in_flight < self.max_in_flight:
+                self._in_flight += 1
+                return True
+            if self._waiting >= self.max_queue:
+                self._shed += 1
+                return False
+            self._waiting += 1
+            try:
+                while self._open and self._in_flight >= self.max_in_flight:
+                    self._cond.wait()
+            finally:
+                self._waiting -= 1
+            if not self._open:
+                self._shed += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def release(self) -> None:
+        with self._cond:
+            self._in_flight -= 1
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop admitting: shed new arrivals and wake parked waiters."""
+        with self._cond:
+            self._open = False
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> int:
+        """Block until no request is in flight; returns the leftover count
+        (0 on a clean drain) once *timeout* seconds have elapsed."""
+        expires_at = time.monotonic() + timeout
+        with self._cond:
+            while self._in_flight:
+                remaining = expires_at - time.monotonic()
+                if remaining <= 0:
+                    return self._in_flight
+                self._cond.wait(remaining)
+            return 0
+
+
+def _quantile(ordered: list[float], q: float) -> float | None:
+    """Nearest-rank quantile of an already-sorted non-empty list."""
+    if not ordered:
+        return None
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class _ServerMetrics:
+    """Per-operation latency rings plus a total-handled counter.
+
+    Rings are bounded (*ring_size* most recent samples per operation), so
+    the health endpoint's p50/p99 reflect recent behaviour and memory
+    stays O(operations), not O(requests).
+    """
+
+    def __init__(self, ring_size: int = 256) -> None:
+        self._mutex = threading.Lock()
+        self._ring_size = ring_size
+        self._rings: dict[str, deque] = {}
+        self.handled = 0
+
+    def record(self, op: str, elapsed_ms: float) -> None:
+        with self._mutex:
+            self.handled += 1
+            ring = self._rings.get(op)
+            if ring is None:
+                ring = self._rings[op] = deque(maxlen=self._ring_size)
+            ring.append(float(elapsed_ms))
+
+    def latency_snapshot(self) -> dict:
+        with self._mutex:
+            out = {}
+            for op in sorted(self._rings):
+                ordered = sorted(self._rings[op])
+                out[op] = {
+                    "count": len(ordered),
+                    "p50_ms": _quantile(ordered, 0.50),
+                    "p99_ms": _quantile(ordered, 0.99),
+                }
+            return out
+
+
+def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMetrics):
     locks = DatasetLockManager(known=lambda: service.engine.dataset_names)
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # silence request logging
             pass
 
-        def _send(self, status: int, payload: dict) -> None:
+        def _send(self, status: int, payload: dict, headers: dict | None = None) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
         def do_GET(self):  # noqa: N802 - stdlib naming
+            # Health and readiness bypass the admission gate on purpose:
+            # an overloaded or draining server must still answer probes.
             if self.path == "/health":
                 with locks.registry_read():
                     datasets = service.engine.dataset_names
-                self._send(200, {"status": "ok", "datasets": datasets})
+                self._send(
+                    200,
+                    {
+                        "status": "ok",
+                        "datasets": datasets,
+                        "in_flight": gate.in_flight,
+                        "shed": gate.shed,
+                        "handled": metrics.handled,
+                        "latency_ms": metrics.latency_snapshot(),
+                    },
+                )
+            elif self.path == "/ready":
+                ready = gate.is_open
+                self._send(
+                    200 if ready else 503,
+                    {"ready": ready, "in_flight": gate.in_flight},
+                )
             else:
                 self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
 
@@ -228,19 +414,63 @@ def _make_handler(service: OnexService):
                     ).to_dict(),
                 )
                 return
-            with locks.guard(request):
-                response = service.handle(request)
-            self._send(200, response.to_dict())
+            if not gate.try_acquire():
+                retry_after = 1
+                shed = OverloadedError(
+                    f"server overloaded ({gate.max_in_flight} in flight, "
+                    f"{gate.max_queue} queued); retry after {retry_after}s",
+                    retry_after=retry_after,
+                )
+                self._send(
+                    503,
+                    Response.failure(shed).to_dict(),
+                    headers={"Retry-After": str(retry_after)},
+                )
+                return
+            try:
+                faults.fire("server.handle", op=request.op)
+                started = time.perf_counter()
+                with locks.guard(request):
+                    response = service.handle(request)
+                metrics.record(
+                    request.op, (time.perf_counter() - started) * 1000.0
+                )
+                status, payload = 200, response.to_dict()
+            except faults.FaultInjectedError as exc:
+                status, payload = 500, Response.internal_error(exc).to_dict()
+            finally:
+                gate.release()
+            self._send(status, payload)
 
     return Handler
 
 
 class OnexHttpServer:
-    """Threaded HTTP wrapper around one :class:`OnexService`."""
+    """Threaded HTTP wrapper around one :class:`OnexService`.
 
-    def __init__(self, service: OnexService | None = None, *, host: str = "127.0.0.1", port: int = 0) -> None:
+    *max_in_flight*/*max_queue* configure the admission gate (see
+    :class:`AdmissionGate`); *drain_timeout* bounds how long ``stop()``
+    waits — first for in-flight requests to finish, then for the serve
+    thread to exit.
+    """
+
+    def __init__(
+        self,
+        service: OnexService | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 8,
+        max_queue: int = 16,
+        drain_timeout: float = 5.0,
+    ) -> None:
         self.service = service or OnexService()
-        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.service))
+        self.gate = AdmissionGate(max_in_flight, max_queue)
+        self.metrics = _ServerMetrics()
+        self._drain_timeout = float(drain_timeout)
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _make_handler(self.service, self.gate, self.metrics)
+        )
         self._thread: threading.Thread | None = None
 
     @property
@@ -260,13 +490,32 @@ class OnexHttpServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
+    def stop(self) -> dict | None:
+        """Drain and shut down; returns ``{"drained": n, "aborted": m}``.
+
+        The gate closes first, so new arrivals get clean 503s while
+        in-flight requests run to completion (up to *drain_timeout*).
+        Requests still running after the budget are abandoned on their
+        daemon threads and counted as aborted.  A serve thread that then
+        fails to exit raises :class:`ShutdownTimeoutError` — previously
+        this leak was silent.
+        """
         if self._thread is None:
-            return
+            return None
+        self.gate.close()
+        in_flight = self.gate.in_flight
+        leftover = self.gate.wait_idle(self._drain_timeout) if in_flight else 0
         self._httpd.shutdown()
-        self._thread.join(timeout=5)
+        self._thread.join(timeout=self._drain_timeout)
+        leaked = self._thread.is_alive()
         self._httpd.server_close()
         self._thread = None
+        if leaked:
+            raise ShutdownTimeoutError(
+                f"HTTP serve thread failed to exit within {self._drain_timeout:g}s "
+                f"of shutdown ({leftover} requests still in flight)"
+            )
+        return {"drained": in_flight - leftover, "aborted": leftover}
 
     def __enter__(self) -> "OnexHttpServer":
         return self.start()

@@ -15,7 +15,13 @@ from typing import Any
 
 from repro.exceptions import ProtocolError
 
-__all__ = ["OPERATIONS", "READ_ONLY_OPERATIONS", "Request", "Response"]
+__all__ = [
+    "OPERATIONS",
+    "OPERATION_OPTIONS",
+    "READ_ONLY_OPERATIONS",
+    "Request",
+    "Response",
+]
 
 #: Operation name -> required parameter names.
 OPERATIONS: dict[str, tuple[str, ...]] = {
@@ -39,6 +45,32 @@ OPERATIONS: dict[str, tuple[str, ...]] = {
     "unregister_monitor": ("dataset", "monitor"),
     "poll_events": ("dataset",),
     "flush_monitors": ("dataset",),
+}
+
+#: Optional deadline parameters accepted by the long-running operations
+#: (validated in the service layer, :mod:`repro.core.validation`):
+#:
+#: ``timeout_ms``
+#:     Positive, finite millisecond budget for the whole operation,
+#:     checked cooperatively at the engine's chunk boundaries.  An
+#:     exceeded budget returns a structured ``DeadlineExceeded`` error
+#:     whose ``details`` report the stage reached, progress counters, and
+#:     the best verified candidate so far.
+#: ``allow_partial``
+#:     Boolean.  Operations that support graceful degradation (the
+#:     query family, seasonal mining) return their best verified partial
+#:     result — matches flagged ``"exact": false`` — instead of erroring.
+#:     The sensitivity profile and ``load_dataset`` always raise: a
+#:     partial profile or a partially built base would be misleading.
+OPERATION_OPTIONS: dict[str, tuple[str, ...]] = {
+    "best_match": ("timeout_ms", "allow_partial"),
+    "k_best": ("timeout_ms", "allow_partial"),
+    "query_batch": ("timeout_ms", "allow_partial"),
+    "matches_within": ("timeout_ms", "allow_partial"),
+    "seasonal": ("timeout_ms", "allow_partial"),
+    "sensitivity": ("timeout_ms",),
+    "load_dataset": ("timeout_ms",),
+    "append_points": ("timeout_ms",),
 }
 
 #: Operations that only read engine state.  The HTTP front end grants
@@ -109,12 +141,18 @@ class Request:
 
 @dataclass(frozen=True)
 class Response:
-    """A server response: a result or a typed error."""
+    """A server response: a result or a typed error.
+
+    ``error_details`` carries an optional structured payload alongside
+    the type/message pair — e.g. a ``DeadlineExceeded``'s stage,
+    progress counters, and best verified candidate.
+    """
 
     ok: bool
     result: Any = None
     error_type: str | None = None
     error_message: str | None = None
+    error_details: dict | None = None
 
     @classmethod
     def success(cls, result: Any) -> "Response":
@@ -122,10 +160,18 @@ class Response:
 
     @classmethod
     def failure(cls, exc: Exception) -> "Response":
+        details = None
+        details_fn = getattr(exc, "details", None)
+        if callable(details_fn):
+            try:
+                details = details_fn()
+            except Exception:
+                details = None
         return cls(
             ok=False,
             error_type=type(exc).__name__,
             error_message=str(exc),
+            error_details=details,
         )
 
     @classmethod
@@ -146,10 +192,13 @@ class Response:
     def to_dict(self) -> dict:
         if self.ok:
             return {"ok": True, "result": self.result}
-        return {
-            "ok": False,
-            "error": {"type": self.error_type, "message": self.error_message},
+        error: dict[str, Any] = {
+            "type": self.error_type,
+            "message": self.error_message,
         }
+        if self.error_details is not None:
+            error["details"] = self.error_details
+        return {"ok": False, "error": error}
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
@@ -169,4 +218,5 @@ class Response:
             ok=False,
             error_type=error.get("type"),
             error_message=error.get("message"),
+            error_details=error.get("details"),
         )

@@ -13,7 +13,9 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.config import QueryConfig
+from repro.core.deadline import Deadline
 from repro.core.engine import OnexEngine
+from repro.core.validation import as_bool_arg, as_optional_timeout_ms
 from repro.data.electricity import build_electricity_collection
 from repro.data.matters import build_matters_collection
 from repro.data.ucr_format import load_ucr_file
@@ -46,6 +48,9 @@ class OnexService:
     *default_build_workers* applies to ``load_dataset`` requests that do
     not name ``num_workers`` themselves — the ``serve --build-workers``
     deployment knob; explicit request parameters always win.
+    *default_timeout_ms* is the server-side deadline applied to every
+    long-running operation that does not carry its own ``timeout_ms``
+    (see :data:`repro.server.protocol.OPERATION_OPTIONS`).
     """
 
     def __init__(
@@ -53,9 +58,13 @@ class OnexService:
         query_config: QueryConfig | None = None,
         *,
         default_build_workers: int | None = None,
+        default_timeout_ms: float | None = None,
     ) -> None:
         self._engine = OnexEngine(query_config)
         self._default_build_workers = default_build_workers
+        self._default_timeout_ms = as_optional_timeout_ms(
+            default_timeout_ms, "default_timeout_ms"
+        )
 
     @property
     def engine(self) -> OnexEngine:
@@ -80,6 +89,28 @@ class OnexService:
             # AttributeError or a numpy edge case) must degrade to a
             # structured failure, not sever the connection mid-request.
             return Response.internal_error(exc)
+
+    def _deadline(self, params: dict) -> Deadline | None:
+        """Build the request's deadline from ``timeout_ms``/``allow_partial``.
+
+        A request without ``timeout_ms`` inherits the server default; no
+        budget anywhere means no deadline at all (``allow_partial`` alone
+        is a no-op — there is nothing to degrade against).  The clock
+        starts here, when the operation is dispatched, so queueing ahead
+        of the engine does not silently eat the caller's budget.
+        """
+        timeout_ms = as_optional_timeout_ms(params.get("timeout_ms"))
+        allow_partial = params.get("allow_partial")
+        allow_partial = (
+            False
+            if allow_partial is None
+            else as_bool_arg(allow_partial, "allow_partial")
+        )
+        if timeout_ms is None:
+            timeout_ms = self._default_timeout_ms
+        if timeout_ms is None:
+            return None
+        return Deadline.after(timeout_ms, allow_partial=allow_partial)
 
     # ------------------------------------------------------------------
     # Operations
@@ -117,7 +148,9 @@ class OnexService:
             options["num_workers"] = self._default_build_workers
         if "build_executor" in options:
             options["build_executor"] = str(options["build_executor"])
-        stats = self._engine.load_dataset(dataset, **options)
+        stats = self._engine.load_dataset(
+            dataset, deadline=self._deadline(params), **options
+        )
         return {
             "dataset": dataset.name,
             "series": len(dataset),
@@ -181,18 +214,21 @@ class OnexService:
             query_values, base.member_values(match.ref), match
         )
         payload["group"] = list(match.group)
+        payload["exact"] = bool(match.exact)
         return payload
 
     def _op_best_match(self, params: dict) -> Any:
         name = str(params["dataset"])
         query = self._resolve_query(name, params["query"])
-        match = self._engine.best_match(name, query)
+        match = self._engine.best_match(name, query, deadline=self._deadline(params))
         return self._match_payload(name, query, match)
 
     def _op_k_best(self, params: dict) -> Any:
         name = str(params["dataset"])
         query = self._resolve_query(name, params["query"])
-        matches = self._engine.k_best_matches(name, query, int(params["k"]))
+        matches = self._engine.k_best_matches(
+            name, query, int(params["k"]), deadline=self._deadline(params)
+        )
         return {"matches": [self._match_payload(name, query, m) for m in matches]}
 
     def _op_query_batch(self, params: dict) -> Any:
@@ -204,7 +240,9 @@ class OnexService:
             raise ProtocolError("'queries' must be a non-empty list")
         queries = [self._resolve_query(name, spec) for spec in specs]
         k = int(params.get("k", 1))
-        per_query = self._engine.batch_best_matches(name, queries, k)
+        per_query = self._engine.batch_best_matches(
+            name, queries, k, deadline=self._deadline(params)
+        )
         return {
             "results": [
                 {"matches": [self._match_payload(name, q, m) for m in matches]}
@@ -216,7 +254,7 @@ class OnexService:
         name = str(params["dataset"])
         query = self._resolve_query(name, params["query"])
         matches = self._engine.matches_within(
-            name, query, float(params["threshold"])
+            name, query, float(params["threshold"]), deadline=self._deadline(params)
         )
         return {"matches": [self._match_payload(name, query, m) for m in matches]}
 
@@ -238,6 +276,7 @@ class OnexService:
             series_name,
             int(params["length"]),
             float(params["threshold"]) if "threshold" in params else None,
+            deadline=self._deadline(params),
             **kwargs,
         )
         series = self._engine.base(name).raw_dataset[series_name]
@@ -251,6 +290,7 @@ class OnexService:
             query,
             [float(t) for t in params["thresholds"]],
             verify=bool(params.get("verify", False)),
+            deadline=self._deadline(params),
         )
         return profile.as_dict()
 
@@ -270,6 +310,7 @@ class OnexService:
             str(params["dataset"]),
             str(params["series"]),
             [float(v) for v in params["values"]],
+            deadline=self._deadline(params),
         )
 
     def _op_register_monitor(self, params: dict) -> Any:

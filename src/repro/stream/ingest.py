@@ -22,6 +22,7 @@ performance, not results.  The property-test suite asserts both halves.
 from __future__ import annotations
 
 from repro.core.base import OnexBase
+from repro.core.deadline import Deadline
 from repro.data.timeseries import TimeSeries
 from repro.exceptions import DatasetError, ValidationError
 from repro.stream.buffer import SeriesBuffer
@@ -50,14 +51,18 @@ class StreamIngestor:
         """Names of the series that have received live appends."""
         return sorted(self._buffers)
 
-    def append_points(self, series_name: str, values) -> dict:
+    def append_points(
+        self, series_name: str, values, deadline: Deadline | None = None
+    ) -> dict:
         """Append *values* to *series_name*, creating it on first contact.
 
         Raw values are normalised with the base's build-time bounds (the
         same contract as ``add_series``).  Newly completed windows are
         indexed immediately and standing monitors are notified; the
         summary reports the indexing outcome plus any events the append
-        emitted.
+        emitted.  A *deadline* bounds the monitor notification scan; the
+        points themselves are already appended and indexed when it fires,
+        so the raised error means lost *events*, not lost data.
         """
         if not isinstance(series_name, str) or not series_name:
             raise ValidationError("series name must be a non-empty string")
@@ -86,7 +91,7 @@ class StreamIngestor:
         series_index = self._base.dataset.index_of(series_name)
         assignments = self._base.index_new_windows(series_index, previous_length)
         events = self.registry.on_points(
-            series_name, previous_length, normalized_chunk, assignments
+            series_name, previous_length, normalized_chunk, assignments, deadline
         )
         self.points_ingested += normalized_chunk.shape[0]
         self.windows_indexed += len(assignments)

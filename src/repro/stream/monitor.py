@@ -41,9 +41,11 @@ from typing import Iterable
 import numpy as np
 
 from repro.core.base import OnexBase, WindowAssignment
+from repro.core.deadline import Deadline
 from repro.distances.dtw import dtw_distance
 from repro.distances.metrics import as_sequence
 from repro.exceptions import DatasetError, ValidationError
+from repro.testing import faults
 from repro.stream.events import KIND_MATCH, KIND_WINDOW, StreamEvent
 from repro.stream.spring_online import OnlineSpringMatcher
 
@@ -131,9 +133,16 @@ class PatternMonitor:
         ]
 
     def on_windows(
-        self, assignments: Iterable[WindowAssignment]
+        self,
+        assignments: Iterable[WindowAssignment],
+        deadline: Deadline | None = None,
     ) -> list[tuple[str, int, int, float]]:
-        """Group-prefilter the newly indexed windows; return verified hits."""
+        """Group-prefilter the newly indexed windows; return verified hits.
+
+        A *deadline* is checked per window and always raises: a silently
+        skipped window would be a lost match event, so there is no
+        partial degrade on the monitor path.
+        """
         m = self.pattern_length
         out: list[tuple[str, int, int, float]] = []
         try:
@@ -142,7 +151,13 @@ class PatternMonitor:
             return out  # pattern length not indexed: no window-aligned view
         max_path = 2 * m - 1
         dataset = self._base.dataset
-        for assignment in assignments:
+        for scanned, assignment in enumerate(assignments):
+            faults.fire("stream.step")
+            if deadline is not None:
+                deadline.check(
+                    "stream window scan",
+                    {"windows_scanned": scanned, "hits": len(out)},
+                )
             ref = assignment.ref
             if ref.length != m:
                 continue
@@ -289,6 +304,7 @@ class MonitorRegistry:
         origin: int,
         values: np.ndarray,
         assignments: list[WindowAssignment],
+        deadline: Deadline | None = None,
     ) -> list[StreamEvent]:
         """Notify every applicable monitor of one append; emit its events.
 
@@ -304,7 +320,9 @@ class MonitorRegistry:
                 series_name, origin, values
             ):
                 emitted.append(self._emit(monitor, series, KIND_MATCH, start, end, dist))
-            for series, start, end, dist in monitor.on_windows(assignments):
+            for series, start, end, dist in monitor.on_windows(
+                assignments, deadline
+            ):
                 emitted.append(self._emit(monitor, series, KIND_WINDOW, start, end, dist))
         return emitted
 

@@ -1,0 +1,11 @@
+"""Test-support utilities shipped with the library.
+
+Only :mod:`repro.testing.faults` lives here: the named-failpoint registry
+the chaos tests drive.  Production code paths call ``faults.fire(...)``
+at their chunk boundaries; with nothing armed those calls are a dict
+lookup away from free.
+"""
+
+from repro.testing import faults
+
+__all__ = ["faults"]

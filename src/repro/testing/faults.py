@@ -1,0 +1,171 @@
+"""Named failpoints for deterministic chaos testing.
+
+Production code is compiled with ``fire("<point>")`` calls at the same
+chunk boundaries the deadline layer checks (see DESIGN.md §6).  With
+nothing armed a failpoint costs one falsy module-global test; chaos tests
+arm actions against points by name:
+
+``sleep``
+    Block for ``seconds`` at the failpoint — how the tests make any
+    chunk boundary deterministically "slow" so a deadline fires inside a
+    chosen cascade stage.
+``raise``
+    Raise :class:`FaultInjectedError` (or a provided exception instance)
+    at the failpoint.
+``kill-worker``
+    Hard-exit the *current process* via ``os._exit`` — but only when it
+    is not the process that armed the fault, so a pool worker dies while
+    the parent (and the test runner) survives to observe the recovery.
+    Requires a fork-start process pool to inherit the armed registry.
+``torn-write``
+    Truncate the file the failpoint passes as ``path`` to half its size,
+    then raise — simulating a crash mid-write with a partial artifact on
+    disk.
+
+Failpoints fire at most ``times`` times (default: unlimited) and are
+scoped with the :func:`inject` context manager::
+
+    with faults.inject("query.rep_chunk", "sleep", seconds=0.05):
+        processor.k_best_matches(q, 3, deadline=Deadline.after(1.0))
+
+Registered failpoint names (kept in sync with the call sites):
+
+- ``query.rep_chunk`` — per chunk of the lazy representative cascade
+  (exact and fast search loops, and each batch-planner round);
+- ``query.refine_unit`` — per member-refinement unit;
+- ``seasonal.pair_chunk`` — per condensed-pair DTW chunk of the
+  pairwise-worst finder;
+- ``seasonal.group`` — per candidate group of the seasonal miner;
+- ``sensitivity.bucket`` — per length bucket of the similarity profile;
+- ``build.shard`` — inside each per-length build shard (worker side);
+- ``build.merge`` — per merged shard payload (parent side);
+- ``persist.save`` — between writing the temp archive and renaming it
+  into place (receives ``path``);
+- ``stream.step`` — per window assignment in the monitor step loop;
+- ``server.handle`` — around request dispatch in the HTTP handler.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import OnexError
+
+__all__ = ["FaultInjectedError", "arm", "disarm", "disarm_all", "fire", "inject"]
+
+
+class FaultInjectedError(OnexError):
+    """The error an armed ``raise`` failpoint throws."""
+
+
+_ACTIONS = ("sleep", "raise", "kill-worker", "torn-write")
+
+
+class _Fault:
+    __slots__ = ("action", "armed_pid", "error", "lock", "remaining", "seconds")
+
+    def __init__(self, action: str, seconds: float, times: int | None, error) -> None:
+        self.action = action
+        self.seconds = seconds
+        self.remaining = times
+        self.error = error
+        self.armed_pid = os.getpid()
+        self.lock = threading.Lock()
+
+    def trigger(self, point: str, ctx: dict) -> None:
+        with self.lock:
+            if self.remaining is not None:
+                if self.remaining <= 0:
+                    return
+                self.remaining -= 1
+        if self.action == "sleep":
+            time.sleep(self.seconds)
+        elif self.action == "raise":
+            raise (
+                self.error
+                if self.error is not None
+                else FaultInjectedError(f"injected fault at {point!r}")
+            )
+        elif self.action == "kill-worker":
+            # Only worker processes die; the arming process (the test
+            # runner / pool parent) passes through unharmed, which is what
+            # lets it observe and recover from the crash.
+            if os.getpid() != self.armed_pid:
+                os._exit(17)
+        elif self.action == "torn-write":
+            path = ctx.get("path")
+            if path is not None:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as fh:
+                    fh.truncate(size // 2)
+            raise FaultInjectedError(
+                f"injected torn write at {point!r} ({path})"
+            )
+
+
+#: point name -> armed fault.  Kept as a plain module global so the
+#: hot-path guard in :func:`fire` is one truthiness test, and so a forked
+#: pool worker inherits whatever the parent had armed at fork time.
+_ARMED: dict[str, _Fault] = {}
+
+
+def arm(
+    point: str,
+    action: str,
+    *,
+    seconds: float = 0.05,
+    times: int | None = None,
+    error: Exception | None = None,
+) -> None:
+    """Arm *action* at failpoint *point* (replacing any previous fault).
+
+    *times* bounds how often the fault triggers (``None`` = every time);
+    *seconds* parameterises ``sleep``; *error* overrides the exception a
+    ``raise`` fault throws.
+    """
+    if action not in _ACTIONS:
+        raise ValueError(f"unknown fault action {action!r} (known: {_ACTIONS})")
+    _ARMED[point] = _Fault(action, float(seconds), times, error)
+
+
+def disarm(point: str) -> None:
+    """Remove the fault at *point* (a no-op when nothing is armed)."""
+    _ARMED.pop(point, None)
+
+
+def disarm_all() -> None:
+    """Remove every armed fault."""
+    _ARMED.clear()
+
+
+def fire(point: str, **ctx) -> None:
+    """Trigger the fault armed at *point*, if any.
+
+    This is the call compiled into production chunk boundaries: with the
+    registry empty it returns after a single falsy test.
+    """
+    if not _ARMED:
+        return
+    fault = _ARMED.get(point)
+    if fault is not None:
+        fault.trigger(point, ctx)
+
+
+@contextmanager
+def inject(
+    point: str,
+    action: str,
+    *,
+    seconds: float = 0.05,
+    times: int | None = None,
+    error: Exception | None = None,
+):
+    """Scope a fault to a ``with`` block (armed on entry, disarmed on exit)."""
+    arm(point, action, seconds=seconds, times=times, error=error)
+    try:
+        yield
+    finally:
+        disarm(point)

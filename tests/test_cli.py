@@ -191,3 +191,43 @@ class TestStreamCommand:
         assert "match" in kinds
         seqs = [e["seq"] for e in payload["events"]]
         assert seqs == sorted(seqs)
+
+
+class TestServerRouting:
+    """`--server URL` routes every operation through OnexClient."""
+
+    @pytest.fixture()
+    def server(self):
+        from repro.server.http import OnexHttpServer
+        from repro.server.service import OnexService
+
+        with OnexHttpServer(OnexService()) as srv:
+            yield srv
+
+    def test_query_over_http(self, server, capsys):
+        code = main(
+            ["query", "--server", server.url, *FAST,
+             "--series", "MA/GrowthRate", "--start", "0",
+             "--length", "5", "--k", "2"]
+        )
+        assert code == 0
+        assert "top 2 matches" in capsys.readouterr().out
+
+    def test_reuses_dataset_already_loaded_on_server(self, server, capsys):
+        # Two CLI invocations against one shared server: the second must
+        # reuse the loaded dataset instead of dying on "already loaded".
+        argv = ["query", "--server", server.url, *FAST,
+                "--series", "MA/GrowthRate", "--length", "5", "--k", "2"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "top 2 matches" in capsys.readouterr().out
+
+    def test_remote_errors_surface_with_type(self, server, capsys):
+        code = main(
+            ["query", "--server", server.url, *FAST,
+             "--series", "no-such/Series", "--length", "5"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "ValidationError" in err or "DatasetError" in err

@@ -19,7 +19,12 @@ from repro.core.query import QueryProcessor
 from repro.data.dataset import TimeSeriesDataset
 from repro.data.timeseries import TimeSeries
 from repro.data.ucr_format import load_ucr_file
-from repro.exceptions import DatasetError, OnexError, ValidationError
+from repro.exceptions import (
+    DatasetError,
+    OnexError,
+    PersistenceError,
+    ValidationError,
+)
 from repro.server.http import OnexHttpServer
 from repro.server.protocol import Request
 from repro.server.service import OnexService
@@ -42,18 +47,37 @@ class TestCorruptedBaseFiles:
         base.save(path)
         data = path.read_bytes()
         path.write_bytes(data[: len(data) // 2])
-        with pytest.raises(Exception):  # zipfile/numpy surface varies
+        # The varied zipfile/numpy error surface is wrapped in one type.
+        with pytest.raises(PersistenceError, match="corrupt or unreadable"):
             OnexBase.load(path, base.raw_dataset)
 
     def test_not_an_npz(self, base, tmp_path):
         path = tmp_path / "base.npz"
         path.write_bytes(b"this is not a zip archive")
-        with pytest.raises(Exception):
+        with pytest.raises(PersistenceError, match="corrupt or unreadable"):
             OnexBase.load(path, base.raw_dataset)
 
     def test_missing_file(self, base, tmp_path):
         with pytest.raises(FileNotFoundError):
             OnexBase.load(tmp_path / "ghost.npz", base.raw_dataset)
+
+    def test_content_tampering_detected(self, base, tmp_path):
+        """Flipping array bytes the zip layer accepts trips the checksum."""
+        path = tmp_path / "base.npz"
+        base.save(path)
+        with np.load(path, allow_pickle=False) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+        victim = next(
+            name
+            for name in sorted(arrays)
+            if name != "meta" and arrays[name].size
+        )
+        tampered = arrays[victim].copy()
+        tampered.flat[0] += 1
+        arrays[victim] = tampered
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(PersistenceError, match="checksum"):
+            OnexBase.load(path, base.raw_dataset)
 
     def test_meta_tampering_detected(self, base, tmp_path):
         """A base saved from different data must refuse to attach."""
