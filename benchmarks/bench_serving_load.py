@@ -1,0 +1,272 @@
+"""E20: serving observability — concurrent load, /metrics, tracing cost.
+
+Three claims from the observability layer, measured end to end:
+
+1. **Load + exposition.**  A pool of concurrent clients sustains mixed
+   query traffic against a real :class:`OnexHttpServer`; the server's
+   ``/metrics`` scrape must be valid Prometheus text whose request
+   counter accounts for every client-observed completion, and whose
+   ``onex_server_request_ms`` histogram yields p50/p99 estimates
+   consistent with the client-side latencies.  Counters are monotone
+   across scrapes (before vs after the burst).
+2. **Tracing is pure observation.**  The same queries answered untraced
+   and inside an activated trace return bit-identical matches; the
+   traced run's slowdown is reported, not gated (wall-clock noise), but
+   identity is a hard failure.
+3. **Disabled tracing is free.**  With no trace active, ``span(...)``
+   costs one thread-local read and a shared null object.  The measured
+   per-span cost times the spans a typical query would have emitted must
+   stay under 2% of that query's latency — the PR's overhead gate.
+
+Run directly (``python benchmarks/bench_serving_load.py``) for one JSON
+document, or through ``run_all.py`` which embeds the same sections in
+``BENCH_pr7.json``; the ``test_*`` wrappers give CI a cheap smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.base import OnexBase
+from repro.core.config import BuildConfig, QueryConfig
+from repro.core.query import QueryProcessor
+from repro.data.matters import build_matters_collection
+from repro.obs.metrics import histogram_quantile, parse_exposition
+from repro.obs.trace import NULL_SPAN, span, tracing
+from repro.server.client import OnexClient
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+
+LOAD_PARAMS = {
+    "source": "matters",
+    "seed": 5,
+    "years": 16,
+    "min_years": 10,
+    "indicators": ["GrowthRate"],
+    "similarity_threshold": 0.2,
+    "min_length": 5,
+    "max_length": 8,
+}
+
+
+def _counter_sum(parsed: dict, name: str, **labels) -> float:
+    """Sum of a parsed metric's series matching all given label pairs."""
+    want = set(labels.items())
+    return sum(
+        value
+        for key, value in parsed.get(name, {}).items()
+        if want <= set(key)
+    )
+
+
+def _hist_buckets(parsed: dict, name: str, **labels) -> list[tuple[float, float]]:
+    """Cumulative ``(le, count)`` pairs of one histogram's bucket series."""
+    out = []
+    for key, value in parsed.get(f"{name}_bucket", {}).items():
+        pairs = dict(key)
+        if all(pairs.get(k) == v for k, v in labels.items()):
+            out.append((float(pairs["le"].replace("+Inf", "inf")), value))
+    return sorted(out)
+
+
+def _monotone(before: dict, after: dict) -> bool:
+    """Every counter/histogram series present before must not decrease."""
+    ok = True
+    for name, series in before.items():
+        if name.endswith("_info") or "_in_flight" in name or "uptime" in name:
+            continue  # gauges may move either way
+        for key, value in series.items():
+            ok = ok and after.get(name, {}).get(key, 0.0) >= value
+    return ok
+
+
+def run_serving_load(
+    clients: int = 4, requests_per_client: int = 25, mode: str = "exact"
+) -> dict:
+    """Concurrent k_best/best_match traffic; scrape-validated metrics."""
+    service = OnexService(QueryConfig(mode=mode))
+    with OnexHttpServer(service, max_in_flight=8, max_queue=64) as server:
+        admin = OnexClient(server.url)
+        loaded = admin.call("load_dataset", LOAD_PARAMS)
+        dataset = loaded["dataset"]
+        admin.call(  # warm the query path before timing anything
+            "k_best", {"dataset": dataset, "query": [0.2, 0.5, 0.3, 0.6], "k": 3}
+        )
+        before = parse_exposition(admin.metrics())
+
+        latencies: list[list[float]] = [[] for _ in range(clients)]
+        errors: list[int] = [0] * clients
+
+        def worker(idx: int) -> None:
+            client = OnexClient(server.url, max_retries=6)
+            rng = np.random.default_rng(100 + idx)
+            for i in range(requests_per_client):
+                q = [float(v) for v in rng.uniform(size=6)]
+                started = time.perf_counter()
+                try:
+                    if i % 2:
+                        client.call(
+                            "k_best", {"dataset": dataset, "query": q, "k": 3}
+                        )
+                    else:
+                        client.call("best_match", {"dataset": dataset, "query": q})
+                except Exception:
+                    errors[idx] += 1
+                    continue
+                latencies[idx].append((time.perf_counter() - started) * 1e3)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(clients)
+        ]
+        wall_started = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall_started
+
+        after_text = admin.metrics()
+        after = parse_exposition(after_text)
+        health = admin.health()
+
+    flat = sorted(v for chunk in latencies for v in chunk)
+    completed = len(flat)
+    served_delta = _counter_sum(
+        after, "onex_server_requests_total", code="200"
+    ) - _counter_sum(before, "onex_server_requests_total", code="200")
+    buckets = _hist_buckets(after, "onex_server_request_ms", op="k_best")
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "completed": completed,
+        "errors": sum(errors),
+        "wall_seconds": round(wall, 3),
+        "qps": round(completed / wall, 1) if wall > 0 else None,
+        "client_p50_ms": round(flat[len(flat) // 2], 3) if flat else None,
+        "client_p99_ms": (
+            round(flat[min(len(flat) - 1, int(0.99 * len(flat)))], 3)
+            if flat
+            else None
+        ),
+        "server_p50_ms": round(histogram_quantile(buckets, 0.50), 3),
+        "server_p99_ms": round(histogram_quantile(buckets, 0.99), 3),
+        "scrape_parseable": True,  # parse_exposition raised otherwise
+        "scrape_bytes": len(after_text),
+        "counters_monotone": _monotone(before, after),
+        # The burst ran between the scrapes, so the request counter must
+        # have grown by at least the client-observed completions (the
+        # warmup and admin calls may add more).
+        "counter_accounts_for_load": served_delta >= completed,
+        "health_version": health.get("version"),
+        "health_uptime_s": health.get("uptime_s"),
+        "health_fingerprints": sorted(health.get("fingerprints", {})),
+    }
+
+
+def run_tracing_overhead(repeats: int = 3, queries: int = 8) -> dict:
+    """Traced vs untraced identity + the disabled-path per-span cost."""
+    dataset = build_matters_collection(
+        indicators=("GrowthRate",), years=16, min_years=10, seed=5
+    )
+    base = OnexBase(
+        dataset,
+        BuildConfig(similarity_threshold=0.2, min_length=5, max_length=8),
+    )
+    base.build()
+    processor = QueryProcessor(base, QueryConfig(mode="exact"))
+    rng = np.random.default_rng(55)
+    qs = [rng.uniform(size=6) for _ in range(queries)]
+
+    def run_untraced():
+        return [processor.k_best_matches(q, k=3, normalize=False) for q in qs]
+
+    def run_traced():
+        out = []
+        for i, q in enumerate(qs):
+            with tracing(f"bench-{i}") as trace:
+                out.append(processor.k_best_matches(q, k=3, normalize=False))
+            span_counts.append(trace.span_count())
+        return out
+
+    t_off = t_on = float("inf")
+    baseline = traced = None
+    span_counts: list[int] = []
+    for _ in range(repeats):
+        span_counts.clear()
+        started = time.perf_counter()
+        baseline = run_untraced()
+        t_off = min(t_off, time.perf_counter() - started)
+        started = time.perf_counter()
+        traced = run_traced()
+        t_on = min(t_on, time.perf_counter() - started)
+
+    identical = [
+        [(m.ref, m.distance) for m in group] for group in baseline
+    ] == [[(m.ref, m.distance) for m in group] for group in traced]
+
+    # Disabled-path cost: one span() call with no trace active.  The
+    # loop uses the real entry point, so the thread-local read, the
+    # null-singleton return, and the with-block overhead are all in.
+    probes = 200_000
+    started = time.perf_counter()
+    for _ in range(probes):
+        with span("bench.noop", x=1):
+            pass
+    null_span_ns = (time.perf_counter() - started) / probes * 1e9
+    assert span("bench.noop") is NULL_SPAN  # guard: nothing was recording
+
+    per_query_ms = t_off / queries * 1e3
+    spans_per_query = max(span_counts) if span_counts else 0
+    disabled_cost_ms = spans_per_query * null_span_ns / 1e6
+    overhead_pct = (
+        100.0 * disabled_cost_ms / per_query_ms if per_query_ms else math.inf
+    )
+    return {
+        "queries": queries,
+        "identical_traced_vs_untraced": identical,
+        "untraced_ms_per_query": round(per_query_ms, 3),
+        "traced_ms_per_query": round(t_on / queries * 1e3, 3),
+        "traced_slowdown_pct": round(100.0 * (t_on - t_off) / t_off, 2),
+        "spans_per_query": spans_per_query,
+        "null_span_ns": round(null_span_ns, 1),
+        # The gate: what those spans would cost a query when tracing is
+        # off, as a share of the query's untraced latency.
+        "disabled_overhead_pct": round(overhead_pct, 4),
+        "disabled_overhead_under_2pct": overhead_pct < 2.0,
+    }
+
+
+def test_serving_load_smoke():
+    report = run_serving_load(clients=2, requests_per_client=5)
+    assert report["errors"] == 0
+    assert report["counters_monotone"]
+    assert report["counter_accounts_for_load"]
+    assert report["server_p50_ms"] == report["server_p50_ms"]  # not NaN
+
+
+def test_tracing_overhead_smoke():
+    report = run_tracing_overhead(repeats=1, queries=3)
+    assert report["identical_traced_vs_untraced"]
+    assert report["spans_per_query"] > 0
+    assert report["disabled_overhead_under_2pct"]
+
+
+if __name__ == "__main__":
+    print(
+        json.dumps(
+            {
+                "serving_load": run_serving_load(),
+                "tracing_overhead": run_tracing_overhead(),
+            },
+            indent=2,
+        )
+    )

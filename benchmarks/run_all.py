@@ -50,9 +50,13 @@ from repro.server.service import OnexService
 from repro.stream import StreamIngestor
 from repro.testing import faults
 
+from bench_serving_load import run_serving_load, run_tracing_overhead
+
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
+         "load_clients": 2, "load_requests": 6,
          "build": {"similarity_threshold": 0.1, "min_length": 5, "max_length": 10}}
 FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3, "appends": 600,
+        "load_clients": 4, "load_requests": 25,
         "build": {"similarity_threshold": 0.05, "min_length": 5, "max_length": 24}}
 
 
@@ -131,9 +135,20 @@ def run(config: dict) -> dict:
     analytics_report = run_analytics(config, dataset, base)
     build_report = run_build(config, dataset)
     resilience_report = run_resilience(config, base)
+    serving_report = run_serving_load(
+        clients=config["load_clients"],
+        requests_per_client=config["load_requests"],
+    )
+    tracing_report = run_tracing_overhead(
+        repeats=config["repeats"], queries=config["queries"] * 2
+    )
 
     return {
         "config": config,
+        "observability": {
+            "serving_load": serving_report,
+            "tracing_overhead": tracing_report,
+        },
         "resilience": resilience_report,
         "build_pipeline": build_report,
         "analytics": analytics_report,
@@ -628,6 +643,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr6.json"),
         help="where the E19 resilience section lands",
     )
+    parser.add_argument(
+        "--pr7-output",
+        type=Path,
+        default=Path("BENCH_pr7.json"),
+        help="where the E20 observability section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -667,6 +688,11 @@ def main(argv: list[str] | None = None) -> int:
         "resilience": report["resilience"],
     }
     args.pr6_output.write_text(json.dumps(pr6, indent=2) + "\n")
+    pr7 = {
+        "config": report["config"],
+        "observability": report["observability"],
+    }
+    args.pr7_output.write_text(json.dumps(pr7, indent=2) + "\n")
     resilience = report["resilience"]
     if not resilience["ample_deadline_identical"]:
         print(
@@ -724,6 +750,35 @@ def main(argv: list[str] | None = None) -> int:
     if not report["stream"]["events_exact_vs_brute_force_spring"]:
         print(
             "ERROR: monitor events diverge from brute-force SPRING",
+            file=sys.stderr,
+        )
+        return 1
+    obs = report["observability"]
+    if obs["serving_load"]["errors"]:
+        print(
+            "ERROR: the serving-load burst saw client-visible failures",
+            file=sys.stderr,
+        )
+        return 1
+    if not (
+        obs["serving_load"]["counters_monotone"]
+        and obs["serving_load"]["counter_accounts_for_load"]
+    ):
+        print(
+            "ERROR: /metrics counters regressed or undercounted the "
+            "load burst",
+            file=sys.stderr,
+        )
+        return 1
+    if not obs["tracing_overhead"]["identical_traced_vs_untraced"]:
+        print(
+            "ERROR: activating a trace changed exact-mode matches",
+            file=sys.stderr,
+        )
+        return 1
+    if not obs["tracing_overhead"]["disabled_overhead_under_2pct"]:
+        print(
+            "ERROR: disabled-tracing span cost exceeds 2% of query latency",
             file=sys.stderr,
         )
         return 1

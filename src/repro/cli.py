@@ -23,7 +23,11 @@ operations so everything the HTTP API offers is scriptable:
 
 Sources: ``matters`` / ``electricity`` (simulated demo collections) or
 ``ucr:<path>`` for archive-format files.  Output is human-readable by
-default; ``--json`` emits machine-readable payloads.
+default; ``--json`` emits machine-readable payloads.  ``--log-level``
+enables the library's structured log stream on stderr (``--log-json``
+switches it to one JSON object per line); ``query --explain`` attaches
+the engine's trace — span tree plus pruning-cascade counters — to the
+result.
 """
 
 from __future__ import annotations
@@ -32,8 +36,10 @@ import argparse
 import json
 import sys
 
+import repro
 from repro.core.config import QueryConfig
 from repro.exceptions import OnexError, RemoteError
+from repro.obs.logs import configure_logging
 from repro.server.client import OnexClient
 from repro.server.http import OnexHttpServer
 from repro.server.protocol import Request
@@ -48,6 +54,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="ONEX interactive time series analytics (SIGMOD 2017 reproduction)",
     )
     parser.add_argument("--json", action="store_true", help="emit raw JSON payloads")
+    parser.add_argument("--log-level", default=None,
+                        choices=("debug", "info", "warning", "error"),
+                        help="emit the library's structured log events to "
+                             "stderr at this level (default: logging off)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="with --log-level: one JSON object per log "
+                             "line instead of key=value text")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_source_options(p: argparse.ArgumentParser) -> None:
@@ -99,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "them as a single query_batch request")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--k", type=int, default=5)
+    p.add_argument("--explain", action="store_true",
+                   help="trace the query and attach the span tree plus "
+                        "pruning-cascade counters to the result (matches "
+                        "are identical to the untraced call)")
 
     p = sub.add_parser("seasonal", help="recurring patterns within one series")
     add_source_options(p)
@@ -239,8 +256,34 @@ def _emit(payload, args, human) -> None:
         human(payload)
 
 
+def _print_explain(payload: dict) -> None:
+    """Render a result's ``explain`` block (``query --explain``)."""
+    explain = payload.get("explain")
+    if not explain:
+        return
+    print(f"explain (request {explain['request_id']}, "
+          f"{explain['duration_ms']:.2f} ms):")
+
+    def walk(node: dict, depth: int) -> None:
+        attrs = " ".join(
+            f"{k}={v}" for k, v in sorted(node.get("attrs", {}).items())
+        )
+        print(f"  {'  ' * depth}{node['name']:<24} "
+              f"{node.get('duration_ms', 0.0):9.3f} ms  {attrs}")
+        for child in node.get("children", ()):
+            walk(child, depth + 1)
+
+    walk(explain["spans"], 0)
+    stats = explain.get("stats")
+    if stats:
+        shown = {k: v for k, v in sorted(stats.items()) if v}
+        print("cascade: " + ", ".join(f"{k}={v}" for k, v in shown.items()))
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level, json_mode=args.log_json)
     try:
         return _dispatch(args)
     except OnexError as exc:
@@ -262,7 +305,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             max_queue=args.max_queue,
             drain_timeout=args.drain_timeout,
         )
-        print(f"ONEX server listening on {server.url} (Ctrl-C to stop)")
+        print(f"ONEX server v{repro.__version__} listening on {server.url} "
+              f"(Ctrl-C to stop)")
+        print(f"  POST {server.url}/api      JSON protocol envelopes")
+        print(f"  GET  {server.url}/health   liveness + dataset fingerprints")
+        print(f"  GET  {server.url}/ready    admission-gate readiness")
+        print(f"  GET  {server.url}/metrics  Prometheus text exposition")
         try:
             server.start()._thread.join()
         except KeyboardInterrupt:  # pragma: no cover - interactive only
@@ -314,6 +362,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "query":
+        explain_opts = {"explain": True} if args.explain else {}
         if args.starts is not None:
             # One request answers every brushed window (query_batch).
             result = _call(
@@ -328,6 +377,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     ],
                     "k": args.k,
                     **deadline_opts,
+                    **explain_opts,
                 },
             )
 
@@ -339,6 +389,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                         print(f"  {m['match_series']:<24} "
                               f"start={m['match_start']:<4}"
                               f" dist={m['distance']:.4f}")
+                _print_explain(payload)
 
             _emit(result, args, human)
             return 0
@@ -351,6 +402,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                           "length": args.length},
                 "k": args.k,
                 **deadline_opts,
+                **explain_opts,
             },
         )
 
@@ -360,6 +412,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             for m in payload["matches"]:
                 print(f"  {m['match_series']:<24} start={m['match_start']:<4}"
                       f" dist={m['distance']:.4f}")
+            _print_explain(payload)
 
         _emit(result, args, human)
         return 0

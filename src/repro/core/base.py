@@ -44,7 +44,34 @@ from repro.exceptions import (
     PersistenceError,
     ValidationError,
 )
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.testing import faults
+
+_LOG = get_logger("build")
+
+# Registry-backed build telemetry: per-build LengthBuildStats stay the
+# per-call view; these accumulate across every build in the process.
+_BUILDS_TOTAL = REGISTRY.counter(
+    "onex_builds_total", "Completed base constructions"
+)
+_BUILD_WINDOWS = REGISTRY.counter(
+    "onex_build_windows_total", "Subsequence windows indexed by builds"
+)
+_BUILD_GROUPS = REGISTRY.counter(
+    "onex_build_groups_total", "Similarity groups created by builds"
+)
+_BUILD_SECONDS = REGISTRY.counter(
+    "onex_build_seconds_total", "Wall seconds spent in base construction"
+)
+_BUILD_RETRIES = REGISTRY.counter(
+    "onex_build_shard_retries_total",
+    "Build shards re-run serially after a pool-worker crash",
+)
+_BUILD_LAST = REGISTRY.gauge(
+    "onex_build_last_seconds", "Duration of the most recent base build"
+)
 
 __all__ = [
     "BaseStats",
@@ -684,7 +711,12 @@ class OnexBase:
                     )
                 if payload is None:
                     continue
-                bucket = self._assemble_bucket(payload)
+                with span(
+                    "build.merge_shard",
+                    length=payload["length"],
+                    windows=payload["windows"],
+                ):
+                    bucket = self._assemble_bucket(payload)
                 self._buckets[bucket.length] = bucket
                 total_subsequences += payload["windows"]
                 total_groups += bucket.group_count
@@ -734,6 +766,15 @@ class OnexBase:
                             # process pool); each failed shard re-runs
                             # serially in the parent, bit-identically.
                             self.build_shard_retries += 1
+                            _BUILD_RETRIES.inc()
+                            log_event(
+                                _LOG,
+                                "warning",
+                                "build.shard_retry",
+                                length=length,
+                                error=str(exc),
+                                error_type=type(exc).__name__,
+                            )
                             try:
                                 yield _build_length_shard(
                                     series_values,
@@ -754,13 +795,19 @@ class OnexBase:
                 "no subsequences in the configured length range "
                 f"[{cfg.min_length}, {cfg.max_length}]"
             )
+        build_seconds = time.perf_counter() - started
         self._stats = BaseStats(
             subsequences=total_subsequences,
             groups=total_groups,
             lengths=len(self._buckets),
-            build_seconds=time.perf_counter() - started,
+            build_seconds=build_seconds,
             per_length=tuple(per_length),
         )
+        _BUILDS_TOTAL.inc()
+        _BUILD_WINDOWS.inc(total_subsequences)
+        _BUILD_GROUPS.inc(total_groups)
+        _BUILD_SECONDS.inc(build_seconds)
+        _BUILD_LAST.set(build_seconds)
         return self._stats
 
     def _assemble_bucket(self, payload: dict) -> LengthBucket:

@@ -39,6 +39,10 @@ class LoadedDataset:
     processor: QueryProcessor
     stats: BaseStats
     ingestor: object | None = None
+    #: Structure fingerprint captured at load time — the determinism
+    #: handle surfaced by ``GET /health`` (incremental ingestion after
+    #: load intentionally does not refresh it).
+    fingerprint: str | None = None
 
 
 class OnexEngine:
@@ -108,6 +112,7 @@ class OnexEngine:
             base=base,
             processor=QueryProcessor(base, self._query_config),
             stats=stats,
+            fingerprint=base.structure_fingerprint(),
         )
         return stats
 
@@ -227,6 +232,21 @@ class OnexEngine:
 
     def stats(self, name: str) -> BaseStats:
         return self._entry(name).stats
+
+    def fingerprint(self, name: str) -> str | None:
+        """The dataset's load-time base structure fingerprint."""
+        return self._entry(name).fingerprint
+
+    def fingerprints(self) -> dict[str, str | None]:
+        """Load-time structure fingerprints of every loaded dataset."""
+        return {
+            name: entry.fingerprint
+            for name, entry in sorted(self._loaded.items())
+        }
+
+    def last_query_stats(self, name: str) -> dict:
+        """The dataset processor's most recent ``QueryStats`` counters."""
+        return self._entry(name).processor.last_stats.as_dict()
 
     # ------------------------------------------------------------------
     # Exploratory operations (§3.3)

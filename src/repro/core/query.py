@@ -70,6 +70,7 @@ from __future__ import annotations
 import heapq
 import math
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 
@@ -90,6 +91,8 @@ from repro.distances.lower_bounds import lb_keogh_batch, lb_kim, lb_kim_batch
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import DeadlineExceeded, ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.testing import faults
 
 __all__ = ["Match", "QueryProcessor", "QueryStats"]
@@ -160,6 +163,34 @@ class QueryStats:
     def merge(self, other: "QueryStats") -> None:
         for name in vars(other):
             setattr(self, name, getattr(self, name) + getattr(other, name))
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+# Registry-backed totals: every completed query folds its QueryStats in,
+# so ``last_stats`` stays the per-call view while /metrics exposes the
+# process-wide accumulation (DESIGN.md §7).  ``event`` label values are
+# the closed set of QueryStats field names.
+_QUERIES_TOTAL = REGISTRY.counter(
+    "onex_queries_total", "Completed query-layer operations by op and mode"
+)
+_QUERY_MS = REGISTRY.histogram(
+    "onex_query_ms", "Query-layer wall time per operation (milliseconds)"
+)
+_CASCADE_TOTAL = REGISTRY.counter(
+    "onex_query_cascade_total",
+    "Pruning-cascade work counters summed over queries "
+    "(event = QueryStats field)",
+)
+
+
+def _publish_query(op: str, mode: str, stats: QueryStats, started: float) -> None:
+    _QUERIES_TOTAL.inc(op=op, mode=mode)
+    _QUERY_MS.observe((time.perf_counter() - started) * 1000.0, op=op)
+    for name, value in vars(stats).items():
+        if value:
+            _CASCADE_TOTAL.inc(float(value), event=name)
 
 
 @dataclass(order=True)
@@ -233,13 +264,23 @@ class QueryProcessor:
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
         q = self._resolve_query(query, normalize)
         buckets = self._select_buckets(lengths)
         stats = QueryStats()
-        matches = self._run_search(
-            q, buckets, k, stats, deadline=self._deadline(deadline)
-        )
+        with span(
+            "query.k_best", k=k, mode=self._config.mode, qlen=int(q.shape[0])
+        ) as sp:
+            matches = self._run_search(
+                q, buckets, k, stats, deadline=self._deadline(deadline)
+            )
+            sp.add(
+                groups_pruned=stats.groups_pruned,
+                rep_dtw_calls=stats.rep_dtw_calls,
+                member_dtw_calls=stats.member_dtw_calls,
+            )
         self.last_stats = stats
+        _publish_query("k_best", self._config.mode, stats, started)
         return matches
 
     def batch_matches(
@@ -270,6 +311,7 @@ class QueryProcessor:
         """
         if k < 1:
             raise ValidationError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
         deadline = self._deadline(deadline)
         resolved = [self._resolve_query(query, normalize) for query in queries]
         stats = QueryStats()
@@ -295,29 +337,38 @@ class QueryProcessor:
                 else None
             )
             try:
-                results, per_query = self._batch_search_exact(
-                    resolved, buckets, k, pool, deadline
-                )
+                with span(
+                    "query.batch", queries=len(resolved), k=k, mode="exact"
+                ):
+                    results, per_query = self._batch_search_exact(
+                        resolved, buckets, k, pool, deadline
+                    )
             finally:
                 if pool is not None:
                     pool.shutdown(wait=True)
             for one in per_query:
                 stats.merge(one)
             self.last_stats = stats
+            _publish_query("batch", "exact", stats, started)
             return results
 
         def run_one(q: np.ndarray) -> tuple[list[Match], QueryStats]:
             one = QueryStats()
             return self._run_search(q, buckets, k, one, deadline=deadline), one
 
-        if max_workers > 1 and len(resolved) > 1:
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                outcomes = list(pool.map(run_one, resolved))
-        else:
-            outcomes = [run_one(q) for q in resolved]
+        # Fast-mode fan-out: worker threads never see the caller's
+        # thread-local trace, so only this enclosing span records —
+        # per-query telemetry still merges through the stats objects.
+        with span("query.batch", queries=len(resolved), k=k, mode="fast"):
+            if max_workers > 1 and len(resolved) > 1:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    outcomes = list(pool.map(run_one, resolved))
+            else:
+                outcomes = [run_one(q) for q in resolved]
         for _, one in outcomes:
             stats.merge(one)
         self.last_stats = stats
+        _publish_query("batch", "fast", stats, started)
         return [matches for matches, _ in outcomes]
 
     def _batch_search_exact(
@@ -440,9 +491,10 @@ class QueryProcessor:
                 g_best = int(np.argmin(glb[b_best][qi]))
                 refined[b_best][qi, g_best] = True
                 plan.setdefault((b_best, q.shape[0]), []).append((qi, [g_best]))
-            self._batch_refine_stacked(
-                plan, live, qs, k, heaps, stats, envs, run_jobs
-            )
+            with span("batch.seed", queries=Q):
+                self._batch_refine_stacked(
+                    plan, live, qs, k, heaps, stats, envs, run_jobs
+                )
         if barrier("batch seed refinement"):
             return assemble(True)
 
@@ -485,11 +537,14 @@ class QueryProcessor:
                 job_meta.append(
                     (b_i, max_path, np.concatenate(owner_q), np.concatenate(owner_g))
                 )
-        for raws, (b_i, max_path, oq, og) in zip(run_jobs(jobs), job_meta):
-            bucket = live[b_i]
-            tight[b_i][oq, og] = (
-                np.maximum(raws - max_path * bucket.cheb_radii[og], 0.0) / max_path
-            )
+        with span("batch.rep_dtw", jobs=len(jobs)) as sp:
+            for raws, (b_i, max_path, oq, og) in zip(run_jobs(jobs), job_meta):
+                bucket = live[b_i]
+                tight[b_i][oq, og] = (
+                    np.maximum(raws - max_path * bucket.cheb_radii[og], 0.0)
+                    / max_path
+                )
+                sp.add(pairs=int(oq.size))
         if barrier("batch representative DTW"):
             return assemble(True)
 
@@ -510,7 +565,12 @@ class QueryProcessor:
                     g_list = [int(g) for g in np.nonzero(candidates)[0]]
                     if g_list:
                         plan.setdefault((b_i, qlen), []).append((qi, g_list))
-        self._batch_refine_stacked(plan, live, qs, k, heaps, stats, envs, run_jobs)
+        with span(
+            "batch.refine", units=sum(len(v) for v in plan.values())
+        ):
+            self._batch_refine_stacked(
+                plan, live, qs, k, heaps, stats, envs, run_jobs
+            )
         return assemble(False)
 
     def _batch_refine_stacked(
@@ -624,15 +684,37 @@ class QueryProcessor:
         """
         if not threshold > 0:
             raise ValidationError(f"threshold must be > 0, got {threshold}")
+        started = time.perf_counter()
         deadline = self._deadline(deadline)
         q = self._resolve_query(query, normalize)
+        stats = QueryStats()
+        with span(
+            "query.threshold", threshold=float(threshold), mode=self._config.mode
+        ):
+            out, partial = self._threshold_scan(
+                q, threshold, stats, self._select_buckets(lengths), deadline
+            )
+        self.last_stats = stats
+        _publish_query("threshold", self._config.mode, stats, started)
+        if partial:
+            out = [replace(m, exact=False) for m in out]
+        return sorted(out, key=lambda m: (m.distance, m.ref))
+
+    def _threshold_scan(
+        self,
+        q: np.ndarray,
+        threshold: float,
+        stats: QueryStats,
+        buckets: list[LengthBucket],
+        deadline: Deadline | None,
+    ) -> tuple[list[Match], bool]:
+        """The per-bucket threshold sweep behind :meth:`matches_within`."""
         qlen = q.shape[0]
         cfg = self._config
-        stats = QueryStats()
         envelopes = QueryEnvelopeCache(q)
         out: list[Match] = []
         partial = False
-        for bucket in self._select_buckets(lengths):
+        for bucket in buckets:
             faults.fire("query.refine_unit")
             if deadline is not None and deadline.expired:
                 if deadline.allow_partial and out:
@@ -677,15 +759,17 @@ class QueryProcessor:
             stats.groups_pruned += int(candidates.size - keep.sum())
             g_list = [int(g) for g in candidates[keep]]
             if g_list:
-                out.extend(
-                    self._threshold_refine(
-                        q, bucket, g_list, threshold, stats, envelopes
+                with span(
+                    "cascade.threshold_bucket",
+                    length=bucket.length,
+                    groups=len(g_list),
+                ):
+                    out.extend(
+                        self._threshold_refine(
+                            q, bucket, g_list, threshold, stats, envelopes
+                        )
                     )
-                )
-        self.last_stats = stats
-        if partial:
-            out = [replace(m, exact=False) for m in out]
-        return sorted(out, key=lambda m: (m.distance, m.ref))
+        return out, partial
 
     # ------------------------------------------------------------------
     # Deadline handling
@@ -954,21 +1038,36 @@ class QueryProcessor:
         also the ablation reference.
         """
         stats.groups_refined += len(g_list)
-        if self._scalar_unit(bucket, g_list):
-            for g_idx in g_list:
-                self._refine_group_scalar(q, bucket, g_idx, k, heap, stats)
-            return
-        rows, refs, group_of = self._stacked_members(bucket, g_list)
-        max_path = q.shape[0] + bucket.length - 1
-        cutoff = self._cutoff(heap, k)  # cascade never touches the heap
-        survivors, raws, plens = self._cascade_rows(
-            q, bucket, rows, stats, envelopes, cut=cutoff, scale=max_path
-        )
-        if not survivors.size:
-            return
-        self._push_batch_candidates(
-            heap, k, cutoff, bucket.length, refs, group_of, survivors, raws, plens
-        )
+        members = sum(len(bucket.groups[g].members) for g in g_list)
+        with span(
+            "cascade.refine",
+            length=bucket.length,
+            groups=len(g_list),
+            members=members,
+        ):
+            if self._scalar_unit(bucket, g_list):
+                for g_idx in g_list:
+                    self._refine_group_scalar(q, bucket, g_idx, k, heap, stats)
+                return
+            rows, refs, group_of = self._stacked_members(bucket, g_list)
+            max_path = q.shape[0] + bucket.length - 1
+            cutoff = self._cutoff(heap, k)  # cascade never touches the heap
+            survivors, raws, plens = self._cascade_rows(
+                q, bucket, rows, stats, envelopes, cut=cutoff, scale=max_path
+            )
+            if not survivors.size:
+                return
+            self._push_batch_candidates(
+                heap,
+                k,
+                cutoff,
+                bucket.length,
+                refs,
+                group_of,
+                survivors,
+                raws,
+                plens,
+            )
 
     @staticmethod
     def _push_batch_candidates(
@@ -1109,14 +1208,17 @@ class QueryProcessor:
         qlen = q.shape[0]
         cfg = self._config
         bound_vecs: list[np.ndarray] = []
-        for bucket in live:
-            if eager:
-                raw = dtw_distance_batch(q, bucket.centroids, window=cfg.window)
-                stats.rep_dtw_calls += bucket.group_count
-                bound_vecs.append(raw)
-            else:
-                band = effective_band(qlen, bucket.length, cfg.window)
-                bound_vecs.append(bucket.rep_summary.cheap_bounds(q, band))
+        with span("cascade.rep_bounds", eager=eager, buckets=len(live)):
+            for bucket in live:
+                if eager:
+                    raw = dtw_distance_batch(
+                        q, bucket.centroids, window=cfg.window
+                    )
+                    stats.rep_dtw_calls += bucket.group_count
+                    bound_vecs.append(raw)
+                else:
+                    band = effective_band(qlen, bucket.length, cfg.window)
+                    bound_vecs.append(bucket.rep_summary.cheap_bounds(q, band))
         bounds = np.concatenate(bound_vecs)
         owners = np.concatenate(
             [np.full(b.group_count, i, dtype=np.int64) for i, b in enumerate(live)]
@@ -1219,24 +1321,26 @@ class QueryProcessor:
                 ptr += take.size
                 chunk *= 2
                 take_owners = owners[take]
-                for b_i in np.unique(take_owners):
-                    sel = gids[take[take_owners == b_i]]
-                    bucket = live[b_i]
-                    raws = dtw_distance_batch(
-                        q, bucket.centroids[sel], window=cfg.window
-                    )
-                    stats.rep_dtw_calls += sel.size
-                    tight = (
-                        np.maximum(
-                            raws - max_paths[b_i] * bucket.cheb_radii[sel], 0.0
+                with span("cascade.rep_dtw", batch=int(take.size)):
+                    for b_i in np.unique(take_owners):
+                        sel = gids[take[take_owners == b_i]]
+                        bucket = live[b_i]
+                        raws = dtw_distance_batch(
+                            q, bucket.centroids[sel], window=cfg.window
                         )
-                        / max_paths[b_i]
-                    )
-                    for pos in range(sel.size):
-                        heapq.heappush(
-                            exact_heap,
-                            (float(tight[pos]), int(b_i), int(sel[pos])),
+                        stats.rep_dtw_calls += sel.size
+                        tight = (
+                            np.maximum(
+                                raws - max_paths[b_i] * bucket.cheb_radii[sel],
+                                0.0,
+                            )
+                            / max_paths[b_i]
                         )
+                        for pos in range(sel.size):
+                            heapq.heappush(
+                                exact_heap,
+                                (float(tight[pos]), int(b_i), int(sel[pos])),
+                            )
             else:
                 # Drain verified groups (tight bound within the cutoff and
                 # under every unevaluated cheap bound) into one stacked
@@ -1338,18 +1442,20 @@ class QueryProcessor:
                 ptr += take.size
                 chunk *= 2
                 take_owners = owners[take]
-                for b_i in np.unique(take_owners):
-                    sel = gids[take[take_owners == b_i]]
-                    bucket = live[b_i]
-                    raws = dtw_distance_batch(
-                        q, bucket.centroids[sel], window=cfg.window
-                    )
-                    stats.rep_dtw_calls += sel.size
-                    est = raws / scales[b_i]
-                    for pos in range(sel.size):
-                        heapq.heappush(
-                            exact_heap, (float(est[pos]), int(b_i), int(sel[pos]))
+                with span("cascade.rep_dtw", batch=int(take.size)):
+                    for b_i in np.unique(take_owners):
+                        sel = gids[take[take_owners == b_i]]
+                        bucket = live[b_i]
+                        raws = dtw_distance_batch(
+                            q, bucket.centroids[sel], window=cfg.window
                         )
+                        stats.rep_dtw_calls += sel.size
+                        est = raws / scales[b_i]
+                        for pos in range(sel.size):
+                            heapq.heappush(
+                                exact_heap,
+                                (float(est[pos]), int(b_i), int(sel[pos])),
+                            )
             if not exact_heap:
                 break
             _, b_i, g_idx = heapq.heappop(exact_heap)

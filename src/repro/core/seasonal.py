@@ -27,6 +27,7 @@ collection's base to cover the requested window length.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +40,19 @@ from repro.data.timeseries import TimeSeries
 from repro.distances.dtw import dtw_distance, dtw_distance_condensed
 from repro.distances.lower_bounds import lb_pairwise_table
 from repro.exceptions import DeadlineExceeded, ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.testing import faults
+
+# Shared across the analytics modules (seasonal / sensitivity /
+# threshold): one labelled counter + latency histogram, idempotently
+# re-registered by each importer.
+_ANALYTICS_TOTAL = REGISTRY.counter(
+    "onex_analytics_total", "Completed analytics operations by op"
+)
+_ANALYTICS_MS = REGISTRY.histogram(
+    "onex_analytics_ms", "Analytics operation wall time (milliseconds)"
+)
 
 __all__ = ["SeasonalPattern", "find_seasonal_patterns"]
 
@@ -214,12 +227,13 @@ class _PairwiseWorstFinder:
             full = take.size
             take = take[upper[take] >= skip_bound]
             if take.size:
-                raws, plens = dtw_distance_condensed(
-                    self._rows,
-                    pairs=(gi[take], gj[take]),
-                    window=self._window,
-                    with_path_length=True,
-                )
+                with span("seasonal.pair_chunk", pairs=int(take.size)):
+                    raws, plens = dtw_distance_condensed(
+                        self._rows,
+                        pairs=(gi[take], gj[take]),
+                        window=self._window,
+                        with_path_length=True,
+                    )
                 values = raws / plens
                 self._exact[gi[take], gj[take]] = values
                 self._exact[gj[take], gi[take]] = values
@@ -370,8 +384,10 @@ def find_seasonal_patterns(
     matrix, refs = dataset.subsequence_matrix(length, step=step)
     if remove_level:
         matrix = matrix - matrix.mean(axis=1, keepdims=True)
+    started = time.perf_counter()
     row_of = {ref: k for k, ref in enumerate(refs)}
-    groups = cluster_subsequences(matrix, refs, ed_threshold / 2.0)
+    with span("seasonal.cluster", windows=len(refs)):
+        groups = cluster_subsequences(matrix, refs, ed_threshold / 2.0)
     verify = _verify_batched if use_batching else _verify_scalar
 
     patterns: list[SeasonalPattern] = []
@@ -397,15 +413,16 @@ def find_seasonal_patterns(
             continue
         chosen_rows = matrix[[row_of[r] for r in chosen]]
         try:
-            verified = verify(
-                chosen,
-                group.centroid,
-                chosen_rows,
-                threshold,
-                window,
-                min_occurrences,
-                deadline,
-            )
+            with span("seasonal.group", occurrences=len(chosen)):
+                verified = verify(
+                    chosen,
+                    group.centroid,
+                    chosen_rows,
+                    threshold,
+                    window,
+                    min_occurrences,
+                    deadline,
+                )
         except DeadlineExceeded:
             if deadline is not None and deadline.allow_partial:
                 # Patterns verified so far are complete; a half-verified
@@ -427,4 +444,6 @@ def find_seasonal_patterns(
     patterns.sort(key=lambda p: (-p.occurrences, p.max_pairwise_dtw))
     if max_patterns is not None:
         patterns = patterns[:max_patterns]
+    _ANALYTICS_TOTAL.inc(op="seasonal")
+    _ANALYTICS_MS.observe((time.perf_counter() - started) * 1000.0, op="seasonal")
     return patterns

@@ -32,6 +32,7 @@ renders as a sensitivity band.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,7 +48,16 @@ from repro.distances.envelope import keogh_envelope
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
 from repro.exceptions import ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.testing import faults
+
+_ANALYTICS_TOTAL = REGISTRY.counter(
+    "onex_analytics_total", "Completed analytics operations by op"
+)
+_ANALYTICS_MS = REGISTRY.histogram(
+    "onex_analytics_ms", "Analytics operation wall time (milliseconds)"
+)
 
 __all__ = ["SensitivityPoint", "SensitivityProfile", "similarity_profile"]
 
@@ -138,9 +148,26 @@ def similarity_profile(
     chosen = base.buckets() if lengths is None else [
         base.bucket(int(n)) for n in sorted(set(lengths))
     ]
-    if use_batching:
-        return _profile_batched(base, q, grid, chosen, window, verify, deadline)
-    return _profile_scalar(base, q, grid, chosen, window, verify, deadline)
+    started = time.perf_counter()
+    with span(
+        "sensitivity.profile",
+        buckets=len(chosen),
+        thresholds=len(grid),
+        verify=verify,
+    ):
+        if use_batching:
+            profile = _profile_batched(
+                base, q, grid, chosen, window, verify, deadline
+            )
+        else:
+            profile = _profile_scalar(
+                base, q, grid, chosen, window, verify, deadline
+            )
+    _ANALYTICS_TOTAL.inc(op="sensitivity")
+    _ANALYTICS_MS.observe(
+        (time.perf_counter() - started) * 1000.0, op="sensitivity"
+    )
+    return profile
 
 
 def _check_bucket_deadline(
@@ -204,17 +231,22 @@ def _profile_batched(
         # test has every member's scalar lower bound above the grid.
         alive = (cheap - max_path * bucket.cheb_radii) / max_path <= st_max
         bucket_rows: list[np.ndarray] = []
-        for g_idx in np.nonzero(alive)[0]:
-            group = bucket.groups[int(g_idx)]
-            rep = dtw_path(q, group.centroid, window=window)
-            mult = path_multiplicities(rep.path, length, axis=1)
-            rows = bucket.member_rows(int(g_idx))
-            diffs = np.abs(rows - group.centroid)
-            slack = diffs @ mult
-            cheb = diffs.max(axis=1)
-            uppers.append((rep.distance + slack) / min_path)
-            lowers.append(np.maximum(rep.distance - max_path * cheb, 0.0) / max_path)
-            bucket_rows.append(rows)
+        with span(
+            "sensitivity.bucket", length=length, groups=int(alive.sum())
+        ):
+            for g_idx in np.nonzero(alive)[0]:
+                group = bucket.groups[int(g_idx)]
+                rep = dtw_path(q, group.centroid, window=window)
+                mult = path_multiplicities(rep.path, length, axis=1)
+                rows = bucket.member_rows(int(g_idx))
+                diffs = np.abs(rows - group.centroid)
+                slack = diffs @ mult
+                cheb = diffs.max(axis=1)
+                uppers.append((rep.distance + slack) / min_path)
+                lowers.append(
+                    np.maximum(rep.distance - max_path * cheb, 0.0) / max_path
+                )
+                bucket_rows.append(rows)
         if verify and bucket_rows:
             stacked = (
                 bucket_rows[0]

@@ -28,6 +28,12 @@ from repro.core.validation import as_int_arg
 from repro.data.dataset import TimeSeriesDataset
 from repro.distances.normalize import RunningStats
 from repro.exceptions import DatasetError, ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+
+_ANALYTICS_TOTAL = REGISTRY.counter(
+    "onex_analytics_total", "Completed analytics operations by op"
+)
 
 __all__ = ["ThresholdRecommendation", "recommend_thresholds"]
 
@@ -160,10 +166,14 @@ def recommend_thresholds(
     left = rng.integers(0, n, size=count)
     right = rng.integers(0, n - 1, size=count)
     right = np.where(right >= left, right + 1, right)  # distinct partner
-    if sampler is None:
-        distances = np.abs(matrix[left] - matrix[right]).mean(axis=1)
-    else:
-        distances = np.abs(sampler.rows(left) - sampler.rows(right)).mean(axis=1)
+    with span("threshold.sample", pairs=int(count), length=length):
+        if sampler is None:
+            distances = np.abs(matrix[left] - matrix[right]).mean(axis=1)
+        else:
+            distances = np.abs(
+                sampler.rows(left) - sampler.rows(right)
+            ).mean(axis=1)
+    _ANALYTICS_TOTAL.inc(op="thresholds")
 
     stats = RunningStats()
     stats.extend(distances)

@@ -19,6 +19,11 @@ Server-reported application errors arrive as
 :class:`~repro.exceptions.RemoteError` carrying the server's error type
 and structured details (e.g. a remote ``DeadlineExceeded``'s progress
 snapshot).
+
+Every call mints a ``request_id`` (stable across that call's retries, so
+server logs correlate re-sends of one logical request); the most recent
+one is exposed as ``last_request_id`` and the server's echo as
+``last_response_request_id``.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import urllib.request
 from typing import Any
 
 from repro.exceptions import OverloadedError, ProtocolError, RemoteError
+from repro.obs.trace import new_request_id
 from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
 
 __all__ = ["OnexClient"]
@@ -63,6 +69,10 @@ class OnexClient:
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
         self.retries_performed = 0
+        #: Correlation ID minted for the most recent ``call()``.
+        self.last_request_id: str | None = None
+        #: ``request_id`` echoed in the most recent response envelope.
+        self.last_response_request_id: str | None = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -76,7 +86,11 @@ class OnexClient:
         retry budget, and the transport error when the connection fails
         on a non-retryable operation.
         """
-        request = Request(op, dict(params or {}))  # validates locally
+        # One ID per logical call, re-sent verbatim on every retry, so
+        # the server can correlate replays of the same request.
+        request_id = new_request_id()
+        request = Request(op, dict(params or {}), request_id=request_id)
+        self.last_request_id = request_id
         body = request.to_json().encode()
         retryable = op in READ_ONLY_OPERATIONS
         attempt = 0
@@ -100,6 +114,7 @@ class OnexClient:
                 attempt += 1
                 continue
             response = Response.from_json(payload)
+            self.last_response_request_id = response.request_id
             if response.ok:
                 return response.result
             raise RemoteError(
@@ -120,6 +135,14 @@ class OnexClient:
             if exc.code == 503:  # draining: a well-formed "not ready"
                 return False
             raise
+
+    def metrics(self) -> str:
+        """The server's ``/metrics`` Prometheus exposition text (never
+        retried); parse with :func:`repro.obs.metrics.parse_exposition`."""
+        with urllib.request.urlopen(
+            f"{self.url}/metrics", timeout=self.timeout_s
+        ) as resp:
+            return resp.read().decode()
 
     # ------------------------------------------------------------------
     # Transport

@@ -7,11 +7,26 @@ Endpoints:
   are application results); malformed envelopes map to 400; requests the
   admission gate sheds map to 503 with a ``Retry-After`` header and an
   ``OverloadedError`` envelope.
-- ``GET /health`` — liveness plus loaded dataset names, in-flight and
-  shed counts, and per-operation p50/p99 latency from a ring buffer.
+- ``GET /health`` — liveness plus loaded dataset names (with build-base
+  fingerprints), server version and uptime, in-flight and shed counts,
+  and per-operation p50/p99 latency from a ring buffer.
 - ``GET /ready`` — 200 while the gate admits requests, 503 once the
   server is draining for shutdown (load balancers stop routing here
   before ``stop()`` aborts anything).
+- ``GET /metrics`` — the process-wide observability registry
+  (:mod:`repro.obs.metrics`) in Prometheus text exposition format:
+  engine counters (queries, cascade work, builds, streaming) plus the
+  server-side request counter/latency histogram and gate gauges.
+
+Every ``/api`` response carries a correlation ID: the client's
+``request_id`` when the envelope had one, else one minted here before
+the service runs.  It is echoed in the JSON envelope, the
+``X-Request-Id`` header, and the structured log lines the request
+produces.
+
+Probe endpoints (``/health``, ``/ready``, ``/metrics``) bypass the
+admission gate on purpose: an overloaded or draining server must still
+answer its scrapers.
 
 Concurrency model: one reader/writer lock per loaded dataset, plus a
 registry-level lock guarding the dataset table itself.  Read-only
@@ -49,14 +64,19 @@ import threading
 import time
 from collections import deque
 from contextlib import contextmanager
+from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+import repro
 from repro.exceptions import (
     OverloadedError,
     ProtocolError,
     ShutdownTimeoutError,
     ValidationError,
 )
+from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import new_request_id
 from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
 from repro.server.service import OnexService
 from repro.testing import faults
@@ -67,6 +87,29 @@ __all__ = [
     "OnexHttpServer",
     "ReadWriteLock",
 ]
+
+_LOG = get_logger("server")
+
+_REQUESTS_TOTAL = REGISTRY.counter(
+    "onex_server_requests_total",
+    "HTTP API requests by operation and response status code",
+)
+_REQUEST_MS = REGISTRY.histogram(
+    "onex_server_request_ms",
+    "HTTP API request wall time per operation (milliseconds)",
+)
+_SHED_TOTAL = REGISTRY.counter(
+    "onex_server_shed_total", "Requests rejected by the admission gate"
+)
+_IN_FLIGHT = REGISTRY.gauge(
+    "onex_server_in_flight", "Requests currently executing or queued"
+)
+_UPTIME = REGISTRY.gauge(
+    "onex_server_uptime_seconds", "Seconds since the HTTP server was created"
+)
+_INFO = REGISTRY.gauge(
+    "onex_server_info", "Constant 1; the version label carries the build"
+)
 
 
 class ReadWriteLock:
@@ -303,7 +346,10 @@ class _ServerMetrics:
 
     Rings are bounded (*ring_size* most recent samples per operation), so
     the health endpoint's p50/p99 reflect recent behaviour and memory
-    stays O(operations), not O(requests).
+    stays O(operations), not O(requests).  ``record`` also publishes each
+    sample to the process-wide registry (``onex_server_requests_total`` /
+    ``onex_server_request_ms``), making the ring a bounded view over the
+    same stream ``/metrics`` exposes cumulatively.
     """
 
     def __init__(self, ring_size: int = 256) -> None:
@@ -312,7 +358,9 @@ class _ServerMetrics:
         self._rings: dict[str, deque] = {}
         self.handled = 0
 
-    def record(self, op: str, elapsed_ms: float) -> None:
+    def record(self, op: str, elapsed_ms: float, code: int = 200) -> None:
+        _REQUESTS_TOTAL.inc(op=op, code=str(code))
+        _REQUEST_MS.observe(float(elapsed_ms), op=op)
         with self._mutex:
             self.handled += 1
             ring = self._rings.get(op)
@@ -333,8 +381,16 @@ class _ServerMetrics:
             return out
 
 
-def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMetrics):
+def _make_handler(
+    service: OnexService,
+    gate: AdmissionGate,
+    metrics: _ServerMetrics,
+    uptime_s=None,
+):
     locks = DatasetLockManager(known=lambda: service.engine.dataset_names)
+    if uptime_s is None:
+        started = time.monotonic()
+        uptime_s = lambda: time.monotonic() - started  # noqa: E731
 
     class Handler(BaseHTTPRequestHandler):
         def log_message(self, fmt, *args):  # silence request logging
@@ -350,22 +406,46 @@ def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMet
             self.end_headers()
             self.wfile.write(body)
 
+        def _send_text(self, status: int, text: str, content_type: str) -> None:
+            body = text.encode()
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
         def do_GET(self):  # noqa: N802 - stdlib naming
-            # Health and readiness bypass the admission gate on purpose:
-            # an overloaded or draining server must still answer probes.
+            # Probes bypass the admission gate on purpose: an overloaded
+            # or draining server must still answer health checks and
+            # scrapers.
             if self.path == "/health":
                 with locks.registry_read():
                     datasets = service.engine.dataset_names
+                    fingerprints = service.engine.fingerprints()
                 self._send(
                     200,
                     {
                         "status": "ok",
+                        "version": repro.__version__,
+                        "uptime_s": round(uptime_s(), 3),
                         "datasets": datasets,
+                        "fingerprints": fingerprints,
                         "in_flight": gate.in_flight,
                         "shed": gate.shed,
                         "handled": metrics.handled,
                         "latency_ms": metrics.latency_snapshot(),
                     },
+                )
+            elif self.path == "/metrics":
+                # Point-in-time gauges are set at scrape; counters and
+                # histograms accumulate at their sources.
+                _IN_FLIGHT.set(gate.in_flight)
+                _UPTIME.set(uptime_s())
+                _INFO.set(1.0, version=repro.__version__)
+                self._send_text(
+                    200,
+                    REGISTRY.render(),
+                    "text/plain; version=0.0.4; charset=utf-8",
                 )
             elif self.path == "/ready":
                 ready = gate.is_open
@@ -414,6 +494,13 @@ def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMet
                     ).to_dict(),
                 )
                 return
+            if request.request_id is None:
+                # Mint the correlation ID before anything can fail, so
+                # every outcome below — shed, fault, success — carries
+                # one.  (The service also mints defensively when driven
+                # without this front end.)
+                request = replace(request, request_id=new_request_id())
+            rid_header = {"X-Request-Id": request.request_id}
             if not gate.try_acquire():
                 retry_after = 1
                 shed = OverloadedError(
@@ -421,10 +508,21 @@ def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMet
                     f"{gate.max_queue} queued); retry after {retry_after}s",
                     retry_after=retry_after,
                 )
+                _SHED_TOTAL.inc()
+                _REQUESTS_TOTAL.inc(op=request.op, code="503")
+                log_event(
+                    _LOG,
+                    "warning",
+                    "server.shed",
+                    op=request.op,
+                    request_id=request.request_id,
+                    in_flight=gate.max_in_flight,
+                    queue=gate.max_queue,
+                )
                 self._send(
                     503,
-                    Response.failure(shed).to_dict(),
-                    headers={"Retry-After": str(retry_after)},
+                    Response.failure(shed).with_request_id(request.request_id).to_dict(),
+                    headers={"Retry-After": str(retry_after), **rid_header},
                 )
                 return
             try:
@@ -437,10 +535,13 @@ def _make_handler(service: OnexService, gate: AdmissionGate, metrics: _ServerMet
                 )
                 status, payload = 200, response.to_dict()
             except faults.FaultInjectedError as exc:
-                status, payload = 500, Response.internal_error(exc).to_dict()
+                _REQUESTS_TOTAL.inc(op=request.op, code="500")
+                status, payload = 500, Response.internal_error(exc).with_request_id(
+                    request.request_id
+                ).to_dict()
             finally:
                 gate.release()
-            self._send(status, payload)
+            self._send(status, payload, headers=rid_header)
 
     return Handler
 
@@ -468,8 +569,15 @@ class OnexHttpServer:
         self.gate = AdmissionGate(max_in_flight, max_queue)
         self.metrics = _ServerMetrics()
         self._drain_timeout = float(drain_timeout)
+        self.started_monotonic = time.monotonic()
         self._httpd = ThreadingHTTPServer(
-            (host, port), _make_handler(self.service, self.gate, self.metrics)
+            (host, port),
+            _make_handler(
+                self.service,
+                self.gate,
+                self.metrics,
+                uptime_s=lambda: time.monotonic() - self.started_monotonic,
+            ),
         )
         self._thread: threading.Thread | None = None
 
@@ -488,6 +596,7 @@ class OnexHttpServer:
             return self
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
         self._thread.start()
+        log_event(_LOG, "info", "server.started", url=self.url)
         return self
 
     def stop(self) -> dict | None:
@@ -515,6 +624,13 @@ class OnexHttpServer:
                 f"HTTP serve thread failed to exit within {self._drain_timeout:g}s "
                 f"of shutdown ({leftover} requests still in flight)"
             )
+        log_event(
+            _LOG,
+            "info",
+            "server.stopped",
+            drained=in_flight - leftover,
+            aborted=leftover,
+        )
         return {"drained": in_flight - leftover, "aborted": leftover}
 
     def __enter__(self) -> "OnexHttpServer":

@@ -1,16 +1,19 @@
 """Typed JSON envelopes for the client/server API.
 
-A request is ``{"op": <operation>, "params": {...}}``; a response is
-``{"ok": true, "result": ...}`` or ``{"ok": false, "error": {"type": ...,
-"message": ...}}``.  Parsing is strict: unknown operations, missing
-parameters, and non-object envelopes raise :class:`ProtocolError` before
-any engine code runs.
+A request is ``{"op": <operation>, "params": {...}}`` with an optional
+``"request_id"`` correlation string; a response is ``{"ok": true,
+"result": ...}`` or ``{"ok": false, "error": {"type": ..., "message":
+...}}``, echoing the request's ``request_id`` when one was assigned
+(clients mint one per call; the server mints one for bare requests).
+Parsing is strict: unknown operations, missing parameters, and
+non-object envelopes raise :class:`ProtocolError` before any engine
+code runs.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.exceptions import ProtocolError
@@ -62,13 +65,19 @@ OPERATIONS: dict[str, tuple[str, ...]] = {
 #:     result — matches flagged ``"exact": false`` — instead of erroring.
 #:     The sensitivity profile and ``load_dataset`` always raise: a
 #:     partial profile or a partially built base would be misleading.
+#: ``explain``
+#:     Boolean (query family + analytics).  The operation runs inside an
+#:     activated trace and the result payload carries an ``"explain"``
+#:     object — request ID, span tree, and cascade counters.  Tracing is
+#:     pure observation: the matches are bit-identical to the
+#:     unexplained call (property-tested).
 OPERATION_OPTIONS: dict[str, tuple[str, ...]] = {
-    "best_match": ("timeout_ms", "allow_partial"),
-    "k_best": ("timeout_ms", "allow_partial"),
-    "query_batch": ("timeout_ms", "allow_partial"),
-    "matches_within": ("timeout_ms", "allow_partial"),
-    "seasonal": ("timeout_ms", "allow_partial"),
-    "sensitivity": ("timeout_ms",),
+    "best_match": ("timeout_ms", "allow_partial", "explain"),
+    "k_best": ("timeout_ms", "allow_partial", "explain"),
+    "query_batch": ("timeout_ms", "allow_partial", "explain"),
+    "matches_within": ("timeout_ms", "allow_partial", "explain"),
+    "seasonal": ("timeout_ms", "allow_partial", "explain"),
+    "sensitivity": ("timeout_ms", "explain"),
     "load_dataset": ("timeout_ms",),
     "append_points": ("timeout_ms",),
 }
@@ -97,10 +106,16 @@ READ_ONLY_OPERATIONS: frozenset[str] = frozenset(
 
 @dataclass(frozen=True)
 class Request:
-    """A validated client request."""
+    """A validated client request.
+
+    ``request_id`` is an optional caller-minted correlation string; it
+    is echoed in the response envelope, the ``X-Request-Id`` header, and
+    every structured log line the request produces.
+    """
 
     op: str
     params: dict[str, Any] = field(default_factory=dict)
+    request_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.op not in OPERATIONS:
@@ -110,6 +125,10 @@ class Request:
         missing = [name for name in OPERATIONS[self.op] if name not in self.params]
         if missing:
             raise ProtocolError(f"operation {self.op!r} missing params: {missing}")
+        if self.request_id is not None and (
+            not isinstance(self.request_id, str) or not self.request_id
+        ):
+            raise ProtocolError("'request_id' must be a non-empty string")
 
     @classmethod
     def from_json(cls, text: str | bytes) -> "Request":
@@ -130,13 +149,20 @@ class Request:
         params = payload.get("params", {})
         if not isinstance(params, dict):
             raise ProtocolError("'params' must be an object")
-        extra = set(payload) - {"op", "params"}
+        extra = set(payload) - {"op", "params", "request_id"}
         if extra:
             raise ProtocolError(f"unexpected request fields: {sorted(extra)}")
-        return cls(op=str(payload["op"]), params=params)
+        return cls(
+            op=str(payload["op"]),
+            params=params,
+            request_id=payload.get("request_id"),
+        )
 
     def to_json(self) -> str:
-        return json.dumps({"op": self.op, "params": self.params})
+        envelope: dict[str, Any] = {"op": self.op, "params": self.params}
+        if self.request_id is not None:
+            envelope["request_id"] = self.request_id
+        return json.dumps(envelope)
 
 
 @dataclass(frozen=True)
@@ -153,6 +179,13 @@ class Response:
     error_type: str | None = None
     error_message: str | None = None
     error_details: dict | None = None
+    request_id: str | None = None
+
+    def with_request_id(self, request_id: str | None) -> "Response":
+        """A copy echoing *request_id* (no-op when none was assigned)."""
+        if request_id is None:
+            return self
+        return replace(self, request_id=request_id)
 
     @classmethod
     def success(cls, result: Any) -> "Response":
@@ -191,14 +224,18 @@ class Response:
 
     def to_dict(self) -> dict:
         if self.ok:
-            return {"ok": True, "result": self.result}
-        error: dict[str, Any] = {
-            "type": self.error_type,
-            "message": self.error_message,
-        }
-        if self.error_details is not None:
-            error["details"] = self.error_details
-        return {"ok": False, "error": error}
+            envelope: dict[str, Any] = {"ok": True, "result": self.result}
+        else:
+            error: dict[str, Any] = {
+                "type": self.error_type,
+                "message": self.error_message,
+            }
+            if self.error_details is not None:
+                error["details"] = self.error_details
+            envelope = {"ok": False, "error": error}
+        if self.request_id is not None:
+            envelope["request_id"] = self.request_id
+        return envelope
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
@@ -211,12 +248,16 @@ class Response:
             raise ProtocolError(f"invalid JSON: {exc}") from exc
         if not isinstance(payload, dict) or "ok" not in payload:
             raise ProtocolError("response must be an object with 'ok'")
+        request_id = payload.get("request_id")
         if payload["ok"]:
-            return cls.success(payload.get("result"))
+            return cls(
+                ok=True, result=payload.get("result"), request_id=request_id
+            )
         error = payload.get("error") or {}
         return cls(
             ok=False,
             error_type=error.get("type"),
             error_message=error.get("message"),
             error_details=error.get("details"),
+            request_id=request_id,
         )

@@ -10,6 +10,7 @@ loads archive-format files.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any
 
 from repro.core.config import QueryConfig
@@ -19,8 +20,10 @@ from repro.core.validation import as_bool_arg, as_optional_timeout_ms
 from repro.data.electricity import build_electricity_collection
 from repro.data.matters import build_matters_collection
 from repro.data.ucr_format import load_ucr_file
-from repro.exceptions import OnexError, ProtocolError
-from repro.server.protocol import Request, Response
+from repro.exceptions import DeadlineExceeded, OnexError, ProtocolError
+from repro.obs.logs import get_logger, log_event
+from repro.obs.trace import new_request_id, span, tracing
+from repro.server.protocol import OPERATION_OPTIONS, Request, Response
 from repro.viz.payloads import (
     overview_payload,
     query_preview_payload,
@@ -29,6 +32,14 @@ from repro.viz.payloads import (
 )
 
 __all__ = ["OnexService"]
+
+_LOG = get_logger("service")
+
+#: Explain-capable operations whose payload also carries the query
+#: processor's cascade counters (the analytics ops only get spans).
+_CASCADE_OPS = frozenset(
+    {"best_match", "k_best", "query_batch", "matches_within"}
+)
 
 #: Keyword arguments of load_dataset requests forwarded to the engine.
 _LOAD_OPTIONS = (
@@ -75,20 +86,74 @@ class OnexService:
     # ------------------------------------------------------------------
 
     def handle(self, request: Request | dict | str | bytes) -> Response:
-        """Dispatch one request; *every* failure becomes an error response."""
+        """Dispatch one request; *every* failure becomes an error response.
+
+        Every request gets a request ID (the caller's, else a freshly
+        minted one) that is echoed in the response envelope.  With
+        ``explain=True`` (explain-capable operations only) the dispatch
+        runs inside an activated trace and the result payload carries an
+        ``"explain"`` object — pure observation, so the result proper is
+        bit-identical to the unexplained call.
+        """
+        request_id: str | None = None
+        op: str | None = None
         try:
             if isinstance(request, (str, bytes)):
                 request = Request.from_json(request)
             elif isinstance(request, dict):
                 request = Request.from_dict(request)
-            handler = getattr(self, f"_op_{request.op}")
-            return Response.success(handler(request.params))
+            if request.request_id is None:
+                request = replace(request, request_id=new_request_id())
+            request_id = request.request_id
+            op = request.op
+            handler = getattr(self, f"_op_{op}")
+            if self._explain_requested(op, request.params):
+                with tracing(request_id) as trace:
+                    with span(f"op.{op}", op=op):
+                        result = handler(request.params)
+                result = self._attach_explain(op, request.params, result, trace)
+            else:
+                result = handler(request.params)
+            return Response.success(result).with_request_id(request_id)
         except (OnexError, ValueError, TypeError, KeyError, OSError) as exc:
-            return Response.failure(exc)
+            if isinstance(exc, DeadlineExceeded):
+                log_event(
+                    _LOG,
+                    "warning",
+                    "deadline.expired",
+                    op=op,
+                    request_id=request_id,
+                    stage=exc.stage,
+                )
+            return Response.failure(exc).with_request_id(request_id)
         except Exception as exc:  # final guard: a handler bug (e.g. an
             # AttributeError or a numpy edge case) must degrade to a
             # structured failure, not sever the connection mid-request.
-            return Response.internal_error(exc)
+            return Response.internal_error(exc).with_request_id(request_id)
+
+    @staticmethod
+    def _explain_requested(op: str, params: dict) -> bool:
+        if "explain" not in params:
+            return False
+        if "explain" not in OPERATION_OPTIONS.get(op, ()):
+            raise ProtocolError(f"operation {op!r} does not accept 'explain'")
+        return as_bool_arg(params["explain"], "explain")
+
+    def _attach_explain(
+        self, op: str, params: dict, result: Any, trace
+    ) -> Any:
+        explain: dict[str, Any] = {
+            "request_id": trace.request_id,
+            "duration_ms": trace.root.duration_ms,
+            "spans": trace.as_dict(),
+        }
+        if op in _CASCADE_OPS:
+            explain["stats"] = self._engine.last_query_stats(
+                str(params["dataset"])
+            )
+        # Every explain-capable handler returns an object payload.
+        result["explain"] = explain
+        return result
 
     def _deadline(self, params: dict) -> Deadline | None:
         """Build the request's deadline from ``timeout_ms``/``allow_partial``.

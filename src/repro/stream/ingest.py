@@ -25,11 +25,24 @@ from repro.core.base import OnexBase
 from repro.core.deadline import Deadline
 from repro.data.timeseries import TimeSeries
 from repro.exceptions import DatasetError, ValidationError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
 from repro.stream.buffer import SeriesBuffer
 from repro.stream.events import StreamEvent
 from repro.stream.monitor import MonitorRegistry
 
 __all__ = ["StreamIngestor"]
+
+_POINTS_TOTAL = REGISTRY.counter(
+    "onex_stream_points_total", "Points appended through live ingestion"
+)
+_WINDOWS_TOTAL = REGISTRY.counter(
+    "onex_stream_windows_indexed_total",
+    "Windows indexed into the base by live ingestion",
+)
+_EVENTS_TOTAL = REGISTRY.counter(
+    "onex_stream_events_total", "Monitor events emitted by live ingestion"
+)
 
 
 class StreamIngestor:
@@ -89,12 +102,24 @@ class StreamIngestor:
         self._buffers[series_name] = buffer
         self._publish(series_name, created_series)
         series_index = self._base.dataset.index_of(series_name)
-        assignments = self._base.index_new_windows(series_index, previous_length)
-        events = self.registry.on_points(
-            series_name, previous_length, normalized_chunk, assignments, deadline
-        )
+        with span("stream.index", points=int(normalized_chunk.shape[0])):
+            assignments = self._base.index_new_windows(
+                series_index, previous_length
+            )
+        with span("stream.scan", windows=len(assignments)) as sp:
+            events = self.registry.on_points(
+                series_name,
+                previous_length,
+                normalized_chunk,
+                assignments,
+                deadline,
+            )
+            sp.add(events=len(events))
         self.points_ingested += normalized_chunk.shape[0]
         self.windows_indexed += len(assignments)
+        _POINTS_TOTAL.inc(int(normalized_chunk.shape[0]))
+        _WINDOWS_TOTAL.inc(len(assignments))
+        _EVENTS_TOTAL.inc(len(events))
         created_groups = sum(a.created for a in assignments)
         return {
             "series": series_name,

@@ -45,11 +45,25 @@ from repro.core.deadline import Deadline
 from repro.distances.dtw import dtw_distance
 from repro.distances.metrics import as_sequence
 from repro.exceptions import DatasetError, ValidationError
+from repro.obs.metrics import REGISTRY
 from repro.testing import faults
 from repro.stream.events import KIND_MATCH, KIND_WINDOW, StreamEvent
 from repro.stream.spring_online import OnlineSpringMatcher
 
 __all__ = ["MonitorRegistry", "PatternMonitor"]
+
+_CHECKED_TOTAL = REGISTRY.counter(
+    "onex_stream_windows_checked_total",
+    "Windows inspected by standing monitors",
+)
+_PRUNED_TOTAL = REGISTRY.counter(
+    "onex_stream_windows_pruned_total",
+    "Windows pruned by monitor representative bounds",
+)
+_MONITOR_DTW_TOTAL = REGISTRY.counter(
+    "onex_stream_rep_dtw_total",
+    "Representative DTW evaluations made by standing monitors",
+)
 
 
 class PatternMonitor:
@@ -151,6 +165,7 @@ class PatternMonitor:
             return out  # pattern length not indexed: no window-aligned view
         max_path = 2 * m - 1
         dataset = self._base.dataset
+        before = (self.windows_checked, self.windows_pruned, self.rep_dtw_calls)
         for scanned, assignment in enumerate(assignments):
             faults.fire("stream.step")
             if deadline is not None:
@@ -191,6 +206,9 @@ class PatternMonitor:
                 raw = float(dtw_distance(self._pattern, dataset.values(ref)))
             if raw <= self._epsilon:
                 out.append((series_name, ref.start, ref.stop - 1, raw))
+        _CHECKED_TOTAL.inc(self.windows_checked - before[0])
+        _PRUNED_TOTAL.inc(self.windows_pruned - before[1])
+        _MONITOR_DTW_TOTAL.inc(self.rep_dtw_calls - before[2])
         return out
 
     def flush(self) -> list[tuple[str, int, int, float]]:
