@@ -1,0 +1,418 @@
+"""E21: durability — WAL ingest overhead, recovery time, compaction.
+
+Four claims from the durability layer (DESIGN.md §8), measured end to
+end against :class:`OnexService`:
+
+1. **WAL ingest overhead.**  A representative chunked append stream
+   (16 points per call, 8–12-point windows) runs through a durable
+   service (WAL in the default ``interval`` sync mode, checkpoints
+   parked out of the loop) with the inner dispatch instrumented, so the
+   wrapper cost — dedup lookup, WAL log-before-ack, outcome recording —
+   is measured directly rather than as the difference of two noisy
+   end-to-end runs; a plain service provides the reference per-append
+   time.  The wrapper must stay under 15% of the execution cost — the
+   PR's acceptance gate.
+2. **Recovery time scales with log length.**  Seed WALs of increasing
+   length, reopen the data dir, and time :meth:`OnexService.recover`;
+   the report carries seconds and per-record cost for each size.
+3. **Checkpoints compact the log.**  With a live checkpoint cadence the
+   WAL is rewritten down to the tail behind the previous retained
+   checkpoint, so its size and the records replayed at recovery are
+   bounded by the cadence, not the stream length.
+4. **Recovery identity.**  Abandon a durable service mid-stream (the
+   in-process stand-in for ``kill -9`` — the WAL is flushed before every
+   ack, never on close), recover into a fresh service, and require the
+   structure fingerprint, query results, and a pre-crash ``request_id``
+   retry (dedup, not double-append) to come back identical.  Hard gate.
+
+Run directly (``python benchmarks/bench_durability.py``) for one JSON
+document, or through ``run_all.py`` which embeds the same sections in
+``BENCH_pr8.json``; the ``test_*`` wrappers give CI a cheap smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.durability import DurabilityManager, dataset_slug
+from repro.server.protocol import Request
+from repro.server.service import OnexService
+
+LOAD_PARAMS = {
+    "source": "electricity",
+    "households": 1,
+    "similarity_threshold": 0.1,
+    "min_length": 4,
+    "max_length": 4,
+}
+DATASET = "ElectricityLoad-sim"
+QUERY = {"dataset": DATASET, "query": [0.1, 0.3, 0.2, 0.4], "k": 3}
+NO_CHECKPOINTS = 10**9  # cadence far past any bench stream
+
+#: The ingest-overhead section indexes real window lengths (8-12) so the
+#: engine does representative per-append work; the recovery sections use
+#: the minimal 4-point configuration (:data:`LOAD_PARAMS`) because they
+#: measure WAL mechanics, not engine throughput.
+INGEST_LOAD_PARAMS = {**LOAD_PARAMS, "min_length": 8, "max_length": 12}
+
+
+def _call(service: OnexService, op: str, params: dict, request_id=None):
+    response = service.handle(Request(op, dict(params), request_id=request_id))
+    assert response.ok, (op, response.error_type, response.error_message)
+    return response.result
+
+
+def _chunks(count: int, size: int, seed: int = 7) -> list[list[float]]:
+    rng = np.random.default_rng(seed)
+    return [
+        [float(v) for v in rng.normal(size=size).cumsum()] for _ in range(count)
+    ]
+
+
+def _wal_bytes(data_dir: Path) -> int:
+    return (Path(data_dir) / dataset_slug(DATASET) / "wal.log").stat().st_size
+
+
+def _append_all(service: OnexService, chunks: list[list[float]]) -> float:
+    started = time.perf_counter()
+    for chunk in chunks:
+        _call(
+            service,
+            "append_points",
+            {"dataset": DATASET, "series": "live", "values": chunk},
+        )
+    return time.perf_counter() - started
+
+
+def run_wal_overhead(
+    appends: int = 240, chunk: int = 16, repeats: int = 3
+) -> dict:
+    """Per-append WAL wrapper cost on a representative ingest stream.
+
+    The durable run instruments :meth:`OnexService._execute`, so the
+    wrapper cost (lookup + WAL append + record + cadence check) and the
+    execution cost come from the *same* appends — engine wall-clock
+    noise, which dwarfs the wrapper, cancels instead of masquerading as
+    overhead.  Best-of-``repeats`` on both sides; the plain service is
+    the sanity reference that the instrumented execution time is the
+    real no-WAL cost.
+    """
+    chunks = _chunks(appends, chunk)
+    best_plain = float("inf")
+    best = None
+    wal_bytes = 0
+    for _ in range(repeats):
+        plain = OnexService()
+        _call(plain, "load_dataset", INGEST_LOAD_PARAMS)
+        best_plain = min(best_plain, _append_all(plain, chunks))
+
+        tmp = Path(tempfile.mkdtemp(prefix="onex-bench-wal-"))
+        try:
+            manager = DurabilityManager(
+                tmp, wal_sync="interval", checkpoint_every=NO_CHECKPOINTS
+            )
+            durable = OnexService(durability=manager)
+            _call(durable, "load_dataset", INGEST_LOAD_PARAMS)
+            executing = [0.0]
+            inner = durable._execute
+
+            def timed_execute(request, _inner=inner, _acc=executing):
+                started = time.perf_counter()
+                response = _inner(request)
+                _acc[0] += time.perf_counter() - started
+                return response
+
+            durable._execute = timed_execute
+            total = _append_all(durable, chunks)
+            wrapper = total - executing[0]
+            overhead = 100.0 * wrapper / executing[0]
+            if best is None or overhead < best["overhead"]:
+                best = {
+                    "total": total,
+                    "exec": executing[0],
+                    "wrapper": wrapper,
+                    "overhead": overhead,
+                }
+            wal_bytes = _wal_bytes(tmp)
+            durable.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "appends": appends,
+        "chunk": chunk,
+        "wal_sync": "interval",
+        "plain_ms_per_append": round(best_plain / appends * 1e3, 4),
+        "durable_ms_per_append": round(best["total"] / appends * 1e3, 4),
+        "execute_ms_per_append": round(best["exec"] / appends * 1e3, 4),
+        "wal_wrapper_ms_per_append": round(
+            best["wrapper"] / appends * 1e3, 4
+        ),
+        "wal_bytes": wal_bytes,
+        "wal_bytes_per_append": round(wal_bytes / appends, 1),
+        "overhead_pct": round(best["overhead"], 2),
+        "overhead_under_15pct": best["overhead"] < 15.0,
+    }
+
+
+def run_recovery_time(sizes: tuple[int, ...] = (40, 160, 640)) -> dict:
+    """Recovery wall-clock vs WAL length (no checkpoints: full replay)."""
+    points = []
+    for size in sizes:
+        tmp = Path(tempfile.mkdtemp(prefix="onex-bench-recover-"))
+        try:
+            manager = DurabilityManager(
+                tmp, wal_sync="interval", checkpoint_every=NO_CHECKPOINTS
+            )
+            service = OnexService(durability=manager)
+            _call(service, "load_dataset", LOAD_PARAMS)
+            _append_all(service, _chunks(size, 4))
+            service.close()
+
+            revived = OnexService(
+                durability=DurabilityManager(
+                    tmp, wal_sync="interval", checkpoint_every=NO_CHECKPOINTS
+                )
+            )
+            started = time.perf_counter()
+            report = revived.recover()
+            seconds = time.perf_counter() - started
+            assert report.errors == [], report.errors
+            points.append(
+                {
+                    "wal_records": size,
+                    "replayed": report.replayed_records,
+                    "wal_bytes": _wal_bytes(tmp),
+                    "seconds": round(seconds, 4),
+                    "ms_per_record": round(seconds / size * 1e3, 4),
+                }
+            )
+            revived.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    return {
+        "sizes": list(sizes),
+        "points": points,
+        "full_replay": all(p["replayed"] == p["wal_records"] for p in points),
+    }
+
+
+def run_checkpoint_compaction(
+    appends: int = 120, checkpoint_every: int = 30
+) -> dict:
+    """WAL growth and recovery replay with a live checkpoint cadence.
+
+    The comparison run (no checkpoints) retains every record; the
+    checkpointed run must compact down to at most two cadence intervals
+    (compaction keeps the tail behind the *previous* retained
+    checkpoint, which backstops post-restart idempotency) and replay
+    only the records past the newest checkpoint at recovery.
+    """
+    chunks = _chunks(appends, 4)
+    sizes = {}
+    for label, cadence in (
+        ("unbounded", NO_CHECKPOINTS),
+        ("checkpointed", checkpoint_every),
+    ):
+        tmp = Path(tempfile.mkdtemp(prefix="onex-bench-compact-"))
+        try:
+            manager = DurabilityManager(
+                tmp, wal_sync="interval", checkpoint_every=cadence
+            )
+            service = OnexService(durability=manager)
+            _call(service, "load_dataset", LOAD_PARAMS)
+            _append_all(service, chunks)
+            records = sum(1 for _ in manager.get(DATASET).wal.records())
+            service.close()
+
+            revived = OnexService(
+                durability=DurabilityManager(
+                    tmp, wal_sync="interval", checkpoint_every=cadence
+                )
+            )
+            report = revived.recover()
+            assert report.errors == [], report.errors
+            sizes[label] = {
+                "wal_bytes": _wal_bytes(tmp),
+                "wal_records": records,
+                "replayed_at_recovery": report.replayed_records,
+            }
+            revived.close()
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    compacted = sizes["checkpointed"]
+    return {
+        "appends": appends,
+        "checkpoint_every": checkpoint_every,
+        **sizes,
+        "compaction_ratio": round(
+            sizes["unbounded"]["wal_bytes"] / compacted["wal_bytes"], 2
+        ),
+        "wal_bounded_by_cadence": (
+            compacted["wal_records"] <= 2 * checkpoint_every
+        ),
+        "replay_bounded_by_cadence": (
+            compacted["replayed_at_recovery"] <= checkpoint_every
+        ),
+    }
+
+
+def run_recovery_identity(
+    appends: int = 60, checkpoint_every: int = 25
+) -> dict:
+    """Abandon mid-stream, recover, require identical served state."""
+    monitor = {
+        "dataset": DATASET,
+        "pattern": [0.1, 0.5, 0.2, 0.6],
+        "epsilon": 50.0,
+        "series": "live",
+        "monitor": "m1",
+    }
+    chunks = _chunks(appends, 4, seed=29)
+    tmp = Path(tempfile.mkdtemp(prefix="onex-bench-identity-"))
+    try:
+        manager = DurabilityManager(
+            tmp, wal_sync="interval", checkpoint_every=checkpoint_every
+        )
+        service = OnexService(durability=manager)
+        _call(service, "load_dataset", LOAD_PARAMS)
+        _call(service, "register_monitor", monitor, request_id="bench-mon")
+        for i, chunk in enumerate(chunks):
+            _call(
+                service,
+                "append_points",
+                {"dataset": DATASET, "series": "live", "values": chunk},
+                request_id=f"bench-{i}",
+            )
+        want_fingerprint = _call(service, "describe", {"dataset": DATASET})[
+            "structure_fingerprint"
+        ]
+        want_matches = _call(service, "k_best", QUERY)["matches"]
+        want_last_seq = _call(service, "poll_events", {"dataset": DATASET})[
+            "last_seq"
+        ]
+        # The crash: no close(), no flush — the WAL was synced per ack.
+        del service, manager
+
+        revived = OnexService(
+            durability=DurabilityManager(
+                tmp, wal_sync="interval", checkpoint_every=checkpoint_every
+            )
+        )
+        started = time.perf_counter()
+        report = revived.recover()
+        seconds = time.perf_counter() - started
+        assert report.errors == [], report.errors
+
+        fingerprint_identical = (
+            _call(revived, "describe", {"dataset": DATASET})[
+                "structure_fingerprint"
+            ]
+            == want_fingerprint
+        )
+        matches_identical = (
+            _call(revived, "k_best", QUERY)["matches"] == want_matches
+        )
+        revived_last_seq = _call(
+            revived, "poll_events", {"dataset": DATASET}
+        )["last_seq"]
+        length_before = len(
+            _call(
+                revived, "query_preview", {"dataset": DATASET, "series": "live"}
+            )["values"]
+        )
+        _call(
+            revived,
+            "append_points",
+            {"dataset": DATASET, "series": "live", "values": chunks[-1]},
+            request_id=f"bench-{appends - 1}",  # a pre-crash id, retried
+        )
+        length_after = len(
+            _call(
+                revived, "query_preview", {"dataset": DATASET, "series": "live"}
+            )["values"]
+        )
+        dedup_across_restart = length_after == length_before
+        # The revived feed continues strictly forward.  (A partial SPRING
+        # match in flight at the checkpoint boundary is not part of the
+        # checkpointed monitor state, so the regenerated history may be
+        # one event short of the pre-crash feed — the contract is forward
+        # monotonicity, not seq-for-seq event-history equality.)
+        fresh = _call(
+            revived,
+            "append_points",
+            {"dataset": DATASET, "series": "live", "values": [9.0, 1.0, 8.0, 2.0]},
+        )["events"]
+        seq_monotonic = bool(fresh) and (
+            min(e["seq"] for e in fresh) > revived_last_seq
+        )
+        revived.close()
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    identical = (
+        fingerprint_identical
+        and matches_identical
+        and seq_monotonic
+        and dedup_across_restart
+    )
+    return {
+        "appends": appends,
+        "checkpoint_every": checkpoint_every,
+        "recovery_seconds": round(seconds, 4),
+        "replayed": report.replayed_records,
+        "pre_crash_last_seq": want_last_seq,
+        "revived_last_seq": revived_last_seq,
+        "fingerprint_identical": fingerprint_identical,
+        "matches_identical": matches_identical,
+        "event_seq_monotonic": seq_monotonic,
+        "request_id_dedup_across_restart": dedup_across_restart,
+        "identical": identical,
+    }
+
+
+def run_durability(
+    appends: int = 240, sizes: tuple[int, ...] = (40, 160, 640)
+) -> dict:
+    """All four E21 sections as one report (``run_all.py`` entry point)."""
+    return {
+        "wal_overhead": run_wal_overhead(appends=appends),
+        "recovery_time": run_recovery_time(sizes=sizes),
+        "compaction": run_checkpoint_compaction(appends=max(appends // 2, 60)),
+        "recovery_identity": run_recovery_identity(),
+    }
+
+
+def test_wal_overhead_smoke():
+    report = run_wal_overhead(appends=120, repeats=2)
+    assert report["wal_bytes"] > 0
+    assert report["overhead_under_15pct"], report
+
+
+def test_recovery_time_smoke():
+    report = run_recovery_time(sizes=(24,))
+    assert report["full_replay"]
+    assert report["points"][0]["seconds"] >= 0
+
+
+def test_checkpoint_compaction_smoke():
+    report = run_checkpoint_compaction(appends=40, checkpoint_every=10)
+    assert report["wal_bounded_by_cadence"], report
+    assert report["replay_bounded_by_cadence"], report
+    assert report["compaction_ratio"] > 1.0
+
+
+def test_recovery_identity_smoke():
+    report = run_recovery_identity(appends=24, checkpoint_every=10)
+    assert report["identical"], report
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_durability(), indent=2))

@@ -101,7 +101,7 @@ def run_serving_load(
         admin.call(  # warm the query path before timing anything
             "k_best", {"dataset": dataset, "query": [0.2, 0.5, 0.3, 0.6], "k": 3}
         )
-        before = parse_exposition(admin.metrics())
+        before = parse_exposition(admin.scrape_metrics())
 
         latencies: list[list[float]] = [[] for _ in range(clients)]
         errors: list[int] = [0] * clients
@@ -134,7 +134,7 @@ def run_serving_load(
             t.join()
         wall = time.perf_counter() - wall_started
 
-        after_text = admin.metrics()
+        after_text = admin.scrape_metrics()
         after = parse_exposition(after_text)
         health = admin.health()
 

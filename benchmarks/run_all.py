@@ -50,6 +50,7 @@ from repro.server.service import OnexService
 from repro.stream import StreamIngestor
 from repro.testing import faults
 
+from bench_durability import run_durability
 from bench_serving_load import run_serving_load, run_tracing_overhead
 
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
@@ -142,9 +143,14 @@ def run(config: dict) -> dict:
     tracing_report = run_tracing_overhead(
         repeats=config["repeats"], queries=config["queries"] * 2
     )
+    durability_report = run_durability(
+        appends=config["appends"],
+        sizes=(config["appends"] // 3, config["appends"]),
+    )
 
     return {
         "config": config,
+        "durability": durability_report,
         "observability": {
             "serving_load": serving_report,
             "tracing_overhead": tracing_report,
@@ -649,6 +655,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr7.json"),
         help="where the E20 observability section lands",
     )
+    parser.add_argument(
+        "--pr8-output",
+        type=Path,
+        default=Path("BENCH_pr8.json"),
+        help="where the E21 durability section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -693,6 +705,11 @@ def main(argv: list[str] | None = None) -> int:
         "observability": report["observability"],
     }
     args.pr7_output.write_text(json.dumps(pr7, indent=2) + "\n")
+    pr8 = {
+        "config": report["config"],
+        "durability": report["durability"],
+    }
+    args.pr8_output.write_text(json.dumps(pr8, indent=2) + "\n")
     resilience = report["resilience"]
     if not resilience["ample_deadline_identical"]:
         print(
@@ -779,6 +796,30 @@ def main(argv: list[str] | None = None) -> int:
     if not obs["tracing_overhead"]["disabled_overhead_under_2pct"]:
         print(
             "ERROR: disabled-tracing span cost exceeds 2% of query latency",
+            file=sys.stderr,
+        )
+        return 1
+    durability = report["durability"]
+    if not durability["recovery_identity"]["identical"]:
+        print(
+            "ERROR: recovered state diverges from the pre-crash service "
+            "(fingerprint, query results, event-seq, or request-id dedup)",
+            file=sys.stderr,
+        )
+        return 1
+    if not durability["wal_overhead"]["overhead_under_15pct"]:
+        print(
+            "ERROR: WAL-on ingest overhead exceeds 15% of execution cost",
+            file=sys.stderr,
+        )
+        return 1
+    if not (
+        durability["compaction"]["wal_bounded_by_cadence"]
+        and durability["compaction"]["replay_bounded_by_cadence"]
+    ):
+        print(
+            "ERROR: checkpoints failed to bound the WAL or the recovery "
+            "replay by the cadence",
             file=sys.stderr,
         )
         return 1

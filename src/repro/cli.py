@@ -203,6 +203,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--default-timeout-ms", type=float, default=None,
                    help="server-side deadline applied to long-running "
                         "operations that carry no timeout_ms of their own")
+    p.add_argument("--data-dir", default=None,
+                   help="durable state directory: mutating operations are "
+                        "write-ahead logged and checkpointed here, and "
+                        "startup recovers every stored dataset (latest "
+                        "valid checkpoint + WAL tail replay) before "
+                        "serving")
+    p.add_argument("--wal-sync", choices=("always", "interval", "never"),
+                   default="interval",
+                   help="WAL fsync policy: per-append (always), group "
+                        "commit (interval, default), or OS writeback "
+                        "(never); every mode flushes before ack, so "
+                        "acknowledged writes survive SIGKILL regardless")
+    p.add_argument("--wal-sync-interval-ms", type=float, default=50.0,
+                   help="group-commit window for --wal-sync interval")
+    p.add_argument("--checkpoint-every", type=int, default=256,
+                   help="WAL appends between checkpoints (after which the "
+                        "log is compacted)")
 
     return parser
 
@@ -293,12 +310,32 @@ def main(argv=None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
+        durability = None
+        if args.data_dir is not None:
+            from repro.durability import DurabilityManager
+
+            durability = DurabilityManager(
+                args.data_dir,
+                wal_sync=args.wal_sync,
+                wal_sync_interval_ms=args.wal_sync_interval_ms,
+                checkpoint_every=args.checkpoint_every,
+            )
+        service = OnexService(
+            QueryConfig(mode=args.mode, window=args.window),
+            default_build_workers=args.build_workers,
+            default_timeout_ms=args.default_timeout_ms,
+            durability=durability,
+        )
+        if durability is not None:
+            # Recover *before* binding: a dataset must never be briefly
+            # absent to clients that raced the restart.
+            report = service.recover()
+            print(f"recovery: {len(report.datasets)} dataset(s), "
+                  f"{report.replayed_records} WAL record(s) replayed in "
+                  f"{report.duration_s:.3f}s"
+                  + (f", {len(report.errors)} failed" if report.errors else ""))
         server = OnexHttpServer(
-            OnexService(
-                QueryConfig(mode=args.mode, window=args.window),
-                default_build_workers=args.build_workers,
-                default_timeout_ms=args.default_timeout_ms,
-            ),
+            service,
             host=args.host,
             port=args.port,
             max_in_flight=args.max_in_flight,
@@ -311,10 +348,15 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"  GET  {server.url}/health   liveness + dataset fingerprints")
         print(f"  GET  {server.url}/ready    admission-gate readiness")
         print(f"  GET  {server.url}/metrics  Prometheus text exposition")
+        if durability is not None:
+            print(f"  WAL  {durability.data_dir}  durable state "
+                  f"(sync={args.wal_sync})")
         try:
             server.start()._thread.join()
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             server.stop()
+        finally:
+            service.close()
         return 0
 
     if args.server:

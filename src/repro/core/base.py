@@ -24,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import persist
 from repro.core.config import BuildConfig
 from repro.core.deadline import Deadline
 from repro.core.grouping import SimilarityGroup, cluster_subsequence_rows
@@ -1224,6 +1225,11 @@ class OnexBase:
             except OSError:
                 pass
             raise
+        # The rename is atomic but not yet durable: the directory entry
+        # lives in the page cache until the directory itself is fsynced,
+        # so a power cut here could resurrect the pre-save archive.
+        faults.fire("persist.rename", path=str(path))
+        persist.fsync_dir(path.parent)
 
     @classmethod
     def load(cls, path, dataset: TimeSeriesDataset) -> "OnexBase":

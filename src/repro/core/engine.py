@@ -116,6 +116,44 @@ class OnexEngine:
         )
         return stats
 
+    def restore_dataset(
+        self,
+        dataset: TimeSeriesDataset,
+        base: OnexBase,
+        *,
+        monitors=(),
+        event_seq: int = 0,
+        stream_counters: dict | None = None,
+    ) -> BaseStats:
+        """Register an already-built *base* (checkpoint recovery path).
+
+        Unlike :meth:`load_dataset` nothing is rebuilt: *base* comes from
+        :meth:`~repro.core.base.OnexBase.load` against a checkpoint's
+        dataset snapshot.  *monitors* / *event_seq* / *stream_counters*
+        re-seed the streaming layer from the checkpoint manifest so a
+        restarted server continues event numbering monotonically; the
+        ingestor is created eagerly whenever any of them is present.
+        """
+        if dataset.name in self._loaded:
+            raise DatasetError(f"dataset {dataset.name!r} already loaded")
+        entry = LoadedDataset(
+            dataset=dataset,
+            base=base,
+            processor=QueryProcessor(base, self._query_config),
+            stats=base.stats,
+            fingerprint=base.structure_fingerprint(),
+        )
+        self._loaded[dataset.name] = entry
+        if monitors or event_seq or stream_counters:
+            from repro.stream import StreamIngestor
+
+            ingestor = StreamIngestor(base)
+            ingestor.registry.restore(monitors, event_seq)
+            if stream_counters:
+                ingestor.restore_counters(**stream_counters)
+            entry.ingestor = ingestor
+        return entry.stats
+
     def add_series(self, dataset_name: str, series) -> dict:
         """Index one new series into a loaded dataset incrementally.
 
@@ -196,6 +234,23 @@ class OnexEngine:
             raise DatasetError(f"no monitor named {name!r} (registered: [])")
         registry.unregister(name)
 
+    def stream_state(self, dataset_name: str) -> dict:
+        """Checkpointable streaming state (monitors, event seq, counters).
+
+        Read-only like :meth:`stream_registry` — a dataset that never
+        streamed reports the empty state without creating an ingestor.
+        """
+        entry = self._entry(dataset_name)
+        ingestor = entry.ingestor
+        if ingestor is None:
+            return {"event_seq": 0, "monitors": [], "stream_counters": {}}
+        snap = ingestor.registry.snapshot()
+        return {
+            "event_seq": snap["event_seq"],
+            "monitors": snap["monitors"],
+            "stream_counters": ingestor.counters(),
+        }
+
     def stream_registry(self, dataset_name: str):
         """The dataset's monitor registry, or None before any streaming.
 
@@ -236,6 +291,17 @@ class OnexEngine:
     def fingerprint(self, name: str) -> str | None:
         """The dataset's load-time base structure fingerprint."""
         return self._entry(name).fingerprint
+
+    def refresh_fingerprint(self, name: str) -> str | None:
+        """Recompute and store the dataset's structure fingerprint.
+
+        Recovery calls this after the WAL tail replay: the snapshot taken
+        at :meth:`restore_dataset` reflects the checkpoint, not the
+        replayed mutations, and /health must report the served state.
+        """
+        entry = self._entry(name)
+        entry.fingerprint = entry.base.structure_fingerprint()
+        return entry.fingerprint
 
     def fingerprints(self) -> dict[str, str | None]:
         """Load-time structure fingerprints of every loaded dataset."""

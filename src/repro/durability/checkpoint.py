@@ -1,0 +1,211 @@
+"""Atomic per-dataset checkpoints with a manifest commit point.
+
+One dataset's durability directory holds::
+
+    wal.log            the write-ahead log (repro.durability.wal)
+    base-<seq>.npz     OnexBase.save archive as of WAL seq <seq>
+    data-<seq>.npz     raw dataset snapshot (values + metadata) at <seq>
+    manifest.json      the commit point: list of checkpoint entries
+
+A checkpoint is *committed* by the atomic replace of ``manifest.json`` —
+until then the new ``base-<seq>``/``data-<seq>`` files are invisible
+garbage a crash can leave behind harmlessly.  The manifest retains the
+TWO newest entries: should the newest checkpoint's files turn out
+unreadable (bitrot, torn by an unsynced disk), recovery falls back to
+the previous entry and simply replays a longer WAL tail.  For the same
+reason the WAL is compacted only up to the *previous* checkpoint's seq.
+
+Each entry records a sha256 per artifact so recovery can *prove* an
+entry valid before trusting it, the monitor/event-seq snapshot, and the
+stream counters — everything :func:`repro.durability.recovery` needs to
+reconstruct the serving state at that WAL position.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.base import OnexBase
+from repro.core.persist import atomic_json_write, atomic_npz_write, sha256_file
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import PersistenceError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.testing import faults
+
+__all__ = [
+    "latest_valid_checkpoint",
+    "load_checkpoint",
+    "read_manifest",
+    "write_checkpoint",
+]
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
+KEEP_CHECKPOINTS = 2
+
+_CHECKPOINTS_TOTAL = REGISTRY.counter(
+    "onex_checkpoints_total", "Checkpoints committed",
+)
+_CHECKPOINT_SECONDS = REGISTRY.gauge(
+    "onex_checkpoint_last_seconds", "Wall-clock duration of the last checkpoint"
+)
+
+
+def _save_dataset_snapshot(path: Path, dataset: TimeSeriesDataset) -> None:
+    """Write the *raw* dataset (values + metadata) as one npz, atomically."""
+    import json
+
+    arrays = {
+        f"series_{i}": series.values for i, series in enumerate(dataset)
+    }
+    meta = {
+        "name": dataset.name,
+        "series": [
+            {"name": s.name, "metadata": dict(s.metadata)} for s in dataset
+        ],
+    }
+    arrays["meta"] = np.array(json.dumps(meta, sort_keys=True))
+    atomic_npz_write(path, arrays)
+
+
+def _load_dataset_snapshot(path: Path) -> TimeSeriesDataset:
+    import json
+
+    with np.load(path, allow_pickle=False) as archive:
+        meta = json.loads(str(archive["meta"]))
+        series = [
+            TimeSeries(
+                entry["name"],
+                archive[f"series_{i}"],
+                entry.get("metadata") or None,
+            )
+            for i, entry in enumerate(meta["series"])
+        ]
+    return TimeSeriesDataset(series, name=meta["name"])
+
+
+def read_manifest(directory) -> dict | None:
+    """The parsed manifest of *directory*, or None when absent/garbled.
+
+    A garbled manifest is treated as "no checkpoints" rather than an
+    error: the WAL still holds the full history from seq 0 until the
+    first compaction, and recovery reports the condition.
+    """
+    import json
+
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        with open(path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(manifest, dict) or "checkpoints" not in manifest:
+        return None
+    return manifest
+
+
+def write_checkpoint(
+    directory,
+    base: OnexBase,
+    *,
+    wal_seq: int,
+    stream_state: dict | None = None,
+) -> dict:
+    """Capture *base* (and streaming state) as of *wal_seq*; commit it.
+
+    The caller must have fsynced the WAL through *wal_seq* first (the
+    manager does) so the checkpoint never claims coverage the log cannot
+    back.  Returns the committed manifest entry.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    started = time.monotonic()
+    base_file = f"base-{wal_seq}.npz"
+    data_file = f"data-{wal_seq}.npz"
+    with span("wal.checkpoint", wal_seq=wal_seq):
+        base.save(directory / base_file)
+        _save_dataset_snapshot(directory / data_file, base.raw_dataset)
+        entry = {
+            "seq": int(wal_seq),
+            "base_file": base_file,
+            "data_file": data_file,
+            "base_sha256": sha256_file(directory / base_file),
+            "data_sha256": sha256_file(directory / data_file),
+            "event_seq": int((stream_state or {}).get("event_seq", 0)),
+            "monitors": list((stream_state or {}).get("monitors", [])),
+            "stream_counters": dict(
+                (stream_state or {}).get("stream_counters", {})
+            ),
+            "created": time.time(),
+        }
+        manifest = read_manifest(directory) or {
+            "format": MANIFEST_FORMAT,
+            "dataset": base.raw_dataset.name,
+            "checkpoints": [],
+        }
+        checkpoints = [
+            c for c in manifest["checkpoints"] if c["seq"] != entry["seq"]
+        ]
+        checkpoints.append(entry)
+        checkpoints.sort(key=lambda c: c["seq"])
+        retained = checkpoints[-KEEP_CHECKPOINTS:]
+        dropped = checkpoints[:-KEEP_CHECKPOINTS]
+        manifest["checkpoints"] = retained
+        manifest_path = directory / MANIFEST_NAME
+        faults.fire("checkpoint.manifest", path=str(manifest_path))
+        atomic_json_write(manifest_path, manifest)
+        # Only after the manifest commit are superseded artifacts garbage.
+        for old in dropped:
+            for name in (old.get("base_file"), old.get("data_file")):
+                if name:
+                    try:
+                        (directory / name).unlink()
+                    except OSError:
+                        pass
+    _CHECKPOINTS_TOTAL.inc()
+    _CHECKPOINT_SECONDS.set(time.monotonic() - started)
+    return entry
+
+
+def latest_valid_checkpoint(directory) -> dict | None:
+    """Newest manifest entry whose artifacts exist and hash-verify.
+
+    Falls back entry by entry (newest first); None when no entry
+    survives — recovery then replays the WAL from seq 0.
+    """
+    manifest = read_manifest(directory)
+    if manifest is None:
+        return None
+    directory = Path(directory)
+    for entry in sorted(
+        manifest["checkpoints"], key=lambda c: c["seq"], reverse=True
+    ):
+        try:
+            ok = sha256_file(directory / entry["base_file"]) == entry[
+                "base_sha256"
+            ] and sha256_file(directory / entry["data_file"]) == entry[
+                "data_sha256"
+            ]
+        except OSError:
+            ok = False
+        if ok:
+            return entry
+    return None
+
+
+def load_checkpoint(directory, entry: dict) -> tuple[TimeSeriesDataset, OnexBase]:
+    """Materialise one verified checkpoint entry into (dataset, base)."""
+    directory = Path(directory)
+    dataset = _load_dataset_snapshot(directory / entry["data_file"])
+    try:
+        base = OnexBase.load(directory / entry["base_file"], dataset)
+    except Exception as exc:
+        raise PersistenceError(
+            f"checkpoint {entry['base_file']} failed to load: {exc}"
+        ) from exc
+    return dataset, base

@@ -1,16 +1,23 @@
 """HTTP client for the ONEX server, with overload-aware retries.
 
 :class:`OnexClient` speaks the :mod:`repro.server.protocol` envelopes
-over plain urllib (stdlib only, like the server).  Its retry policy is
-deliberately narrow:
+over plain urllib (stdlib only, like the server).  Its retry policy:
 
-- Only **read-only** operations (``protocol.READ_ONLY_OPERATIONS``) are
-  retried.  A shed request (503) provably never executed, but a
-  connection that died mid-flight may have — replaying a ``load_dataset``
-  or ``append_points`` could duplicate work, so mutating operations fail
-  fast and leave the decision to the caller.
-- Retries back off exponentially with full jitter, and a server-sent
-  ``Retry-After`` hint is honoured as the floor of the next delay.
+- **Read-only** operations (``protocol.READ_ONLY_OPERATIONS``) are
+  always retryable: a shed request (503) provably never executed, and a
+  replayed query is harmless.
+- **Durable mutating** operations (``protocol.DURABLE_OPERATIONS``) are
+  retryable since the server dedupes them by ``request_id``: every call
+  mints one ID and re-sends it verbatim on each retry, so a connection
+  that died after the server executed yields the *recorded* response on
+  replay, never a double mutation.  ``retry_mutating=False`` restores
+  the old fail-fast behaviour (e.g. against a pre-durability server).
+- Everything else (``load_dataset``, ``save_base``, ...) fails fast and
+  leaves the decision to the caller.
+- Retries back off exponentially with full jitter; a server-sent
+  ``Retry-After`` hint is honoured as the floor of the next delay; the
+  *total* time spent waiting between attempts is bounded by
+  ``retry_budget_s`` so a retrying call cannot stall unboundedly.
 - An exhausted budget raises :class:`~repro.exceptions.OverloadedError`
   (for sheds) or the underlying transport error, never a silent retry
   loop.
@@ -20,10 +27,10 @@ Server-reported application errors arrive as
 and structured details (e.g. a remote ``DeadlineExceeded``'s progress
 snapshot).
 
-Every call mints a ``request_id`` (stable across that call's retries, so
-server logs correlate re-sends of one logical request); the most recent
-one is exposed as ``last_request_id`` and the server's echo as
-``last_response_request_id``.
+``metrics()`` reports the client's own call statistics (attempts,
+retries, last request IDs — including a ``mutating`` sub-object for the
+idempotent-retry path); the server's Prometheus exposition moved to
+``scrape_metrics()``.
 """
 
 from __future__ import annotations
@@ -37,17 +44,24 @@ from typing import Any
 
 from repro.exceptions import OverloadedError, ProtocolError, RemoteError
 from repro.obs.trace import new_request_id
-from repro.server.protocol import READ_ONLY_OPERATIONS, Request, Response
+from repro.server.protocol import (
+    DURABLE_OPERATIONS,
+    READ_ONLY_OPERATIONS,
+    Request,
+    Response,
+)
 
 __all__ = ["OnexClient"]
 
 
 class OnexClient:
-    """Calls one ONEX server; safe retries for read-only operations.
+    """Calls one ONEX server; safe retries for idempotent operations.
 
     *max_retries* bounds the re-sends after the first attempt;
     *backoff_base_s*/*backoff_cap_s* shape the jittered exponential
-    delays.  *sleep* and *rng* exist for deterministic tests.
+    delays and *retry_budget_s* bounds their total; *retry_mutating*
+    extends retries to the durable (request-id-deduplicated) mutating
+    operations.  *sleep* and *rng* exist for deterministic tests.
     """
 
     def __init__(
@@ -58,6 +72,8 @@ class OnexClient:
         max_retries: int = 3,
         backoff_base_s: float = 0.1,
         backoff_cap_s: float = 2.0,
+        retry_budget_s: float = 15.0,
+        retry_mutating: bool = True,
         sleep=time.sleep,
         rng: random.Random | None = None,
     ) -> None:
@@ -66,13 +82,26 @@ class OnexClient:
         self.max_retries = int(max_retries)
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_cap_s = float(backoff_cap_s)
+        self.retry_budget_s = float(retry_budget_s)
+        self.retry_mutating = bool(retry_mutating)
         self._sleep = sleep
         self._rng = rng if rng is not None else random.Random()
+        self.calls = 0
         self.retries_performed = 0
+        #: Operation and attempt count of the most recent ``call()``.
+        self.last_op: str | None = None
+        self.last_attempts = 0
         #: Correlation ID minted for the most recent ``call()``.
         self.last_request_id: str | None = None
         #: ``request_id`` echoed in the most recent response envelope.
         self.last_response_request_id: str | None = None
+        self._mutating_stats = {
+            "calls": 0,
+            "retries": 0,
+            "last_op": None,
+            "last_attempts": 0,
+            "last_request_id": None,
+        }
 
     # ------------------------------------------------------------------
     # Public API
@@ -87,30 +116,42 @@ class OnexClient:
         on a non-retryable operation.
         """
         # One ID per logical call, re-sent verbatim on every retry, so
-        # the server can correlate replays of the same request.
+        # the server can correlate — and for durable mutating ops
+        # deduplicate — replays of the same request.
         request_id = new_request_id()
         request = Request(op, dict(params or {}), request_id=request_id)
+        self.calls += 1
+        self.last_op = op
         self.last_request_id = request_id
+        mutating = op in DURABLE_OPERATIONS
+        if mutating:
+            self._mutating_stats["calls"] += 1
+            self._mutating_stats["last_op"] = op
+            self._mutating_stats["last_request_id"] = request_id
         body = request.to_json().encode()
-        retryable = op in READ_ONLY_OPERATIONS
+        retryable = op in READ_ONLY_OPERATIONS or (
+            mutating and self.retry_mutating
+        )
+        budget_expires = time.monotonic() + self.retry_budget_s
         attempt = 0
         while True:
+            self._record_attempts(attempt + 1, mutating)
             try:
                 status, headers, payload = self._post(body)
             except (urllib.error.URLError, ConnectionError, TimeoutError):
-                if not retryable or attempt >= self.max_retries:
+                if not self._may_retry(retryable, attempt, budget_expires):
                     raise
-                self._backoff(attempt, None)
+                self._backoff(attempt, None, budget_expires, mutating)
                 attempt += 1
                 continue
             if status == 503:
                 retry_after = _parse_retry_after(headers)
-                if not retryable or attempt >= self.max_retries:
+                if not self._may_retry(retryable, attempt, budget_expires):
                     raise OverloadedError(
                         f"server overloaded after {attempt + 1} attempt(s)",
                         retry_after=retry_after,
                     )
-                self._backoff(attempt, retry_after)
+                self._backoff(attempt, retry_after, budget_expires, mutating)
                 attempt += 1
                 continue
             response = Response.from_json(payload)
@@ -136,7 +177,24 @@ class OnexClient:
                 return False
             raise
 
-    def metrics(self) -> str:
+    def metrics(self) -> dict:
+        """This client's own call statistics.
+
+        ``mutating`` sub-object tracks the idempotent-retry path:
+        attempts and the last request id a durable mutating call minted
+        (the key its retries dedupe under server-side).
+        """
+        return {
+            "calls": self.calls,
+            "retries_performed": self.retries_performed,
+            "last_op": self.last_op,
+            "last_attempts": self.last_attempts,
+            "last_request_id": self.last_request_id,
+            "last_response_request_id": self.last_response_request_id,
+            "mutating": dict(self._mutating_stats),
+        }
+
+    def scrape_metrics(self) -> str:
         """The server's ``/metrics`` Prometheus exposition text (never
         retried); parse with :func:`repro.obs.metrics.parse_exposition`."""
         with urllib.request.urlopen(
@@ -172,14 +230,38 @@ class OnexClient:
             raise ProtocolError(f"{path} returned a non-object payload")
         return payload
 
-    def _backoff(self, attempt: int, retry_after: float | None) -> None:
+    def _record_attempts(self, attempts: int, mutating: bool) -> None:
+        self.last_attempts = attempts
+        if mutating:
+            self._mutating_stats["last_attempts"] = attempts
+
+    def _may_retry(
+        self, retryable: bool, attempt: int, budget_expires: float
+    ) -> bool:
+        return (
+            retryable
+            and attempt < self.max_retries
+            and time.monotonic() < budget_expires
+        )
+
+    def _backoff(
+        self,
+        attempt: int,
+        retry_after: float | None,
+        budget_expires: float,
+        mutating: bool = False,
+    ) -> None:
         """Sleep before re-sending: jittered exponential, floored at the
-        server's ``Retry-After`` hint when one was given."""
+        server's ``Retry-After`` hint, capped to the remaining budget."""
         cap = min(self.backoff_cap_s, self.backoff_base_s * (2**attempt))
         delay = self._rng.uniform(0.0, cap)
         if retry_after is not None:
             delay = max(delay, retry_after)
+        remaining = budget_expires - time.monotonic()
+        delay = min(delay, max(0.0, remaining))
         self.retries_performed += 1
+        if mutating:
+            self._mutating_stats["retries"] += 1
         if delay > 0:
             self._sleep(delay)
 

@@ -422,20 +422,24 @@ def _make_handler(
                 with locks.registry_read():
                     datasets = service.engine.dataset_names
                     fingerprints = service.engine.fingerprints()
-                self._send(
-                    200,
-                    {
-                        "status": "ok",
-                        "version": repro.__version__,
-                        "uptime_s": round(uptime_s(), 3),
-                        "datasets": datasets,
-                        "fingerprints": fingerprints,
-                        "in_flight": gate.in_flight,
-                        "shed": gate.shed,
-                        "handled": metrics.handled,
-                        "latency_ms": metrics.latency_snapshot(),
-                    },
-                )
+                    durability = service.durability_status()
+                payload = {
+                    "status": "ok",
+                    "version": repro.__version__,
+                    "uptime_s": round(uptime_s(), 3),
+                    "datasets": datasets,
+                    "fingerprints": fingerprints,
+                    "in_flight": gate.in_flight,
+                    "shed": gate.shed,
+                    "handled": metrics.handled,
+                    "latency_ms": metrics.latency_snapshot(),
+                }
+                if durability is not None:
+                    # Operators verify recovery here: per-dataset WAL
+                    # and checkpoint positions plus the last recovery
+                    # report (datasets, replayed records, torn bytes).
+                    payload["durability"] = durability
+                self._send(200, payload)
             elif self.path == "/metrics":
                 # Point-in-time gauges are set at scrape; counters and
                 # histograms accumulate at their sources.

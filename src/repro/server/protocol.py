@@ -19,6 +19,7 @@ from typing import Any
 from repro.exceptions import ProtocolError
 
 __all__ = [
+    "DURABLE_OPERATIONS",
     "OPERATIONS",
     "OPERATION_OPTIONS",
     "READ_ONLY_OPERATIONS",
@@ -100,6 +101,23 @@ READ_ONLY_OPERATIONS: frozenset[str] = frozenset(
         "sensitivity",
         "thresholds",
         "poll_events",
+    }
+)
+
+#: Mutating operations covered by the durability layer: each is recorded
+#: in the dataset's write-ahead log *before* it is acknowledged, and its
+#: outcome is remembered per ``request_id`` in the idempotency window —
+#: which is what makes a client retry of one of these safe (a duplicate
+#: request id returns the recorded response instead of re-executing).
+#: ``load_dataset``/``unload_dataset`` are deliberately absent: loading
+#: is made durable by its initial checkpoint, not by WAL replay, and
+#: unloading deletes the durable state outright.
+DURABLE_OPERATIONS: frozenset[str] = frozenset(
+    {
+        "append_points",
+        "add_series",
+        "register_monitor",
+        "unregister_monitor",
     }
 )
 

@@ -20,10 +20,17 @@ from repro.core.validation import as_bool_arg, as_optional_timeout_ms
 from repro.data.electricity import build_electricity_collection
 from repro.data.matters import build_matters_collection
 from repro.data.ucr_format import load_ucr_file
+from repro.durability.idempotency import IdempotencyWindow
 from repro.exceptions import DeadlineExceeded, OnexError, ProtocolError
 from repro.obs.logs import get_logger, log_event
+from repro.obs.metrics import REGISTRY
 from repro.obs.trace import new_request_id, span, tracing
-from repro.server.protocol import OPERATION_OPTIONS, Request, Response
+from repro.server.protocol import (
+    DURABLE_OPERATIONS,
+    OPERATION_OPTIONS,
+    Request,
+    Response,
+)
 from repro.viz.payloads import (
     overview_payload,
     query_preview_payload,
@@ -34,6 +41,16 @@ from repro.viz.payloads import (
 __all__ = ["OnexService"]
 
 _LOG = get_logger("service")
+
+_DEDUP_TOTAL = REGISTRY.counter(
+    "onex_idempotent_dedup_total",
+    "Duplicate mutating requests answered from the idempotency window",
+)
+
+#: Request options that parameterise *this* execution, not the mutation
+#: itself — stripped from WAL records so replay is deterministic (a
+#: deadline that fired live must not re-fire during recovery).
+_EXECUTION_ONLY_OPTIONS = ("timeout_ms", "allow_partial", "explain")
 
 #: Explain-capable operations whose payload also carries the query
 #: processor's cascade counters (the analytics ops only get spans).
@@ -70,16 +87,31 @@ class OnexService:
         *,
         default_build_workers: int | None = None,
         default_timeout_ms: float | None = None,
+        durability=None,
+        idempotency_window: int = 1024,
     ) -> None:
         self._engine = OnexEngine(query_config)
         self._default_build_workers = default_build_workers
         self._default_timeout_ms = as_optional_timeout_ms(
             default_timeout_ms, "default_timeout_ms"
         )
+        #: Optional :class:`repro.durability.DurabilityManager` — when
+        #: set, durable operations are WAL-logged before acknowledgement
+        #: and datasets checkpoint on the manager's cadence.
+        self._durability = durability
+        # The idempotency window is always on (not gated on durability):
+        # retry-after-timeout double execution is a liveness bug even for
+        # a RAM-only server.
+        self._idempotency = IdempotencyWindow(idempotency_window)
+        self.last_recovery = None
 
     @property
     def engine(self) -> OnexEngine:
         return self._engine
+
+    @property
+    def durability(self):
+        return self._durability
 
     # ------------------------------------------------------------------
     # Entry point
@@ -94,9 +126,16 @@ class OnexService:
         runs inside an activated trace and the result payload carries an
         ``"explain"`` object — pure observation, so the result proper is
         bit-identical to the unexplained call.
+
+        Durable operations (:data:`DURABLE_OPERATIONS`) take the
+        log-then-execute-then-remember path: a duplicate ``request_id``
+        is answered from the idempotency window without re-executing; a
+        fresh one is WAL-logged first (an append failure is returned
+        *unrecorded*, so the client's retry re-attempts the whole op),
+        then executed, and its outcome — success or failure — recorded
+        against the id before the response leaves the service.
         """
         request_id: str | None = None
-        op: str | None = None
         try:
             if isinstance(request, (str, bytes)):
                 request = Request.from_json(request)
@@ -104,8 +143,75 @@ class OnexService:
                 request = Request.from_dict(request)
             if request.request_id is None:
                 request = replace(request, request_id=new_request_id())
-            request_id = request.request_id
-            op = request.op
+        except (OnexError, ValueError, TypeError, KeyError) as exc:
+            return Response.failure(exc)
+        request_id = request.request_id
+        op = request.op
+        if op in DURABLE_OPERATIONS:
+            return self._handle_durable(request)
+        response = self._execute(request)
+        if self._durability is not None and response.ok:
+            if op == "load_dataset":
+                self._attach_durable(str(response.result["dataset"]))
+            elif op == "unload_dataset":
+                self._durability.detach(
+                    str(request.params["dataset"]), delete=True
+                )
+        return response
+
+    def _handle_durable(self, request: Request) -> Response:
+        request_id = request.request_id
+        op = request.op
+        name = str(request.params.get("dataset", ""))
+        cached = self._idempotency.lookup(request_id)
+        if cached is not None:
+            _DEDUP_TOTAL.inc(op=op)
+            log_event(
+                _LOG,
+                "info",
+                "idempotent.dedup",
+                op=op,
+                request_id=request_id,
+            )
+            return cached.with_request_id(request_id)
+        handle = (
+            self._durability.get(name) if self._durability is not None else None
+        )
+        if handle is not None:
+            wal_params = {
+                k: v
+                for k, v in request.params.items()
+                if k not in _EXECUTION_ONLY_OPTIONS
+            }
+            try:
+                handle.log(op, wal_params, request_id)
+            except Exception as exc:
+                # The op never ran and was never acknowledged; leaving
+                # the window empty makes the client's retry re-attempt
+                # (log, execute) from scratch.
+                log_event(
+                    _LOG,
+                    "error",
+                    "wal.append_failed",
+                    op=op,
+                    dataset=name,
+                    request_id=request_id,
+                    error=str(exc),
+                )
+                if isinstance(exc, (OnexError, ValueError, OSError)):
+                    return Response.failure(exc).with_request_id(request_id)
+                return Response.internal_error(exc).with_request_id(request_id)
+        response = self._execute(request)
+        self._idempotency.record(request_id, response)
+        if handle is not None and response.ok:
+            self._checkpoint_if_due(name)
+        return response
+
+    def _execute(self, request: Request) -> Response:
+        """Dispatch one parsed request; never raises."""
+        request_id = request.request_id
+        op = request.op
+        try:
             handler = getattr(self, f"_op_{op}")
             if self._explain_requested(op, request.params):
                 with tracing(request_id) as trace:
@@ -130,6 +236,117 @@ class OnexService:
             # AttributeError or a numpy edge case) must degrade to a
             # structured failure, not sever the connection mid-request.
             return Response.internal_error(exc).with_request_id(request_id)
+
+    # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+
+    def _attach_durable(self, name: str) -> None:
+        """Open durability state for a freshly loaded dataset; checkpoint.
+
+        The initial checkpoint is what makes the *load itself* durable
+        (the WAL only carries deltas).  Failures are logged, not raised:
+        the load already executed, and a response-time error would leave
+        the client believing the dataset is absent.
+        """
+        try:
+            handle, _scan = self._durability.attach(name)
+            handle.checkpoint(
+                self._engine.base(name), self._engine.stream_state(name)
+            )
+        except Exception as exc:
+            log_event(
+                _LOG,
+                "error",
+                "checkpoint.failed",
+                dataset=name,
+                error=str(exc),
+            )
+
+    def _checkpoint_if_due(self, name: str) -> None:
+        try:
+            self._durability.maybe_checkpoint(
+                name, self._engine.base(name), self._engine.stream_state(name)
+            )
+        except Exception as exc:
+            # The op itself succeeded and is WAL-covered; a failed
+            # checkpoint costs replay time, not correctness.
+            log_event(
+                _LOG,
+                "error",
+                "checkpoint.failed",
+                dataset=name,
+                error=str(exc),
+            )
+
+    def _apply_replayed(self, dataset_name: str, record) -> Response:
+        """Replay one WAL record (recovery): execute without re-logging.
+
+        The outcome is recorded in the idempotency window under the
+        original request id, so a client retry that lands *after* the
+        restart still dedupes against the pre-crash execution.
+        """
+        request = Request(
+            op=record.op, params=record.params, request_id=record.request_id
+        )
+        response = self._execute(request)
+        self._idempotency.record(record.request_id, response)
+        return response
+
+    def _mark_recovered(self, dataset_name: str, record) -> None:
+        """Reseed the dedup window for a checkpoint-covered WAL record.
+
+        The record's effects are already inside the restored checkpoint,
+        so it must not re-execute — but a client retrying it post-crash
+        must still dedupe.  The original response payload was not
+        persisted; the retry gets an acknowledgement marker instead.
+        """
+        if not record.request_id:
+            return
+        response = Response.success(
+            {
+                "deduplicated": True,
+                "recovered": True,
+                "op": record.op,
+                "dataset": dataset_name,
+                "wal_seq": record.seq,
+            }
+        ).with_request_id(record.request_id)
+        self._idempotency.record(record.request_id, response)
+
+    def recover(self):
+        """Restore durable datasets (serve startup); returns the report."""
+        if self._durability is None:
+            return None
+        from repro.durability.recovery import recover_all
+
+        report = recover_all(
+            self._durability,
+            self._engine,
+            self._apply_replayed,
+            self._mark_recovered,
+        )
+        self.last_recovery = report
+        return report
+
+    def durability_status(self) -> dict | None:
+        """Per-dataset WAL/checkpoint positions for /health, or None."""
+        if self._durability is None:
+            return None
+        return {
+            "data_dir": str(self._durability.data_dir),
+            "datasets": self._durability.status(),
+            "last_recovery": (
+                self.last_recovery.as_dict()
+                if self.last_recovery is not None
+                else None
+            ),
+        }
+
+    def close(self) -> None:
+        """Release durability resources (WAL file handles)."""
+        if self._durability is not None:
+            self._durability.close()
 
     @staticmethod
     def _explain_requested(op: str, params: dict) -> bool:
@@ -240,6 +457,12 @@ class OnexService:
         info["series_names"] = self._engine.base(name).dataset.names
         info["build_seconds"] = stats.build_seconds
         info["per_length"] = [s.as_dict() for s in stats.per_length]
+        # Live structure fingerprint (unlike the engine's load-time
+        # snapshot): the determinism handle the durability chaos suite
+        # compares across a crash/recover boundary.
+        info["structure_fingerprint"] = self._engine.base(
+            name
+        ).structure_fingerprint()
         return info
 
     def _op_overview(self, params: dict) -> Any:

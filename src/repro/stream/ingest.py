@@ -131,6 +131,20 @@ class StreamIngestor:
             "events": [e.as_dict() for e in events],
         }
 
+    def counters(self) -> dict:
+        """Checkpointable lifetime counters."""
+        return {
+            "points_ingested": self.points_ingested,
+            "windows_indexed": self.windows_indexed,
+        }
+
+    def restore_counters(
+        self, points_ingested: int = 0, windows_indexed: int = 0
+    ) -> None:
+        """Seed lifetime counters from a checkpoint (recovery only)."""
+        self.points_ingested = int(points_ingested)
+        self.windows_indexed = int(windows_indexed)
+
     def poll_events(self, since: int = 0, limit: int | None = None) -> list[StreamEvent]:
         """Monitor events with ``seq > since`` (see the registry)."""
         return self.registry.poll(since, limit)

@@ -253,6 +253,25 @@ class PatternMonitor:
             "rep_dtw_calls": self.rep_dtw_calls,
         }
 
+    def snapshot(self) -> dict:
+        """Checkpointable state: definition plus lifetime counters.
+
+        The pattern is stored in the base's (normalised) value space, so
+        a restore re-registers it verbatim without renormalising.  The
+        per-series SPRING matcher state is deliberately *not* captured —
+        see DESIGN.md §8 — so an in-flight cross-checkpoint match may be
+        lost or re-reported after recovery.
+        """
+        return {
+            "name": self.name,
+            "pattern": [float(v) for v in self._pattern],
+            "epsilon": self._epsilon,
+            "series": self._series,
+            "windows_checked": self.windows_checked,
+            "windows_pruned": self.windows_pruned,
+            "rep_dtw_calls": self.rep_dtw_calls,
+        }
+
 
 class MonitorRegistry:
     """All standing queries of one base, plus the shared event buffer.
@@ -378,6 +397,41 @@ class MonitorRegistry:
         if limit is not None:
             out = out[: max(0, int(limit))]
         return out
+
+    def snapshot(self) -> dict:
+        """Checkpointable state: event seq plus every monitor definition.
+
+        The event *buffer* is transient by contract (bounded, droppable)
+        and is not captured; only the sequence counter is, so post-crash
+        events continue the pre-crash numbering monotonically.
+        """
+        return {
+            "event_seq": self._seq,
+            "monitors": [
+                self._monitors[name].snapshot()
+                for name in sorted(self._monitors)
+            ],
+        }
+
+    def restore(self, monitors: Iterable[dict], event_seq: int) -> None:
+        """Rebuild monitors from :meth:`snapshot` output (recovery only).
+
+        Must be called on a fresh registry; seeds the event sequence so
+        the first post-recovery event continues the numbering.
+        """
+        if self._monitors or self._seq:
+            raise DatasetError("restore() requires a fresh MonitorRegistry")
+        for snap in monitors:
+            monitor = self.register(
+                np.asarray(snap["pattern"], dtype=np.float64),
+                float(snap["epsilon"]),
+                series=snap.get("series"),
+                name=snap["name"],
+            )
+            monitor.windows_checked = int(snap.get("windows_checked", 0))
+            monitor.windows_pruned = int(snap.get("windows_pruned", 0))
+            monitor.rep_dtw_calls = int(snap.get("rep_dtw_calls", 0))
+        self._seq = int(event_seq)
 
     @property
     def dropped(self) -> int:

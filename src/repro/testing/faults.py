@@ -21,6 +21,12 @@ arm actions against points by name:
     Truncate the file the failpoint passes as ``path`` to half its size,
     then raise — simulating a crash mid-write with a partial artifact on
     disk.
+``torn-tail``
+    Truncate ``cut_bytes`` bytes off the *end* of the file the failpoint
+    passes as ``path``, then raise — simulating power loss mid-append
+    where only a prefix of the final record reached the platter.  Unlike
+    ``torn-write`` the damage is surgical, so a recovery scan can be
+    asserted to keep every earlier record.
 
 Failpoints fire at most ``times`` times (default: unlimited) and are
 scoped with the :func:`inject` context manager::
@@ -41,8 +47,19 @@ Registered failpoint names (kept in sync with the call sites):
 - ``build.merge`` — per merged shard payload (parent side);
 - ``persist.save`` — between writing the temp archive and renaming it
   into place (receives ``path``);
+- ``persist.rename`` — after the rename, before the directory fsync that
+  makes it durable (receives ``path``);
 - ``stream.step`` — per window assignment in the monitor step loop;
-- ``server.handle`` — around request dispatch in the HTTP handler.
+- ``server.handle`` — around request dispatch in the HTTP handler;
+- ``wal.append`` — before a WAL record's bytes are written (receives
+  ``path`` and ``seq``);
+- ``wal.written`` — after the record bytes are written and flushed but
+  before the append is acknowledged (receives ``path`` and ``seq``; the
+  natural target for ``torn-tail``);
+- ``wal.fsync`` — immediately before the WAL file is fsynced (receives
+  ``path``);
+- ``checkpoint.manifest`` — after checkpoint artifacts are written,
+  before the manifest rename commits them (receives ``path``).
 """
 
 from __future__ import annotations
@@ -61,17 +78,33 @@ class FaultInjectedError(OnexError):
     """The error an armed ``raise`` failpoint throws."""
 
 
-_ACTIONS = ("sleep", "raise", "kill-worker", "torn-write")
+_ACTIONS = ("sleep", "raise", "kill-worker", "torn-write", "torn-tail")
 
 
 class _Fault:
-    __slots__ = ("action", "armed_pid", "error", "lock", "remaining", "seconds")
+    __slots__ = (
+        "action",
+        "armed_pid",
+        "cut_bytes",
+        "error",
+        "lock",
+        "remaining",
+        "seconds",
+    )
 
-    def __init__(self, action: str, seconds: float, times: int | None, error) -> None:
+    def __init__(
+        self,
+        action: str,
+        seconds: float,
+        times: int | None,
+        error,
+        cut_bytes: int,
+    ) -> None:
         self.action = action
         self.seconds = seconds
         self.remaining = times
         self.error = error
+        self.cut_bytes = cut_bytes
         self.armed_pid = os.getpid()
         self.lock = threading.Lock()
 
@@ -104,6 +137,15 @@ class _Fault:
             raise FaultInjectedError(
                 f"injected torn write at {point!r} ({path})"
             )
+        elif self.action == "torn-tail":
+            path = ctx.get("path")
+            if path is not None:
+                size = os.path.getsize(path)
+                with open(path, "r+b") as fh:
+                    fh.truncate(max(0, size - self.cut_bytes))
+            raise FaultInjectedError(
+                f"injected torn tail at {point!r} ({path}, -{self.cut_bytes}B)"
+            )
 
 
 #: point name -> armed fault.  Kept as a plain module global so the
@@ -119,16 +161,18 @@ def arm(
     seconds: float = 0.05,
     times: int | None = None,
     error: Exception | None = None,
+    cut_bytes: int = 1,
 ) -> None:
     """Arm *action* at failpoint *point* (replacing any previous fault).
 
     *times* bounds how often the fault triggers (``None`` = every time);
     *seconds* parameterises ``sleep``; *error* overrides the exception a
-    ``raise`` fault throws.
+    ``raise`` fault throws; *cut_bytes* is how much ``torn-tail`` shaves
+    off the end of the failpoint's file.
     """
     if action not in _ACTIONS:
         raise ValueError(f"unknown fault action {action!r} (known: {_ACTIONS})")
-    _ARMED[point] = _Fault(action, float(seconds), times, error)
+    _ARMED[point] = _Fault(action, float(seconds), times, error, int(cut_bytes))
 
 
 def disarm(point: str) -> None:
@@ -162,9 +206,10 @@ def inject(
     seconds: float = 0.05,
     times: int | None = None,
     error: Exception | None = None,
+    cut_bytes: int = 1,
 ):
     """Scope a fault to a ``with`` block (armed on entry, disarmed on exit)."""
-    arm(point, action, seconds=seconds, times=times, error=error)
+    arm(point, action, seconds=seconds, times=times, error=error, cut_bytes=cut_bytes)
     try:
         yield
     finally:

@@ -1,0 +1,356 @@
+"""Kill -9 chaos suite: a real server process, really killed.
+
+Each scenario starts ``python -m repro serve --data-dir ...`` as a
+subprocess, drives it over HTTP, SIGKILLs it (no drain, no atexit, no
+flush), restarts it over the same data dir, and asserts the recovery
+invariants from DESIGN.md §8:
+
+- every *acknowledged* mutating op survives — structure fingerprint and
+  query results equal a never-crashed in-process reference;
+- at most the single in-flight (unacknowledged) op at kill time may be
+  missing, and a torn final WAL record is dropped, never repaired;
+- the idempotency window is reseeded: a pre-crash request id retried
+  after the restart does not double-execute;
+- /health reports the per-dataset wal/checkpoint positions and the
+  recovery summary.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.durability import dataset_slug
+from repro.server.client import OnexClient
+from repro.server.protocol import Request
+from repro.server.service import OnexService
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_LOAD = {
+    "source": "electricity",
+    "households": 1,
+    "similarity_threshold": 0.1,
+    "min_length": 4,
+    "max_length": 4,
+}
+_DATASET = "ElectricityLoad-sim"
+_QUERY = {"dataset": _DATASET, "query": [0.1, 0.3, 0.2, 0.4], "k": 2}
+_MONITOR = {
+    "dataset": _DATASET,
+    "pattern": [0.1, 0.5, 0.2, 0.6],
+    "epsilon": 50.0,
+    "series": "live",
+    "monitor": "m1",
+}
+
+
+class ServerProcess:
+    """One ``repro serve`` subprocess bound to an ephemeral port."""
+
+    def __init__(self, data_dir, *extra_args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--data-dir",
+                str(data_dir),
+                *extra_args,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.banner = []
+        self.url = None
+        deadline = time.monotonic() + 120
+        for line in self.proc.stdout:
+            self.banner.append(line.rstrip("\n"))
+            match = re.search(r"listening on (http://\S+)", line)
+            if match:
+                self.url = match.group(1)
+                break
+            if time.monotonic() > deadline:
+                break
+        if self.url is None:
+            raise RuntimeError(
+                f"server never announced a URL:\n" + "\n".join(self.banner)
+            )
+        self._wait_healthy()
+
+    def _wait_healthy(self):
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(f"{self.url}/health", timeout=5) as r:
+                    json.loads(r.read())
+                return
+            except Exception:
+                time.sleep(0.05)
+        raise RuntimeError("server never became healthy")
+
+    def kill9(self):
+        self.proc.kill()  # SIGKILL: no handlers, no flush, no goodbye
+        self.proc.wait(timeout=30)
+
+    def cleanup(self):
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+        self.proc.stdout.close()
+
+
+@pytest.fixture()
+def spawn():
+    servers = []
+
+    def _spawn(data_dir, *extra_args):
+        server = ServerProcess(data_dir, *extra_args)
+        servers.append(server)
+        return server
+
+    yield _spawn
+    for server in servers:
+        server.cleanup()
+
+
+def _chunks(count, size=3, seed=7):
+    rng = np.random.default_rng(seed)
+    return [[float(v) for v in rng.normal(size=size).cumsum()] for _ in range(count)]
+
+
+def _reference_state(chunks):
+    """The never-crashed oracle: same op sequence, one process, no kill."""
+    service = OnexService()
+    ops = [("load_dataset", _LOAD), ("register_monitor", _MONITOR)] + [
+        (
+            "append_points",
+            {"dataset": _DATASET, "series": "live", "values": chunk},
+        )
+        for chunk in chunks
+    ]
+    for op, params in ops:
+        response = service.handle(Request(op, dict(params)))
+        assert response.ok, (op, response.error_type, response.error_message)
+    describe = service.handle(
+        Request("describe", {"dataset": _DATASET})
+    ).result
+    matches = service.handle(Request("k_best", dict(_QUERY))).result["matches"]
+    return describe["structure_fingerprint"], matches
+
+
+class TestKillAndRecover:
+    def test_acked_state_identical_to_never_crashed_reference(
+        self, tmp_path, spawn
+    ):
+        chunks = _chunks(6)
+        server = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(server.url)
+        client.call("load_dataset", _LOAD)
+        client.call("register_monitor", _MONITOR)
+        for i, chunk in enumerate(chunks):
+            client.call(
+                "append_points",
+                {"dataset": _DATASET, "series": "live", "values": chunk},
+            )
+        server.kill9()
+
+        revived = spawn(tmp_path, "--checkpoint-every", "100")
+        assert any(
+            "recovery: 1 dataset(s)" in line for line in revived.banner
+        ), revived.banner
+        client = OnexClient(revived.url)
+        ref_fingerprint, ref_matches = _reference_state(chunks)
+        describe = client.call("describe", {"dataset": _DATASET})
+        assert describe["structure_fingerprint"] == ref_fingerprint
+        assert client.call("k_best", _QUERY)["matches"] == ref_matches
+        # The monitor survived and keeps firing with monotonic seqs.
+        polled = client.call("poll_events", {"dataset": _DATASET})
+        assert [m["monitor"] for m in polled["monitors"]] == ["m1"]
+        result = client.call(
+            "append_points",
+            {"dataset": _DATASET, "series": "live", "values": [5.0, 1.0, 4.0]},
+        )
+        assert result["events"], "recovered monitor must still fire"
+        assert min(e["seq"] for e in result["events"]) > polled["last_seq"]
+
+        health = client.health()
+        durability = health["durability"]
+        status = durability["datasets"][_DATASET]
+        assert status["wal_seq"] >= status["checkpoint_seq"]
+        assert durability["last_recovery"]["replayed_records"] == 7
+        assert durability["last_recovery"]["errors"] == []
+
+    def test_kill_mid_checkpoint_cadence_and_survive_twice(self, tmp_path, spawn):
+        """Two crash/recover cycles with live checkpoints + compaction."""
+        chunks = _chunks(8, seed=21)
+        server = spawn(tmp_path, "--checkpoint-every", "3")
+        client = OnexClient(server.url)
+        client.call("load_dataset", _LOAD)
+        client.call("register_monitor", _MONITOR)
+        for chunk in chunks[:5]:
+            client.call(
+                "append_points",
+                {"dataset": _DATASET, "series": "live", "values": chunk},
+            )
+        server.kill9()
+
+        second = spawn(tmp_path, "--checkpoint-every", "3")
+        client = OnexClient(second.url)
+        for chunk in chunks[5:]:
+            client.call(
+                "append_points",
+                {"dataset": _DATASET, "series": "live", "values": chunk},
+            )
+        second.kill9()
+
+        third = spawn(tmp_path, "--checkpoint-every", "3")
+        client = OnexClient(third.url)
+        ref_fingerprint, ref_matches = _reference_state(chunks)
+        describe = client.call("describe", {"dataset": _DATASET})
+        assert describe["structure_fingerprint"] == ref_fingerprint
+        assert client.call("k_best", _QUERY)["matches"] == ref_matches
+        values = client.call(
+            "query_preview", {"dataset": _DATASET, "series": "live"}
+        )["values"]
+        assert len(values) == sum(len(c) for c in chunks)
+
+    def test_kill_while_appending_loses_at_most_the_unacked_tail(
+        self, tmp_path, spawn
+    ):
+        server = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(server.url, max_retries=0)
+        client.call("load_dataset", _LOAD)
+        acked = []
+        stop = threading.Event()
+
+        def appender():
+            writer = OnexClient(server.url, max_retries=0, timeout_s=5)
+            i = 0
+            while not stop.is_set():
+                try:
+                    writer.call(
+                        "append_points",
+                        {
+                            "dataset": _DATASET,
+                            "series": "live",
+                            "values": [float(i), float(i) + 0.5, float(i) - 0.5],
+                        },
+                        )
+                except Exception:
+                    return  # the kill severed this request: not acked
+                acked.append(i)
+                i += 1
+
+        thread = threading.Thread(target=appender)
+        thread.start()
+        time.sleep(0.8)  # let a few appends land, then pull the plug
+        server.kill9()
+        stop.set()
+        thread.join(timeout=30)
+        assert acked, "the appender never got a single ack"
+
+        revived = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(revived.url)
+        values = client.call(
+            "query_preview", {"dataset": _DATASET, "series": "live"}
+        )["values"]
+        # Every acknowledged append survived; at most the one in-flight
+        # (written-but-unacked) chunk may additionally have been logged.
+        assert len(values) >= 3 * len(acked)
+        assert len(values) <= 3 * (len(acked) + 1)
+        # And the acked prefix is bit-identical, in order.
+        for i in acked:
+            assert values[3 * i : 3 * i + 3] == [
+                float(i),
+                float(i) + 0.5,
+                float(i) - 0.5,
+            ]
+
+    def test_torn_wal_tail_is_dropped_not_repaired(self, tmp_path, spawn):
+        server = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(server.url)
+        client.call("load_dataset", _LOAD)
+        for chunk in _chunks(3, seed=33):
+            client.call(
+                "append_points",
+                {"dataset": _DATASET, "series": "live", "values": chunk},
+            )
+        server.kill9()
+        # Simulate the torn final record a mid-write power cut leaves.
+        wal_path = tmp_path / dataset_slug(_DATASET) / "wal.log"
+        size = wal_path.stat().st_size
+        with open(wal_path, "r+b") as fh:
+            fh.truncate(size - 4)
+
+        revived = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(revived.url)
+        values = client.call(
+            "query_preview", {"dataset": _DATASET, "series": "live"}
+        )["values"]
+        assert len(values) == 6  # chunks 1+2 survive, the torn third is gone
+        health = client.health()
+        recovery = health["durability"]["last_recovery"]
+        assert recovery["errors"] == []
+        assert recovery["datasets"][_DATASET]["torn_bytes"] > 0
+        # The server keeps accepting appends after truncating the tail.
+        result = client.call(
+            "append_points",
+            {"dataset": _DATASET, "series": "live", "values": [1.0, 2.0, 3.0]},
+        )
+        assert result["points" if "points" in result else "total_points"] == 3
+
+    def test_pre_crash_request_id_dedupes_after_restart(self, tmp_path, spawn):
+        server = spawn(tmp_path, "--checkpoint-every", "100")
+        client = OnexClient(server.url)
+        client.call("load_dataset", _LOAD)
+        envelope = {
+            "op": "append_points",
+            "params": {
+                "dataset": _DATASET,
+                "series": "live",
+                "values": [1.0, 2.0, 3.0, 4.0],
+            },
+            "request_id": "precrash-1",
+        }
+        req = urllib.request.Request(
+            f"{server.url}/api",
+            data=json.dumps(envelope).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            assert json.loads(resp.read())["ok"]
+        server.kill9()
+
+        revived = spawn(tmp_path, "--checkpoint-every", "100")
+        req = urllib.request.Request(
+            f"{revived.url}/api",
+            data=json.dumps(envelope).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            retry = json.loads(resp.read())
+        assert retry["ok"]
+        client = OnexClient(revived.url)
+        values = client.call(
+            "query_preview", {"dataset": _DATASET, "series": "live"}
+        )["values"]
+        assert len(values) == 4  # the retry deduped, no double append

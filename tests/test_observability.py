@@ -109,7 +109,7 @@ def server():
 class TestMetricsEndpoint:
     def test_scrape_is_parseable_prometheus_text(self, server):
         client = OnexClient(server.url)
-        text = client.metrics()
+        text = client.scrape_metrics()
         parsed = parse_exposition(text)
         # Every subsystem the PR instruments shows up in one scrape.
         assert "onex_queries_total" in parsed or "onex_server_requests_total" in parsed
@@ -120,12 +120,12 @@ class TestMetricsEndpoint:
 
     def test_counters_are_monotone_across_requests(self, server):
         client = OnexClient(server.url)
-        before = parse_exposition(client.metrics())
+        before = parse_exposition(client.scrape_metrics())
         client.call(
             "k_best",
             {"dataset": "MATTERS-sim", "query": [0.2, 0.5, 0.3, 0.6], "k": 2},
         )
-        after = parse_exposition(client.metrics())
+        after = parse_exposition(client.scrape_metrics())
         for name, series in before.items():
             if name.endswith(("_total", "_count", "_sum", "_bucket")):
                 for key, value in series.items():

@@ -1,0 +1,172 @@
+"""Event-feed ordering under concurrent appenders (HTTP path).
+
+``poll_events(since=)`` is the subscription cursor of the streaming
+demo: every consumer must see a strictly increasing, gap-explicit,
+duplicate-free sequence even while several producers append and another
+client polls mid-stream.  The HTTP layer serialises mutating operations
+per dataset (exclusive lock), which is what makes this contract hold —
+these tests pin it end to end, including ``flush_monitors`` landing its
+deferred tail candidates in the same ordered feed.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.server.client import OnexClient
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+
+_LOAD = {
+    "source": "electricity",
+    "households": 1,
+    "similarity_threshold": 0.1,
+    "min_length": 4,
+    "max_length": 4,
+}
+_DATASET = "ElectricityLoad-sim"
+
+
+@pytest.fixture()
+def server():
+    with OnexHttpServer(OnexService(), max_in_flight=8, max_queue=32) as srv:
+        client = OnexClient(srv.url)
+        client.call("load_dataset", _LOAD)
+        # Unscoped wide monitor: watches every live series, fires often.
+        client.call(
+            "register_monitor",
+            {
+                "dataset": _DATASET,
+                "pattern": [0.1, 0.6, 0.2, 0.7],
+                "epsilon": 100.0,
+                "monitor": "wide",
+            },
+        )
+        yield srv
+
+
+def _run_appenders(url, n_series=3, n_appends=4, chunk=3):
+    """Concurrent producers, one series each; returns per-thread errors."""
+    errors = []
+
+    def appender(idx):
+        client = OnexClient(url)
+        rng = np.random.default_rng(1000 + idx)
+        try:
+            for _ in range(n_appends):
+                client.call(
+                    "append_points",
+                    {
+                        "dataset": _DATASET,
+                        "series": f"live-{idx}",
+                        "values": [float(v) for v in rng.normal(size=chunk).cumsum()],
+                    },
+                )
+        except Exception as exc:  # surfaced after join
+            errors.append((idx, exc))
+
+    threads = [
+        threading.Thread(target=appender, args=(i,)) for i in range(n_series)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    return errors
+
+
+class TestConcurrentAppenders:
+    def test_feed_is_strictly_ordered_and_duplicate_free(self, server):
+        errors = _run_appenders(server.url)
+        assert not errors, errors
+        client = OnexClient(server.url)
+        polled = client.call("poll_events", {"dataset": _DATASET})
+        assert polled["dropped"] == 0
+        seqs = [e["seq"] for e in polled["events"]]
+        assert seqs, "the wide monitor must have fired"
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+        assert seqs[-1] == polled["last_seq"]
+        # Per monitored series, SPRING matches arrive in stream order.
+        for idx in range(3):
+            matches = [
+                e
+                for e in polled["events"]
+                if e["kind"] == "match" and e["series"] == f"live-{idx}"
+            ]
+            starts = [e["start"] for e in matches]
+            assert starts == sorted(starts)
+
+    def test_since_cursor_sees_every_event_exactly_once(self, server):
+        """A consumer polling concurrently with the producers never sees
+        a duplicate and never goes backwards; the final drain closes any
+        gap left when the producers outran the poll cadence."""
+        stop = threading.Event()
+        seen = []
+        poll_errors = []
+
+        def consumer():
+            client = OnexClient(server.url)
+            cursor = 0
+            try:
+                while not stop.is_set():
+                    polled = client.call(
+                        "poll_events", {"dataset": _DATASET, "since": cursor}
+                    )
+                    batch = [e["seq"] for e in polled["events"]]
+                    assert all(s > cursor for s in batch)
+                    assert batch == sorted(batch)
+                    seen.extend(batch)
+                    if batch:
+                        cursor = batch[-1]
+            except Exception as exc:
+                poll_errors.append(exc)
+
+        poller = threading.Thread(target=consumer)
+        poller.start()
+        errors = _run_appenders(server.url)
+        stop.set()
+        poller.join(timeout=60)
+        assert not errors and not poll_errors, (errors, poll_errors)
+        client = OnexClient(server.url)
+        cursor = seen[-1] if seen else 0
+        tail = client.call("poll_events", {"dataset": _DATASET, "since": cursor})
+        seen.extend(e["seq"] for e in tail["events"])
+        assert len(set(seen)) == len(seen)
+        assert seen == sorted(seen)
+        assert seen[-1] == tail["last_seq"]
+
+    def test_flush_lands_in_the_ordered_feed(self, server):
+        errors = _run_appenders(server.url, n_series=2, n_appends=3)
+        assert not errors, errors
+        client = OnexClient(server.url)
+        before = client.call("poll_events", {"dataset": _DATASET})
+        flushed = client.call("flush_monitors", {"dataset": _DATASET})["events"]
+        after = client.call(
+            "poll_events", {"dataset": _DATASET, "since": before["last_seq"]}
+        )
+        # Every flushed event got a fresh seq past the pre-flush frontier
+        # and is pollable like any organic event.
+        assert [e["seq"] for e in flushed] == [e["seq"] for e in after["events"]]
+        assert all(e["seq"] > before["last_seq"] for e in flushed)
+        # Flushing twice emits nothing new.
+        assert client.call("flush_monitors", {"dataset": _DATASET})["events"] == []
+
+    def test_limit_pages_without_skipping(self, server):
+        errors = _run_appenders(server.url, n_series=2, n_appends=3)
+        assert not errors, errors
+        client = OnexClient(server.url)
+        everything = [
+            e["seq"] for e in client.call("poll_events", {"dataset": _DATASET})["events"]
+        ]
+        paged, cursor = [], 0
+        while True:
+            batch = client.call(
+                "poll_events", {"dataset": _DATASET, "since": cursor, "limit": 2}
+            )["events"]
+            if not batch:
+                break
+            paged.extend(e["seq"] for e in batch)
+            cursor = batch[-1]["seq"]
+        assert paged == everything
