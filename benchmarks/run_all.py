@@ -51,6 +51,7 @@ from repro.stream import StreamIngestor
 from repro.testing import faults
 
 from bench_durability import run_durability
+from bench_metrics import run_metrics
 from bench_serving_load import run_serving_load, run_tracing_overhead
 
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
@@ -147,9 +148,18 @@ def run(config: dict) -> dict:
         appends=config["appends"],
         sizes=(config["appends"] // 3, config["appends"]),
     )
+    metrics_report = run_metrics(
+        {
+            "series": max(4, config["states"] // 2),
+            "length": 10 * config["years"] // 4,
+            "queries": config["queries"],
+            "repeats": config["repeats"],
+        }
+    )
 
     return {
         "config": config,
+        "metrics": metrics_report,
         "durability": durability_report,
         "observability": {
             "serving_load": serving_report,
@@ -661,6 +671,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr8.json"),
         help="where the E21 durability section lands",
     )
+    parser.add_argument(
+        "--pr9-output",
+        type=Path,
+        default=Path("BENCH_pr9.json"),
+        help="where the E22 metric-registry section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -710,6 +726,25 @@ def main(argv: list[str] | None = None) -> int:
         "durability": report["durability"],
     }
     args.pr8_output.write_text(json.dumps(pr8, indent=2) + "\n")
+    pr9 = {
+        "config": report["config"],
+        "metrics": report["metrics"],
+    }
+    args.pr9_output.write_text(json.dumps(pr9, indent=2) + "\n")
+    metrics = report["metrics"]
+    if not metrics["all_metrics_exact"]:
+        print(
+            "ERROR: a registered metric's registry scan diverged from a "
+            "brute-force scan with its own pair kernel",
+            file=sys.stderr,
+        )
+        return 1
+    if not metrics["multivariate"]["exact_vs_brute_force"]:
+        print(
+            "ERROR: multivariate DTW diverged from brute force",
+            file=sys.stderr,
+        )
+        return 1
     resilience = report["resilience"]
     if not resilience["ample_deadline_identical"]:
         print(

@@ -7,7 +7,8 @@ operations so everything the HTTP API offers is scriptable:
 - ``query`` — best matches for a brushed series window; ``--starts``
   brushes several windows and submits them as one ``query_batch``;
   ``--window`` constrains every DTW to a Sakoe-Chiba band (engaging the
-  persisted centroid envelopes and the band-limited kernel).
+  persisted centroid envelopes and the band-limited kernel);
+  ``--metric`` swaps the distance metric (any registry name).
 - ``seasonal`` — recurring patterns within one series.
 - ``thresholds`` — data-driven similarity-threshold suggestions.
 - ``recommend`` — the same recommendation with the sampling knobs
@@ -112,6 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "them as a single query_batch request")
     p.add_argument("--length", type=int, default=None)
     p.add_argument("--k", type=int, default=5)
+    p.add_argument("--metric", default=None,
+                   help="distance metric: dtw (default), euclidean, "
+                        "cityblock, chebyshev, derivative_dtw, or "
+                        "weighted_dtw; non-DTW metrics answer through the "
+                        "exact registry scan")
     p.add_argument("--explain", action="store_true",
                    help="trace the query and attach the span tree plus "
                         "pruning-cascade counters to the result (matches "
@@ -405,6 +411,8 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "query":
         explain_opts = {"explain": True} if args.explain else {}
+        if args.metric is not None:
+            explain_opts["metric"] = args.metric
         if args.starts is not None:
             # One request answers every brushed window (query_batch).
             result = _call(

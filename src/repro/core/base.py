@@ -88,9 +88,12 @@ __all__ = [
 #: added the stacked member-value matrices (PR 1); version 3 adds the
 #: persisted representative summaries (centroid Keogh envelopes, endpoint
 #: and min/max summaries); version 4 adds a content checksum over every
-#: stored array, verified on load.  :meth:`OnexBase.load` accepts any
-#: older archive and rebuilds (or skips verifying) the missing pieces.
-FORMAT_VERSION = 4
+#: stored array, verified on load; version 5 adds the dataset channel
+#: count (multivariate bases store channel-flattened rows of width
+#: ``length * channels``).  :meth:`OnexBase.load` accepts any older
+#: archive and rebuilds (or skips verifying) the missing pieces — a v4
+#: univariate archive loads unchanged with ``channels == 1``.
+FORMAT_VERSION = 5
 
 
 def _checksum_arrays(named_arrays) -> str:
@@ -216,13 +219,21 @@ class RepresentativeSummary:
     read-only by concurrent queries.
     """
 
-    def __init__(self, length: int, radius: int | None = None) -> None:
+    def __init__(
+        self, length: int, radius: int | None = None, width: int | None = None
+    ) -> None:
         self.length = length
         self.radius = default_envelope_radius(length) if radius is None else int(radius)
+        #: Stored row width — ``length`` for univariate buckets,
+        #: ``length * channels`` for channel-flattened multivariate rows
+        #: (the summaries then bound the flattened-row geometry, which the
+        #: DTW cascade never consults; only the metric scan serves
+        #: multivariate buckets).
+        self.width = length if width is None else int(width)
         self._count = 0
         cap = LengthBucket._MIN_CAPACITY
-        self._env_lo = np.empty((cap, length), dtype=np.float64)
-        self._env_hi = np.empty((cap, length), dtype=np.float64)
+        self._env_lo = np.empty((cap, self.width), dtype=np.float64)
+        self._env_hi = np.empty((cap, self.width), dtype=np.float64)
         self._endpoints = np.empty((cap, 4), dtype=np.float64)
         self._minmax = np.empty((cap, 2), dtype=np.float64)
 
@@ -349,12 +360,19 @@ class LengthBucket:
         groups: list[SimilarityGroup],
         member_matrix: np.ndarray | None = None,
         stacks: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        channels: int = 1,
     ) -> None:
         self.length = length
+        #: Channels per time step; multivariate buckets store every row
+        #: channel-flattened (C-order ``(length, channels)``, width
+        #: ``length * channels``) so clustering, radii, and persistence
+        #: are identical to the univariate layout.
+        self.channels = int(channels)
         self.groups = list(groups)
         count = len(self.groups)
         cap = max(self._MIN_CAPACITY, count)
-        self._centroid_store = np.empty((cap, length), dtype=np.float64)
+        width = length * self.channels
+        self._centroid_store = np.empty((cap, width), dtype=np.float64)
         self._ed_store = np.empty(cap, dtype=np.float64)
         self._cheb_store = np.empty(cap, dtype=np.float64)
         if stacks is not None:
@@ -381,7 +399,7 @@ class LengthBucket:
         # attaches the persisted arrays instead.
         self._rep_summary: RepresentativeSummary | None = None
         if member_matrix is not None:
-            expected = (self._row_count, length)
+            expected = (self._row_count, width)
             if member_matrix.shape != expected:
                 raise ValidationError(
                     f"member matrix shape {member_matrix.shape} != {expected}"
@@ -432,7 +450,9 @@ class LengthBucket:
         summary = self._rep_summary
         if summary is None or summary.count < len(self.groups):
             fresh = RepresentativeSummary(
-                self.length, summary.radius if summary is not None else None
+                self.length,
+                summary.radius if summary is not None else None,
+                width=self._centroid_store.shape[1],
             )
             fresh.extend(self.centroids)
             self._rep_summary = summary = fresh
@@ -490,7 +510,8 @@ class LengthBucket:
         """
         if self._member_store is None:
             refs = [ref for group in self.groups for ref in group.members]
-            matrix = np.empty((self._row_count, self.length), dtype=np.float64)
+            width = self.length * self.channels
+            matrix = np.empty((self._row_count, width), dtype=np.float64)
             series = np.fromiter(
                 (r.series_index for r in refs), np.int64, len(refs)
             )
@@ -498,7 +519,7 @@ class LengthBucket:
             for si in np.unique(series).tolist():
                 rows = np.nonzero(series == si)[0]
                 windows = window_view(dataset[si].values, self.length)
-                matrix[rows] = windows[starts[rows]]
+                matrix[rows] = windows[starts[rows]].reshape(rows.shape[0], -1)
             self._member_store = matrix
         return self._member_store[: self._row_count]
 
@@ -620,7 +641,7 @@ def _build_length_shard(
         return None
     groups = cluster_subsequence_rows(matrix, group_radius)
     count = len(groups)
-    centroids = np.empty((count, length), dtype=np.float64)
+    centroids = np.empty((count, matrix.shape[1]), dtype=np.float64)
     offsets = np.empty(count + 1, dtype=np.int64)
     offsets[0] = 0
     for g, group in enumerate(groups):
@@ -861,6 +882,7 @@ class OnexBase:
             groups,
             matrix[member_rows],
             stacks=(centroids, payload["ed_radii"], payload["cheb_radii"]),
+            channels=self._dataset.channels,
         )
 
     # ------------------------------------------------------------------
@@ -889,6 +911,11 @@ class OnexBase:
         dataset extremes, which :meth:`add_series` may have widened.
         """
         return self._norm_bounds
+
+    @property
+    def channels(self) -> int:
+        """Channels per time step of the indexed dataset (1 = univariate)."""
+        return self._dataset.channels
 
     @property
     def is_built(self) -> bool:
@@ -1023,7 +1050,12 @@ class OnexBase:
                 continue
             bucket = self._buckets.get(length)
             if bucket is None:
-                bucket = LengthBucket(length, [], np.empty((0, length)))
+                bucket = LengthBucket(
+                    length,
+                    [],
+                    np.empty((0, length * self.channels)),
+                    channels=self.channels,
+                )
                 self._buckets[length] = bucket
             out.extend(
                 self._assign_windows(bucket, series_index, starts, values)
@@ -1082,6 +1114,9 @@ class OnexBase:
             starts.start : starts.stop : starts.step
         ]
         count = windows.shape[0]
+        if windows.ndim == 3:
+            # Channel-flatten multivariate windows to the stored row layout.
+            windows = windows.reshape(count, -1)
         bucket.ensure_member_matrix(self._dataset)
         out: list[WindowAssignment] = []
         joins: dict[int, list[int]] = {}
@@ -1182,6 +1217,7 @@ class OnexBase:
             "dataset_fingerprint": self._fingerprint(),
             "lengths": self.lengths,
             "norm_bounds": list(self._norm_bounds) if self._norm_bounds else None,
+            "channels": self.channels,
         }
         for length in self.lengths:
             bucket = self._buckets[length]
@@ -1281,6 +1317,13 @@ class OnexBase:
                     )
             config = BuildConfig(**meta["config"])
             base = cls(dataset, config)
+            # Pre-v5 archives are always univariate; v5 stores the count.
+            channels = int(meta.get("channels", 1))
+            if dataset.channels != channels:
+                raise DatasetError(
+                    f"base was built over {channels}-channel series, "
+                    f"dataset has {dataset.channels}"
+                )
             saved_bounds = meta.get("norm_bounds")
             if saved_bounds is not None and tuple(saved_bounds) != base._norm_bounds:
                 # The saved base was normalised with earlier bounds (e.g.
@@ -1325,12 +1368,16 @@ class OnexBase:
                 member_matrix = (
                     archive[matrix_key] if matrix_key in archive.files else None
                 )
-                bucket = LengthBucket(int(length), groups, member_matrix)
+                bucket = LengthBucket(
+                    int(length), groups, member_matrix, channels=channels
+                )
                 bucket.ensure_member_matrix(base._dataset)
                 env_key = f"{prefix}_rep_env_lo"
                 if env_key in archive.files:
                     summary = RepresentativeSummary(
-                        int(length), int(archive[f"{prefix}_rep_env_radius"])
+                        int(length),
+                        int(archive[f"{prefix}_rep_env_radius"]),
+                        width=int(length) * channels,
                     )
                     count = len(groups)
                     cap = max(LengthBucket._MIN_CAPACITY, count)

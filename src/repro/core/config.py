@@ -147,6 +147,15 @@ class QueryConfig:
         unbounded; per-call ``deadline=`` arguments override it.  A
         finished-in-budget operation is bit-identical to an unbounded
         one — the deadline is pure control flow, never a result knob.
+    metric:
+        Distance metric for query/threshold operations, resolved through
+        :mod:`repro.distances.registry` (DESIGN.md §9).  ``"dtw"`` (the
+        default) on a univariate base runs the classic representative
+        cascade, bit-identical to the pre-registry engine; every other
+        metric — and any metric on a multivariate base — runs the
+        metric scan with that metric's lower-bound prescreen where one is
+        registered and a brute-force-verified full scan where it isn't.
+        Unknown names raise :class:`~repro.exceptions.ValidationError`.
     """
 
     mode: str = "fast"
@@ -159,10 +168,14 @@ class QueryConfig:
     batch_min_members: int = 8
     use_analytics_batching: bool = True
     deadline: Deadline | None = None
+    metric: str = "dtw"
 
     def __post_init__(self) -> None:
+        from repro.distances.registry import get_metric
+
         if self.mode not in ("fast", "exact"):
             raise ValidationError(f"mode must be 'fast' or 'exact', got {self.mode!r}")
+        get_metric(self.metric)  # ValidationError for unknown names
         if self.refine_groups < 1:
             raise ValidationError(
                 f"refine_groups must be >= 1, got {self.refine_groups}"

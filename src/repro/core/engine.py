@@ -9,7 +9,7 @@ this class; examples and benchmarks drive it directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -43,6 +43,12 @@ class LoadedDataset:
     #: handle surfaced by ``GET /health`` (incremental ingestion after
     #: load intentionally does not refresh it).
     fingerprint: str | None = None
+    #: Lazily built processors for per-request metric overrides, keyed by
+    #: metric name; ``processor`` stays the default-config one.
+    metric_processors: dict = field(default_factory=dict)
+    #: The processor that answered the most recent query operation —
+    #: what ``last_query_stats`` (and thus ``explain``) reads.
+    active_processor: QueryProcessor | None = None
 
 
 class OnexEngine:
@@ -312,21 +318,49 @@ class OnexEngine:
 
     def last_query_stats(self, name: str) -> dict:
         """The dataset processor's most recent ``QueryStats`` counters."""
-        return self._entry(name).processor.last_stats.as_dict()
+        entry = self._entry(name)
+        processor = entry.active_processor or entry.processor
+        return processor.last_stats.as_dict()
+
+    def _processor(self, name: str, metric: str | None = None) -> QueryProcessor:
+        """The dataset's query processor for *metric* (default: config's).
+
+        Processors are immutable over their config, so per-metric
+        overrides get their own lazily built, cached instance; the
+        default metric reuses the load-time processor, keeping the
+        default path untouched.  An unknown metric name fails here in
+        ``QueryConfig.__post_init__`` with a :class:`ValidationError`
+        listing the registered names.
+        """
+        entry = self._entry(name)
+        if metric is None or metric == self._query_config.metric:
+            processor = entry.processor
+        else:
+            processor = entry.metric_processors.get(metric)
+            if processor is None:
+                config = replace(self._query_config, metric=str(metric))
+                processor = QueryProcessor(entry.base, config)
+                entry.metric_processors[metric] = processor
+        entry.active_processor = processor
+        return processor
 
     # ------------------------------------------------------------------
     # Exploratory operations (§3.3)
     # ------------------------------------------------------------------
 
-    def best_match(self, dataset_name: str, query, **kwargs) -> Match:
+    def best_match(self, dataset_name: str, query, *, metric=None, **kwargs) -> Match:
         """Best match for a sample sequence (Fig. 2's similarity search)."""
-        return self._entry(dataset_name).processor.best_match(query, **kwargs)
+        return self._processor(dataset_name, metric).best_match(query, **kwargs)
 
-    def k_best_matches(self, dataset_name: str, query, k: int, **kwargs) -> list[Match]:
-        return self._entry(dataset_name).processor.k_best_matches(query, k, **kwargs)
+    def k_best_matches(
+        self, dataset_name: str, query, k: int, *, metric=None, **kwargs
+    ) -> list[Match]:
+        return self._processor(dataset_name, metric).k_best_matches(
+            query, k, **kwargs
+        )
 
     def batch_best_matches(
-        self, dataset_name: str, queries, k: int = 1, **kwargs
+        self, dataset_name: str, queries, k: int = 1, *, metric=None, **kwargs
     ) -> list[list[Match]]:
         """The *k* best matches for every query of a batch, in one call.
 
@@ -336,12 +370,14 @@ class OnexEngine:
         and per-bucket kernel jobs fan out over a thread pool.  Results
         are identical to per-query :meth:`k_best_matches` calls.
         """
-        return self._entry(dataset_name).processor.batch_matches(
+        return self._processor(dataset_name, metric).batch_matches(
             queries, k, **kwargs
         )
 
-    def matches_within(self, dataset_name: str, query, threshold: float, **kwargs) -> list[Match]:
-        return self._entry(dataset_name).processor.matches_within(
+    def matches_within(
+        self, dataset_name: str, query, threshold: float, *, metric=None, **kwargs
+    ) -> list[Match]:
+        return self._processor(dataset_name, metric).matches_within(
             query, threshold, **kwargs
         )
 

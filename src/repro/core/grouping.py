@@ -81,7 +81,9 @@ class SimilarityGroup:
         O(members * length).
         """
         for ref in self.members:
-            values = dataset.values(ref)
+            # Multivariate members resolve to (length, channels) blocks;
+            # the stored centroid is the channel-flattened row.
+            values = dataset.values(ref).ravel()
             ed = float(np.abs(values - self.centroid).mean())
             cheb = float(np.abs(values - self.centroid).max())
             if ed > group_radius + _EPS:

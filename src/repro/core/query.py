@@ -90,6 +90,7 @@ from repro.distances.envelope import QueryEnvelopeCache
 from repro.distances.lower_bounds import lb_keogh_batch, lb_kim, lb_kim_batch
 from repro.distances.metrics import as_sequence
 from repro.distances.normalize import minmax_normalize
+from repro.distances.registry import MetricSpec, get_metric
 from repro.exceptions import DeadlineExceeded, ValidationError
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
@@ -173,7 +174,8 @@ class QueryStats:
 # process-wide accumulation (DESIGN.md §7).  ``event`` label values are
 # the closed set of QueryStats field names.
 _QUERIES_TOTAL = REGISTRY.counter(
-    "onex_queries_total", "Completed query-layer operations by op and mode"
+    "onex_queries_total",
+    "Completed query-layer operations by op, mode, and metric",
 )
 _QUERY_MS = REGISTRY.histogram(
     "onex_query_ms", "Query-layer wall time per operation (milliseconds)"
@@ -185,8 +187,12 @@ _CASCADE_TOTAL = REGISTRY.counter(
 )
 
 
-def _publish_query(op: str, mode: str, stats: QueryStats, started: float) -> None:
-    _QUERIES_TOTAL.inc(op=op, mode=mode)
+def _publish_query(
+    op: str, mode: str, stats: QueryStats, started: float, metric: str = "dtw"
+) -> None:
+    # ``metric`` label values are the registry's closed name set, so the
+    # DESIGN.md §7 cardinality rule holds.
+    _QUERIES_TOTAL.inc(op=op, mode=mode, metric=metric)
     _QUERY_MS.observe((time.perf_counter() - started) * 1000.0, op=op)
     for name, value in vars(stats).items():
         if value:
@@ -211,6 +217,18 @@ class QueryProcessor:
         base.stats  # raises NotBuiltError early when unbuilt
         self._base = base
         self._config = config or QueryConfig()
+        self._spec: MetricSpec = get_metric(self._config.metric)
+        if base.channels > 1 and not self._spec.multivariate:
+            raise ValidationError(
+                f"metric {self._spec.name!r} supports univariate series "
+                f"only; this base indexes {base.channels}-channel series"
+            )
+        # The classic DTW cascade serves only its original contract:
+        # univariate base + metric="dtw" (bit-identical to the
+        # pre-registry engine).  Everything else — any other metric, or
+        # any metric over a multivariate base — runs the metric scan
+        # (DESIGN.md §9), which answers exactly in either query mode.
+        self._metric_scan = self._config.metric != "dtw" or base.channels > 1
         self.last_stats = QueryStats()
 
     @property
@@ -280,7 +298,9 @@ class QueryProcessor:
                 member_dtw_calls=stats.member_dtw_calls,
             )
         self.last_stats = stats
-        _publish_query("k_best", self._config.mode, stats, started)
+        _publish_query(
+            "k_best", self._config.mode, stats, started, self._config.metric
+        )
         return matches
 
     def batch_matches(
@@ -324,12 +344,12 @@ class QueryProcessor:
         # concurrently; afterwards the searches only read shared state.
         for bucket in buckets:
             bucket.ensure_member_matrix(self._base.dataset)
-            if self._config.use_rep_prefilter:
+            if self._config.use_rep_prefilter and not self._metric_scan:
                 bucket.rep_summary
         if max_workers is None:
             max_workers = min(len(resolved), os.cpu_count() or 1)
 
-        if self._config.mode == "exact":
+        if self._config.mode == "exact" and not self._metric_scan:
             # One executor serves every kernel wave of the planner.
             pool = (
                 ThreadPoolExecutor(max_workers=max_workers)
@@ -349,17 +369,20 @@ class QueryProcessor:
             for one in per_query:
                 stats.merge(one)
             self.last_stats = stats
-            _publish_query("batch", "exact", stats, started)
+            _publish_query("batch", "exact", stats, started, self._config.metric)
             return results
 
         def run_one(q: np.ndarray) -> tuple[list[Match], QueryStats]:
             one = QueryStats()
             return self._run_search(q, buckets, k, one, deadline=deadline), one
 
-        # Fast-mode fan-out: worker threads never see the caller's
-        # thread-local trace, so only this enclosing span records —
-        # per-query telemetry still merges through the stats objects.
-        with span("query.batch", queries=len(resolved), k=k, mode="fast"):
+        # Per-query fan-out (fast mode, and every metric-scan batch):
+        # worker threads never see the caller's thread-local trace, so
+        # only this enclosing span records — per-query telemetry still
+        # merges through the stats objects.
+        with span(
+            "query.batch", queries=len(resolved), k=k, mode=self._config.mode
+        ):
             if max_workers > 1 and len(resolved) > 1:
                 with ThreadPoolExecutor(max_workers=max_workers) as pool:
                     outcomes = list(pool.map(run_one, resolved))
@@ -368,7 +391,9 @@ class QueryProcessor:
         for _, one in outcomes:
             stats.merge(one)
         self.last_stats = stats
-        _publish_query("batch", "fast", stats, started)
+        _publish_query(
+            "batch", self._config.mode, stats, started, self._config.metric
+        )
         return [matches for matches, _ in outcomes]
 
     def _batch_search_exact(
@@ -651,12 +676,15 @@ class QueryProcessor:
         stats: QueryStats,
         deadline: Deadline | None = None,
     ) -> list[Match]:
-        envelopes = QueryEnvelopeCache(q)
         before = stats.partial_results
-        if self._config.mode == "fast":
-            heap = self._search_fast(q, buckets, k, stats, envelopes, deadline)
+        if self._metric_scan:
+            heap = self._metric_search(q, buckets, k, stats, deadline)
         else:
-            heap = self._search_exact(q, buckets, k, stats, envelopes, deadline)
+            envelopes = QueryEnvelopeCache(q)
+            if self._config.mode == "fast":
+                heap = self._search_fast(q, buckets, k, stats, envelopes, deadline)
+            else:
+                heap = self._search_exact(q, buckets, k, stats, envelopes, deadline)
         if not heap:
             raise ValidationError("no indexed subsequences matched the query")
         partial = stats.partial_results > before
@@ -695,7 +723,9 @@ class QueryProcessor:
                 q, threshold, stats, self._select_buckets(lengths), deadline
             )
         self.last_stats = stats
-        _publish_query("threshold", self._config.mode, stats, started)
+        _publish_query(
+            "threshold", self._config.mode, stats, started, self._config.metric
+        )
         if partial:
             out = [replace(m, exact=False) for m in out]
         return sorted(out, key=lambda m: (m.distance, m.ref))
@@ -709,6 +739,10 @@ class QueryProcessor:
         deadline: Deadline | None,
     ) -> tuple[list[Match], bool]:
         """The per-bucket threshold sweep behind :meth:`matches_within`."""
+        if self._metric_scan:
+            return self._metric_threshold_scan(
+                q, threshold, stats, buckets, deadline
+            )
         qlen = q.shape[0]
         cfg = self._config
         envelopes = QueryEnvelopeCache(q)
@@ -1472,12 +1506,260 @@ class QueryProcessor:
         return heap[0].candidate.distance
 
     # ------------------------------------------------------------------
+    # Metric scan (non-DTW metrics, and any metric over multivariate)
+    # ------------------------------------------------------------------
+
+    def _metric_buckets(
+        self, q: np.ndarray, buckets: list[LengthBucket], stats: QueryStats
+    ) -> list[LengthBucket]:
+        """Buckets the active metric can scan for this query.
+
+        Elastic metrics (the DTW family) compare across lengths and scan
+        everything; the Lp family requires candidates of the query's own
+        length, and an unindexed query length is a clear caller error
+        rather than an empty result.
+        """
+        for bucket in buckets:
+            stats.representatives_total += bucket.group_count
+        if self._spec.elastic:
+            return [b for b in buckets if b.group_count]
+        qlen = q.shape[0] // self._base.channels
+        live = [b for b in buckets if b.group_count and b.length == qlen]
+        if not live:
+            lengths = self._base.lengths
+            raise ValidationError(
+                f"metric {self._spec.name!r} compares equal lengths only; "
+                f"query length {qlen} is not among the {len(lengths)} "
+                f"indexed lengths ({lengths[0]}..{lengths[-1]})"
+            )
+        return live
+
+    def _metric_distances(
+        self, q: np.ndarray, rows: np.ndarray, length: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(raw, normalized)`` metric distances from *q* to stacked rows.
+
+        One vectorised kernel call when the registered metric has a batch
+        kernel for this shape; otherwise a scalar ``pair`` loop — the
+        brute-force-verified fallback every metric is guaranteed to have.
+        """
+        spec = self._spec
+        channels = self._base.channels
+        window = self._config.window
+        if spec.batch is not None:
+            out = spec.batch(q, rows, length, channels, window)
+            if out is not None:
+                return out
+        count = rows.shape[0]
+        raws = np.empty(count)
+        norms = np.empty(count)
+        for i in range(count):
+            raws[i], norms[i] = spec.pair_shaped(
+                q, rows[i], length, channels, window
+            )
+        return raws, norms
+
+    def _metric_group_bounds(
+        self, q: np.ndarray, bucket: LengthBucket, stats: QueryStats
+    ) -> np.ndarray:
+        """Per-group lower bounds from representative distances and radii.
+
+        The registered bound family maps the normalized distance from the
+        query to each representative, plus the stored ``ed_radius`` /
+        ``cheb_radius`` (which are exactly the flattened-row mean-abs and
+        max-abs member radii, for any channel count), to a provable lower
+        bound on the distance to *any* member of the group.
+        """
+        _, rep_norms = self._metric_distances(q, bucket.centroids, bucket.length)
+        stats.rep_dtw_calls += bucket.group_count
+        return self._spec.lower_bound(
+            rep_norms, bucket.ed_radii, bucket.cheb_radii
+        )
+
+    def _metric_refine(
+        self,
+        q: np.ndarray,
+        bucket: LengthBucket,
+        g_list: list[int],
+        k: int,
+        heap: list["_Negated"],
+        stats: QueryStats,
+    ) -> None:
+        """Verify every member of *g_list* exactly and fold into the heap."""
+        stats.groups_refined += len(g_list)
+        rows, refs, group_of = self._stacked_members(bucket, g_list)
+        stats.members_scanned += rows.shape[0]
+        raws, norms = self._metric_distances(q, rows, bucket.length)
+        stats.member_dtw_calls += rows.shape[0]
+        cutoff = self._cutoff(heap, k)
+        viable = (
+            np.nonzero(norms <= cutoff)[0]
+            if math.isfinite(cutoff)
+            else np.arange(norms.size)
+        )
+        if viable.size > k:
+            kth = np.partition(norms[viable], k - 1)[k - 1]
+            viable = viable[norms[viable] <= kth]
+        for pos in viable:
+            candidate = _Candidate(
+                distance=float(norms[pos]),
+                ref=refs[pos],
+                raw=float(raws[pos]),
+                # Non-DTW metrics (and the multivariate scan) define no
+                # warping path; matches carry an empty one.
+                path=(),
+                group=(bucket.length, group_of[pos]),
+            )
+            if len(heap) < k:
+                heapq.heappush(heap, _Negated(candidate))
+            elif candidate < heap[0].candidate:
+                heapq.heapreplace(heap, _Negated(candidate))
+
+    def _metric_search(
+        self,
+        q: np.ndarray,
+        buckets: list[LengthBucket],
+        k: int,
+        stats: QueryStats,
+        deadline: Deadline | None = None,
+    ) -> list["_Negated"]:
+        """k-best scan under the registry metric — exact in either mode.
+
+        Per bucket: when the metric registers a lower-bound family, the
+        best-bounded group is refined first to establish a finite cutoff,
+        then every group whose bound exceeds the running cutoff is pruned
+        with no member work; metrics without a bound verify every member
+        (the brute-force-verified path).  Deadlines behave exactly as in
+        the DTW cascade: checked at bucket boundaries, partial results
+        only when the deadline allows them.
+        """
+        cfg = self._config
+        heap: list[_Negated] = []
+        with span(
+            "cascade.metric_scan", metric=self._spec.name, buckets=len(buckets)
+        ):
+            for bucket in self._metric_buckets(q, buckets, stats):
+                faults.fire("query.refine_unit")
+                if self._deadline_fired(deadline, "metric scan", stats, heap):
+                    return heap
+                bucket.ensure_member_matrix(self._base.dataset)
+                if self._spec.lower_bound is not None and cfg.use_group_pruning:
+                    lbs = self._metric_group_bounds(q, bucket, stats)
+                    order = np.argsort(lbs, kind="stable")
+                    self._metric_refine(
+                        q, bucket, [int(order[0])], k, heap, stats
+                    )
+                    rest = order[1:]
+                    cutoff = self._cutoff(heap, k)
+                    if math.isfinite(cutoff):
+                        keep = rest[lbs[rest] <= cutoff]
+                        pruned = int(rest.size - keep.size)
+                        stats.rep_lb_prunes += pruned
+                        stats.groups_pruned += pruned
+                        rest = keep
+                    g_list = [int(g) for g in rest]
+                else:
+                    g_list = list(range(bucket.group_count))
+                if g_list:
+                    self._metric_refine(q, bucket, g_list, k, heap, stats)
+        return heap
+
+    def _metric_threshold_scan(
+        self,
+        q: np.ndarray,
+        threshold: float,
+        stats: QueryStats,
+        buckets: list[LengthBucket],
+        deadline: Deadline | None,
+    ) -> tuple[list[Match], bool]:
+        """Threshold sweep under the registry metric (exact matches).
+
+        Group-level pruning against the *threshold* itself where the
+        metric registers a bound family; full member verification
+        everywhere else.  Partial-deadline semantics match
+        :meth:`_threshold_scan`: completed buckets' matches return
+        flagged inexact.
+        """
+        cfg = self._config
+        out: list[Match] = []
+        partial = False
+        for bucket in self._metric_buckets(q, buckets, stats):
+            faults.fire("query.refine_unit")
+            if deadline is not None and deadline.expired:
+                if deadline.allow_partial and out:
+                    stats.partial_results += 1
+                    partial = True
+                    break
+                best = None
+                if out:
+                    m = min(out, key=lambda m: (m.distance, m.ref))
+                    best = {
+                        "series": m.series_name,
+                        "start": m.start,
+                        "length": m.length,
+                        "distance": m.distance,
+                        "exact": False,
+                    }
+                self._raise_deadline(deadline, "metric threshold scan", stats, best)
+            bucket.ensure_member_matrix(self._base.dataset)
+            candidates = np.arange(bucket.group_count)
+            if self._spec.lower_bound is not None and cfg.use_group_pruning:
+                lbs = self._metric_group_bounds(q, bucket, stats)
+                keep = lbs <= threshold
+                pruned = int(candidates.size - keep.sum())
+                stats.rep_lb_prunes += pruned
+                stats.groups_pruned += pruned
+                candidates = candidates[keep]
+            if not candidates.size:
+                continue
+            g_list = [int(g) for g in candidates]
+            stats.groups_refined += len(g_list)
+            rows, refs, group_of = self._stacked_members(bucket, g_list)
+            stats.members_scanned += rows.shape[0]
+            raws, norms = self._metric_distances(q, rows, bucket.length)
+            stats.member_dtw_calls += rows.shape[0]
+            for pos in np.nonzero(norms <= threshold)[0]:
+                out.append(
+                    self._to_match(
+                        _Candidate(
+                            distance=float(norms[pos]),
+                            ref=refs[pos],
+                            raw=float(raws[pos]),
+                            path=(),
+                            group=(bucket.length, group_of[pos]),
+                        )
+                    )
+                )
+        return out, partial
+
+    # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
 
     def _resolve_query(self, query, normalize: bool) -> np.ndarray:
+        channels = self._base.channels
         if isinstance(query, SubsequenceRef):
-            return self._base.dataset.values(query)
+            values = self._base.dataset.values(query)
+            # Multivariate refs resolve to (length, channels) blocks; the
+            # search works on the channel-flattened row layout.
+            return values.ravel() if channels > 1 else values
+        if channels > 1:
+            q = np.asarray(query, dtype=np.float64)
+            if q.ndim != 2 or q.shape[1] != channels:
+                raise ValidationError(
+                    f"query for a {channels}-channel base must be 2-D "
+                    f"(length, {channels}), got shape {q.shape}"
+                )
+            if q.shape[0] < 2:
+                raise ValidationError(
+                    f"query must have at least 2 time steps, got {q.shape[0]}"
+                )
+            if not np.all(np.isfinite(q)):
+                raise ValidationError("query contains NaN or infinite entries")
+            bounds = self._base.normalization_bounds
+            if normalize and bounds is not None:
+                q = minmax_normalize(q, lo=bounds[0], hi=bounds[1])
+            return np.ascontiguousarray(q).ravel()
         q = as_sequence(query, name="query")
         bounds = self._base.normalization_bounds
         if normalize and bounds is not None:

@@ -66,13 +66,24 @@ class TimeSeriesDataset:
         return self._name
 
     def add(self, series: TimeSeries) -> None:
-        """Append a series; names must be unique within the dataset."""
+        """Append a series; names must be unique, channel counts uniform."""
         if not isinstance(series, TimeSeries):
             raise ValidationError(f"expected TimeSeries, got {type(series).__name__}")
         if series.name in self._index_by_name:
             raise DatasetError(f"duplicate series name: {series.name!r}")
+        if self._series and series.channels != self._series[0].channels:
+            raise ValidationError(
+                f"series {series.name!r} has {series.channels} channel(s) "
+                f"but dataset {self._name!r} holds "
+                f"{self._series[0].channels}-channel series"
+            )
         self._index_by_name[series.name] = len(self._series)
         self._series.append(series)
+
+    @property
+    def channels(self) -> int:
+        """Channels per series (uniform across the collection; 1 if empty)."""
+        return self._series[0].channels if self._series else 1
 
     def replace_series(self, series: TimeSeries) -> None:
         """Swap in a new version of an existing series (same name/index).
@@ -90,6 +101,11 @@ class TimeSeriesDataset:
             raise DatasetError(
                 f"no series named {series.name!r} in {self._name!r}"
             ) from None
+        if series.channels != self._series[index].channels:
+            raise ValidationError(
+                f"series {series.name!r}: cannot change channel count from "
+                f"{self._series[index].channels} to {series.channels}"
+            )
         self._series[index] = series
 
     def __len__(self) -> int:
@@ -193,11 +209,12 @@ class TimeSeriesDataset:
     def subsequence_matrix(self, length: int, *, step: int = 1) -> tuple[np.ndarray, list[SubsequenceRef]]:
         """Stack every window of *length* into a 2-D array.
 
-        Returns ``(matrix, refs)`` with ``matrix[k] == values(refs[k])``.
-        Used by the base builder for vectorised distance computations; the
-        rows come from one strided :func:`repro.data.windows.window_view`
-        gather per series (no per-window copy loop), stacked into one
-        owned array.
+        Returns ``(matrix, refs)`` with ``matrix[k]`` holding the values of
+        ``refs[k]`` — channel-flattened to width ``length * channels`` for
+        multivariate collections.  Used by the base builder for vectorised
+        distance computations; the rows come from one strided
+        :func:`repro.data.windows.window_view` gather per series (no
+        per-window copy loop), stacked into one owned array.
         """
         from repro.data.windows import window_matrix
 
@@ -235,6 +252,7 @@ class TimeSeriesDataset:
         return {
             "name": self._name,
             "series": len(self._series),
+            "channels": self.channels,
             "total_points": int(lengths.sum()),
             "min_length": int(lengths.min()),
             "max_length": int(lengths.max()),

@@ -13,12 +13,15 @@ __all__ = ["TimeSeries"]
 
 
 class TimeSeries:
-    """A named, immutable, one-dimensional time series.
+    """A named, immutable, uniformly sampled time series.
 
     Instances are the unit the ONEX engine ingests: heterogeneous lengths
-    are expected and fine.  Values are stored as a read-only float64 array;
-    *metadata* carries domain attributes (state, indicator, units, start
-    year, ...) that the visual layer surfaces but the algorithms ignore.
+    are expected and fine.  Values are stored as a read-only float64 array —
+    1-D ``(length,)`` for the classic univariate case, or 2-D ``(length,
+    channels)`` for multivariate series where each time step carries one
+    observation per channel.  *metadata* carries domain attributes (state,
+    indicator, units, start year, ...) that the visual layer surfaces but
+    the algorithms ignore.
     """
 
     __slots__ = ("_name", "_values", "_metadata")
@@ -27,9 +30,14 @@ class TimeSeries:
         if not isinstance(name, str) or not name:
             raise ValidationError("name must be a non-empty string")
         arr = np.array(values, dtype=np.float64, copy=True)
-        if arr.ndim != 1:
+        if arr.ndim not in (1, 2):
             raise ValidationError(
-                f"series {name!r}: values must be 1-D, got shape {arr.shape}"
+                f"series {name!r}: values must be 1-D (length,) or 2-D "
+                f"(length, channels), got shape {arr.shape}"
+            )
+        if arr.ndim == 2 and arr.shape[1] == 0:
+            raise ValidationError(
+                f"series {name!r}: must have at least one channel"
             )
         if arr.size == 0:
             raise ValidationError(f"series {name!r}: values must be non-empty")
@@ -68,6 +76,11 @@ class TimeSeries:
     def metadata(self) -> Mapping[str, Any]:
         return self._metadata
 
+    @property
+    def channels(self) -> int:
+        """Observations per time step (1 for classic univariate series)."""
+        return 1 if self._values.ndim == 1 else self._values.shape[1]
+
     def __len__(self) -> int:
         return self._values.shape[0]
 
@@ -103,6 +116,11 @@ class TimeSeries:
         return hash((self._name, self._values.tobytes()))
 
     def __repr__(self) -> str:
+        if self._values.ndim == 2:
+            return (
+                f"TimeSeries({self._name!r}, n={len(self)}, "
+                f"channels={self.channels})"
+            )
         head = ", ".join(f"{v:.3g}" for v in self._values[:4])
         ellipsis = ", ..." if len(self) > 4 else ""
         return f"TimeSeries({self._name!r}, [{head}{ellipsis}], n={len(self)})"

@@ -13,6 +13,9 @@ primitive the ONEX core and the baselines need:
   ONEX's theoretical foundation (DESIGN.md §2).
 - :mod:`repro.distances.normalize` — min–max and z-normalisation plus
   streaming statistics.
+- :mod:`repro.distances.registry` — the pluggable metric registry mapping
+  names to distance kernels, batch kernels, and lower-bound families
+  (DESIGN.md §9).
 """
 
 from repro.distances.bounds import (
@@ -50,6 +53,12 @@ from repro.distances.normalize import (
     sliding_mean_std,
     znormalize,
 )
+from repro.distances.registry import (
+    DistanceRegistry,
+    MetricSpec,
+    get_metric,
+    registered_metrics,
+)
 from repro.distances.variants import (
     derivative,
     derivative_dtw,
@@ -58,7 +67,9 @@ from repro.distances.variants import (
 )
 
 __all__ = [
+    "DistanceRegistry",
     "DtwResult",
+    "MetricSpec",
     "QueryEnvelopeCache",
     "RunningStats",
     "TransferBound",
@@ -74,6 +85,7 @@ __all__ = [
     "euclidean",
     "euclidean_l1",
     "euclidean_l2",
+    "get_metric",
     "group_pruning_lower_bound",
     "keogh_envelope",
     "lb_cascade",
@@ -84,6 +96,7 @@ __all__ = [
     "minmax_normalize",
     "normalized_euclidean",
     "path_multiplicities",
+    "registered_metrics",
     "sliding_mean_std",
     "transfer_bounds",
     "weighted_dtw",

@@ -72,11 +72,18 @@ OPERATIONS: dict[str, tuple[str, ...]] = {
 #:     object — request ID, span tree, and cascade counters.  Tracing is
 #:     pure observation: the matches are bit-identical to the
 #:     unexplained call (property-tested).
+#: ``metric``
+#:     Distance metric name (query family).  Must be registered in
+#:     :data:`repro.distances.registry.REGISTRY` (e.g. ``"dtw"``,
+#:     ``"euclidean"``, ``"cityblock"``, ``"chebyshev"``,
+#:     ``"derivative_dtw"``, ``"weighted_dtw"``); unknown names fail
+#:     with a ``ValidationError`` before any query work runs.  Omitted,
+#:     the server's configured default (DTW) applies.
 OPERATION_OPTIONS: dict[str, tuple[str, ...]] = {
-    "best_match": ("timeout_ms", "allow_partial", "explain"),
-    "k_best": ("timeout_ms", "allow_partial", "explain"),
-    "query_batch": ("timeout_ms", "allow_partial", "explain"),
-    "matches_within": ("timeout_ms", "allow_partial", "explain"),
+    "best_match": ("timeout_ms", "allow_partial", "explain", "metric"),
+    "k_best": ("timeout_ms", "allow_partial", "explain", "metric"),
+    "query_batch": ("timeout_ms", "allow_partial", "explain", "metric"),
+    "matches_within": ("timeout_ms", "allow_partial", "explain", "metric"),
     "seasonal": ("timeout_ms", "allow_partial", "explain"),
     "sensitivity": ("timeout_ms", "explain"),
     "load_dataset": ("timeout_ms",),

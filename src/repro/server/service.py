@@ -480,6 +480,31 @@ class OnexService:
         length = int(params.get("length", len(series) - start))
         return query_preview_payload(series, start, length)
 
+    @staticmethod
+    def _float_rows(values: Any, name: str = "values") -> list:
+        """Coerce a JSON value list — flat (univariate) or nested
+        ``[[c1, c2, ...], ...]`` rows (multichannel) — to plain floats."""
+        if not isinstance(values, (list, tuple)):
+            raise ProtocolError(f"'{name}' must be a list")
+        if values and isinstance(values[0], (list, tuple)):
+            return [[float(v) for v in row] for row in values]
+        return [float(v) for v in values]
+
+    @staticmethod
+    def _metric(params: dict) -> str | None:
+        """Validate an optional ``metric`` request option at the boundary.
+
+        An unknown name fails here with the registry's ValidationError
+        (listing the registered metrics) before any query work starts.
+        """
+        metric = params.get("metric")
+        if metric is None:
+            return None
+        from repro.distances.registry import get_metric
+
+        get_metric(str(metric))
+        return str(metric)
+
     def _resolve_query(self, name: str, query) -> Any:
         """Queries arrive as a value list or a brushed-series descriptor."""
         if isinstance(query, dict):
@@ -489,7 +514,7 @@ class OnexService:
                 int(query.get("start", 0)),
                 query.get("length"),
             )
-        return [float(v) for v in query]
+        return self._float_rows(query, "query")
 
     def _match_payload(self, name: str, query, match) -> dict:
         base = self._engine.base(name)
@@ -507,15 +532,23 @@ class OnexService:
 
     def _op_best_match(self, params: dict) -> Any:
         name = str(params["dataset"])
+        metric = self._metric(params)
         query = self._resolve_query(name, params["query"])
-        match = self._engine.best_match(name, query, deadline=self._deadline(params))
+        match = self._engine.best_match(
+            name, query, metric=metric, deadline=self._deadline(params)
+        )
         return self._match_payload(name, query, match)
 
     def _op_k_best(self, params: dict) -> Any:
         name = str(params["dataset"])
+        metric = self._metric(params)
         query = self._resolve_query(name, params["query"])
         matches = self._engine.k_best_matches(
-            name, query, int(params["k"]), deadline=self._deadline(params)
+            name,
+            query,
+            int(params["k"]),
+            metric=metric,
+            deadline=self._deadline(params),
         )
         return {"matches": [self._match_payload(name, query, m) for m in matches]}
 
@@ -526,10 +559,11 @@ class OnexService:
         specs = params["queries"]
         if not isinstance(specs, list) or not specs:
             raise ProtocolError("'queries' must be a non-empty list")
+        metric = self._metric(params)
         queries = [self._resolve_query(name, spec) for spec in specs]
         k = int(params.get("k", 1))
         per_query = self._engine.batch_best_matches(
-            name, queries, k, deadline=self._deadline(params)
+            name, queries, k, metric=metric, deadline=self._deadline(params)
         )
         return {
             "results": [
@@ -540,9 +574,14 @@ class OnexService:
 
     def _op_matches_within(self, params: dict) -> Any:
         name = str(params["dataset"])
+        metric = self._metric(params)
         query = self._resolve_query(name, params["query"])
         matches = self._engine.matches_within(
-            name, query, float(params["threshold"]), deadline=self._deadline(params)
+            name,
+            query,
+            float(params["threshold"]),
+            metric=metric,
+            deadline=self._deadline(params),
         )
         return {"matches": [self._match_payload(name, query, m) for m in matches]}
 
@@ -588,7 +627,7 @@ class OnexService:
         name = str(params["dataset"])
         series = TimeSeries(
             str(params["name"]),
-            [float(v) for v in params["values"]],
+            self._float_rows(params["values"]),
             metadata=params.get("metadata") or {},
         )
         return self._engine.add_series(name, series)
@@ -597,7 +636,7 @@ class OnexService:
         return self._engine.append_points(
             str(params["dataset"]),
             str(params["series"]),
-            [float(v) for v in params["values"]],
+            self._float_rows(params["values"]),
             deadline=self._deadline(params),
         )
 

@@ -25,18 +25,26 @@ _MIN_CAPACITY = 64
 
 
 class _GrowArray:
-    """1-D float64 array growable by amortised doubling."""
+    """Float64 array growable along axis 0 by amortised doubling.
+
+    Rows are scalars for univariate series and ``(channels,)`` vectors for
+    multivariate ones; growth preserves the trailing shape.
+    """
 
     __slots__ = ("_data", "_count")
 
-    def __init__(self, initial: np.ndarray | None = None) -> None:
+    def __init__(
+        self, initial: np.ndarray | None = None, channels: int = 1
+    ) -> None:
+        tail = () if channels == 1 else (channels,)
         if initial is None:
-            self._data = np.empty(_MIN_CAPACITY, dtype=np.float64)
+            self._data = np.empty((_MIN_CAPACITY,) + tail, dtype=np.float64)
             self._count = 0
         else:
             self._count = initial.shape[0]
             self._data = np.empty(
-                max(_MIN_CAPACITY, 2 * self._count), dtype=np.float64
+                (max(_MIN_CAPACITY, 2 * self._count),) + initial.shape[1:],
+                dtype=np.float64,
             )
             self._data[: self._count] = initial
 
@@ -75,15 +83,23 @@ class SeriesBuffer:
         bounds: tuple[float, float] | None,
         initial_raw: np.ndarray | None = None,
         initial_norm: np.ndarray | None = None,
+        channels: int = 1,
     ) -> None:
         self.name = name
         self._bounds = bounds
-        self._raw = _GrowArray(initial_raw)
+        self._channels = channels if initial_raw is None else (
+            1 if initial_raw.ndim == 1 else int(initial_raw.shape[1])
+        )
+        self._raw = _GrowArray(initial_raw, channels=self._channels)
         self._norm = (
             self._raw
             if bounds is None
-            else _GrowArray(initial_norm)
+            else _GrowArray(initial_norm, channels=self._channels)
         )
+
+    @property
+    def channels(self) -> int:
+        return self._channels
 
     def __len__(self) -> int:
         return len(self._raw)
@@ -91,10 +107,21 @@ class SeriesBuffer:
     def extend(self, values) -> np.ndarray:
         """Append a chunk; returns the normalised chunk just appended."""
         chunk = np.asarray(values, dtype=np.float64)
-        if chunk.ndim != 1 or chunk.size == 0:
+        if self._channels == 1:
+            if chunk.ndim != 1 or chunk.size == 0:
+                raise ValidationError(
+                    f"appended values must be a non-empty 1-D sequence, got "
+                    f"shape {chunk.shape}"
+                )
+        elif (
+            chunk.ndim != 2
+            or chunk.shape[0] == 0
+            or chunk.shape[1] != self._channels
+        ):
             raise ValidationError(
-                f"appended values must be a non-empty 1-D sequence, got "
-                f"shape {chunk.shape}"
+                f"appended values must be a non-empty (points, "
+                f"{self._channels}) array for this {self._channels}-channel "
+                f"series, got shape {chunk.shape}"
             )
         if not np.all(np.isfinite(chunk)):
             raise ValidationError("appended values contain NaN/inf")

@@ -92,7 +92,11 @@ class StreamIngestor:
                     initial_norm=self._base.dataset[series_name].values,
                 )
             else:
-                buffer = SeriesBuffer(series_name, self._base.normalization_bounds)
+                buffer = SeriesBuffer(
+                    series_name,
+                    self._base.normalization_bounds,
+                    channels=self._base.channels,
+                )
                 created_series = True
         previous_length = len(buffer)
         normalized_chunk = buffer.extend(values)

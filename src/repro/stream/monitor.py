@@ -85,6 +85,14 @@ class PatternMonitor:
     ) -> None:
         self.name = name
         self._base = base
+        if base.channels > 1:
+            # SPRING matching and the representative transfer bounds are
+            # defined over scalar point streams; a multivariate standing
+            # query has no exact online semantics here yet.
+            raise ValidationError(
+                f"standing monitors support univariate bases only; this "
+                f"base has {base.channels} channels"
+            )
         self._pattern = as_sequence(pattern, name="pattern")
         if self._pattern.shape[0] < 2:
             raise ValidationError("pattern must have at least 2 points")

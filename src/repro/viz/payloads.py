@@ -68,15 +68,32 @@ def query_preview_payload(series: TimeSeries, start: int, length: int) -> dict:
     }
 
 
+def _view_values(values, *, name: str) -> np.ndarray:
+    """Like :func:`as_sequence` but also admits 2-D multichannel values."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim == 1:
+        return as_sequence(arr, name=name)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValidationError(
+            f"{name} must be a non-empty 1-D or (length, channels) array, "
+            f"got shape {arr.shape}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains NaN or infinite values")
+    return arr
+
+
 def similarity_view_payload(query, match_values, match: Match) -> dict:
     """Results Pane "multiple lines" chart with warped-point connectors.
 
     The dotted connectors of Fig. 2 are the warping path: index pairs
     ``(i, j)`` saying query point ``i`` is matched to candidate point
     ``j`` (multiple matchings included, unlike pointwise distance views).
+    Multivariate values pass through as ``(length, channels)`` row lists;
+    the path indexes time steps, so the connector check is on axis 0.
     """
-    q = as_sequence(query, name="query")
-    m = as_sequence(match_values, name="match_values")
+    q = _view_values(query, name="query")
+    m = _view_values(match_values, name="match_values")
     for i, j in match.path:
         if not (0 <= i < q.shape[0] and 0 <= j < m.shape[0]):
             raise ValidationError("warping path does not fit the given values")

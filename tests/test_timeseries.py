@@ -47,9 +47,28 @@ class TestConstruction:
         with pytest.raises(ValidationError, match="NaN"):
             TimeSeries("x", [1.0, np.nan])
 
-    def test_rejects_2d(self):
-        with pytest.raises(ValidationError, match="1-D"):
-            TimeSeries("x", [[1.0], [2.0]])
+    def test_accepts_2d_multichannel(self):
+        ts = TimeSeries("x", [[1.0, 2.0], [3.0, 4.0]])
+        assert ts.channels == 2
+        assert len(ts) == 2
+        assert ts.values.shape == (2, 2)
+
+    def test_univariate_channels(self):
+        assert TimeSeries("x", [1.0, 2.0]).channels == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError, match="1-D|2-D"):
+            TimeSeries("x", np.zeros((2, 2, 2)))
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValidationError, match="channel"):
+            TimeSeries("x", np.zeros((3, 0)))
+
+    def test_multichannel_subsequence(self):
+        ts = TimeSeries("x", np.arange(10.0).reshape(5, 2))
+        window = ts.subsequence(1, 3)
+        assert window.shape == (3, 2)
+        assert window.tolist() == [[2.0, 3.0], [4.0, 5.0], [6.0, 7.0]]
 
 
 class TestSubsequence:
