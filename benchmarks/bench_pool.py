@@ -1,0 +1,353 @@
+"""E23: multi-process serving — QPS scaling, identity, crash recovery.
+
+Three claims from the worker-pool layer, measured end to end against a
+real :class:`OnexHttpServer`:
+
+1. **Identity.**  The same probe queries answered by a single-process
+   server and by pools of every measured size return byte-identical
+   JSON results — dispatching through forked workers over the mmap-
+   shared base must never change an answer.
+2. **Scaling.**  A burst of concurrent clients is driven at each worker
+   count; QPS and client-side p50/p99 are reported.  The scaling ratio
+   is informational (CI machines differ); identity and zero
+   client-visible errors are the hard gates.
+3. **Crash recovery.**  Under sustained load a worker is SIGKILLed; the
+   retrying clients must see zero failures, and the pool must return to
+   full capacity within the backoff budget (``recovery_budget_s``).
+
+Run directly (``python benchmarks/bench_pool.py``) for one JSON
+document, or through ``run_all.py`` which embeds the same sections in
+``BENCH_pr10.json``; the ``test_*`` wrappers give CI a cheap smoke.
+Set ``ONEX_BENCH_SOFT=1`` to demote the timing gates (not the identity
+gates) to warnings on noisy machines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.server.client import OnexClient
+from repro.server.http import OnexHttpServer
+from repro.server.service import OnexService
+from repro.server.supervisor import Supervisor
+
+LOAD_PARAMS = {
+    "source": "matters",
+    "seed": 5,
+    "years": 16,
+    "min_years": 10,
+    "indicators": ["GrowthRate"],
+    "similarity_threshold": 0.2,
+    "min_length": 5,
+    "max_length": 8,
+}
+
+RECOVERY_BUDGET_S = 10.0
+
+
+def _soft() -> bool:
+    return os.environ.get("ONEX_BENCH_SOFT") == "1"
+
+
+def _probe_queries(count: int = 6) -> list[list[float]]:
+    rng = np.random.default_rng(77)
+    return [
+        [float(v) for v in rng.uniform(size=6)] for _ in range(count)
+    ]
+
+
+class _Deployment:
+    """One server at a given worker count; ``workers=0`` is in-process."""
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.service = OnexService()
+        self._tmp = None
+        if workers > 0:
+            self._tmp = tempfile.mkdtemp(prefix="onex-bench-pool-")
+            self.facade = Supervisor(
+                self.service,
+                workers=workers,
+                snapshot_root=Path(self._tmp),
+                pool_options={
+                    "backoff_base_s": 0.05,
+                    "backoff_cap_s": 0.5,
+                    "flap_threshold": 100,
+                },
+            )
+        else:
+            self.facade = self.service
+
+    def __enter__(self) -> "_Deployment":
+        self.server = OnexHttpServer(
+            self.facade, max_in_flight=16, max_queue=64
+        )
+        self.server.start()
+        self.admin = OnexClient(self.server.url, max_retries=6)
+        self.dataset = self.admin.call("load_dataset", LOAD_PARAMS)["dataset"]
+        if self.workers > 0:
+            self.facade.start(timeout=120)
+        # Warm the dispatch path (first pooled read publishes the base).
+        self.admin.call(
+            "best_match", {"dataset": self.dataset, "query": [0.2, 0.5, 0.3]}
+        )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.server.stop()
+        if self.workers > 0:
+            self.facade.close()
+            import shutil
+
+            shutil.rmtree(self._tmp, ignore_errors=True)
+        else:
+            self.service.close()
+
+
+def _burst(
+    url: str, dataset: str, clients: int, requests_per_client: int
+) -> dict:
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+
+    def worker(idx: int) -> None:
+        client = OnexClient(url, max_retries=6, retry_budget_s=30.0)
+        rng = np.random.default_rng(500 + idx)
+        for i in range(requests_per_client):
+            q = [float(v) for v in rng.uniform(size=6)]
+            started = time.perf_counter()
+            try:
+                if i % 2:
+                    client.call(
+                        "k_best", {"dataset": dataset, "query": q, "k": 3}
+                    )
+                else:
+                    client.call(
+                        "best_match", {"dataset": dataset, "query": q}
+                    )
+            except Exception:
+                errors[idx] += 1
+                continue
+            latencies[idx].append((time.perf_counter() - started) * 1e3)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(clients)
+    ]
+    wall_started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_started
+    flat = sorted(v for chunk in latencies for v in chunk)
+    return {
+        "completed": len(flat),
+        "errors": sum(errors),
+        "wall_seconds": round(wall, 3),
+        "qps": round(len(flat) / wall, 1) if wall > 0 else None,
+        "p50_ms": round(flat[len(flat) // 2], 3) if flat else None,
+        "p99_ms": (
+            round(flat[min(len(flat) - 1, int(0.99 * len(flat)))], 3)
+            if flat
+            else None
+        ),
+    }
+
+
+def run_pool_scaling(
+    worker_counts: tuple[int, ...] = (0, 2, 4),
+    clients: int = 6,
+    requests_per_client: int = 20,
+) -> dict:
+    """Burst each deployment size; probe answers must be identical."""
+    probes = _probe_queries()
+    reference: list[dict] | None = None
+    points = []
+    identical = True
+    for workers in worker_counts:
+        with _Deployment(workers) as dep:
+            answers = [
+                dep.admin.call(
+                    "k_best", {"dataset": dep.dataset, "query": q, "k": 3}
+                )
+                for q in probes
+            ]
+            if reference is None:
+                reference = answers
+            elif answers != reference:
+                identical = False
+            burst = _burst(
+                dep.server.url, dep.dataset, clients, requests_per_client
+            )
+            burst["workers"] = workers
+            points.append(burst)
+    base_qps = points[0]["qps"] or 0.0
+    best_pooled = max(
+        (p["qps"] or 0.0 for p in points if p["workers"] > 0), default=0.0
+    )
+    return {
+        "worker_counts": list(worker_counts),
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "points": points,
+        "answers_identical_across_sizes": identical,
+        "total_errors": sum(p["errors"] for p in points),
+        "single_process_qps": base_qps,
+        "best_pooled_qps": best_pooled,
+        "pooled_vs_single_qps": (
+            round(best_pooled / base_qps, 2) if base_qps else None
+        ),
+    }
+
+
+def run_crash_recovery(
+    workers: int = 2,
+    clients: int = 3,
+    load_seconds: float = 3.0,
+    recovery_budget_s: float = RECOVERY_BUDGET_S,
+) -> dict:
+    """SIGKILL a worker under load; measure the window back to full."""
+    with _Deployment(workers) as dep:
+        stop = threading.Event()
+        errors = [0] * clients
+        completed = [0] * clients
+
+        def worker(idx: int) -> None:
+            client = OnexClient(
+                dep.server.url, max_retries=8, retry_budget_s=30.0
+            )
+            rng = np.random.default_rng(900 + idx)
+            while not stop.is_set():
+                q = [float(v) for v in rng.uniform(size=6)]
+                try:
+                    client.call(
+                        "best_match", {"dataset": dep.dataset, "query": q}
+                    )
+                    completed[idx] += 1
+                except Exception:
+                    errors[idx] += 1
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(clients)
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(load_seconds / 3)
+        victim = next(p for p in dep.facade.pool.worker_pids() if p)
+        killed_at = time.monotonic()
+        os.kill(victim, signal.SIGKILL)
+        recovered_at = None
+        observed = False
+        deadline = killed_at + recovery_budget_s
+        # First wait until the supervisor has *observed* the death (a
+        # crash counter moves) — only then does "back to full" mean a
+        # restart happened rather than the kill going unnoticed so far.
+        while time.monotonic() < deadline:
+            status = dep.facade.pool_status()
+            crashed = sum(w["crashes"] for w in status["workers"]) >= 1
+            if not observed:
+                observed = crashed
+            if observed and dep.facade.pool.live_workers == workers:
+                recovered_at = time.monotonic()
+                break
+            time.sleep(0.02)
+        time.sleep(load_seconds / 3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+        status = dep.facade.pool_status()
+    time_to_full = (
+        round(recovered_at - killed_at, 3) if recovered_at else None
+    )
+    return {
+        "workers": workers,
+        "clients": clients,
+        "completed": sum(completed),
+        "client_visible_errors": sum(errors),
+        "time_to_full_capacity_s": time_to_full,
+        "recovered_within_budget": recovered_at is not None,
+        "recovery_budget_s": recovery_budget_s,
+        "crashes": sum(w["crashes"] for w in status["workers"]),
+        "restarts": sum(w["restarts"] for w in status["workers"]),
+    }
+
+
+def run_pool(
+    worker_counts: tuple[int, ...] = (0, 2, 4),
+    clients: int = 6,
+    requests_per_client: int = 20,
+) -> dict:
+    return {
+        "scaling": run_pool_scaling(
+            worker_counts=worker_counts,
+            clients=clients,
+            requests_per_client=requests_per_client,
+        ),
+        "crash_recovery": run_crash_recovery(),
+    }
+
+
+def gates(report: dict) -> list[str]:
+    """Hard-failure messages; timing gates soften under ONEX_BENCH_SOFT."""
+    problems = []
+    scaling = report["scaling"]
+    if not scaling["answers_identical_across_sizes"]:
+        problems.append(
+            "pooled answers diverge from the single-process server"
+        )
+    if scaling["total_errors"]:
+        problems.append("the scaling burst saw client-visible failures")
+    crash = report["crash_recovery"]
+    if crash["client_visible_errors"]:
+        problems.append(
+            "kill -9 under load lost acknowledged requests "
+            f"({crash['client_visible_errors']} client-visible failures)"
+        )
+    if not crash["recovered_within_budget"]:
+        message = (
+            "pool did not return to full capacity within "
+            f"{crash['recovery_budget_s']}s"
+        )
+        if _soft():
+            print(f"WARN (soft): {message}", file=sys.stderr)
+        else:
+            problems.append(message)
+    return problems
+
+
+def test_pool_scaling_smoke():
+    report = run_pool_scaling(
+        worker_counts=(0, 2), clients=2, requests_per_client=4
+    )
+    assert report["answers_identical_across_sizes"]
+    assert report["total_errors"] == 0
+
+
+def test_pool_crash_recovery_smoke():
+    report = run_crash_recovery(clients=2, load_seconds=1.5)
+    assert report["client_visible_errors"] == 0
+    assert report["crashes"] >= 1
+
+
+def main() -> int:
+    report = run_pool()
+    print(json.dumps(report, indent=2))
+    problems = gates(report)
+    for message in problems:
+        print(f"ERROR: {message}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,13 +52,15 @@ from repro.testing import faults
 
 from bench_durability import run_durability
 from bench_metrics import run_metrics
+from bench_pool import gates as pool_gates
+from bench_pool import run_pool
 from bench_serving_load import run_serving_load, run_tracing_overhead
 
 QUICK = {"states": 12, "years": 16, "queries": 2, "repeats": 1, "appends": 120,
-         "load_clients": 2, "load_requests": 6,
+         "load_clients": 2, "load_requests": 6, "pool_workers": (0, 2),
          "build": {"similarity_threshold": 0.1, "min_length": 5, "max_length": 10}}
 FULL = {"states": 50, "years": 40, "queries": 3, "repeats": 3, "appends": 600,
-        "load_clients": 4, "load_requests": 25,
+        "load_clients": 4, "load_requests": 25, "pool_workers": (0, 2, 4),
         "build": {"similarity_threshold": 0.05, "min_length": 5, "max_length": 24}}
 
 
@@ -156,9 +158,15 @@ def run(config: dict) -> dict:
             "repeats": config["repeats"],
         }
     )
+    pool_report = run_pool(
+        worker_counts=tuple(config["pool_workers"]),
+        clients=config["load_clients"],
+        requests_per_client=config["load_requests"],
+    )
 
     return {
         "config": config,
+        "pool": pool_report,
         "metrics": metrics_report,
         "durability": durability_report,
         "observability": {
@@ -677,6 +685,12 @@ def main(argv: list[str] | None = None) -> int:
         default=Path("BENCH_pr9.json"),
         help="where the E22 metric-registry section lands",
     )
+    parser.add_argument(
+        "--pr10-output",
+        type=Path,
+        default=Path("BENCH_pr10.json"),
+        help="where the E23 worker-pool section lands",
+    )
     args = parser.parse_args(argv)
 
     report = run(QUICK if args.quick else FULL)
@@ -731,6 +745,11 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": report["metrics"],
     }
     args.pr9_output.write_text(json.dumps(pr9, indent=2) + "\n")
+    pr10 = {
+        "config": report["config"],
+        "pool": report["pool"],
+    }
+    args.pr10_output.write_text(json.dumps(pr10, indent=2) + "\n")
     metrics = report["metrics"]
     if not metrics["all_metrics_exact"]:
         print(
@@ -857,6 +876,11 @@ def main(argv: list[str] | None = None) -> int:
             "replay by the cadence",
             file=sys.stderr,
         )
+        return 1
+    pool_problems = pool_gates(report["pool"])
+    for message in pool_problems:
+        print(f"ERROR: {message}", file=sys.stderr)
+    if pool_problems:
         return 1
     return 0
 

@@ -190,6 +190,20 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve", help="run the HTTP JSON API")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8765)
+    p.add_argument("--workers", type=int, default=0,
+                   help="pre-fork this many worker processes serving "
+                        "read-only queries against mmap-shared base "
+                        "snapshots; the supervisor restarts crashed "
+                        "workers with backoff and sheds cleanly at zero "
+                        "capacity (default: 0, single-process)")
+    p.add_argument("--snapshot-dir", default=None,
+                   help="with --workers: directory for the published mmap "
+                        "base snapshots (default: <data-dir>/pool-snapshots, "
+                        "or a temporary directory)")
+    p.add_argument("--read-timeout-s", type=float, default=30.0,
+                   help="per-connection socket read timeout; a client that "
+                        "stalls mid-request-body gets a structured 408 "
+                        "instead of pinning a handler thread")
     p.add_argument("--mode", choices=("fast", "exact"), default="fast",
                    help="query strategy the service answers with")
     p.add_argument("--window", type=int, default=None,
@@ -303,6 +317,123 @@ def _print_explain(payload: dict) -> None:
         print("cascade: " + ", ".join(f"{k}={v}" for k, v in shown.items()))
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` command: bind first, recover behind the ready gate.
+
+    Startup failures (port already bound, unusable ``--data-dir``) are
+    structured :class:`~repro.exceptions.StartupError`\\ s — ``main``
+    renders them as one ``error:`` line, never a traceback.  The socket
+    binds *before* recovery runs: clients racing a restart see clean
+    503s (``/ready`` false, ``NotReadyError`` envelopes) instead of
+    connection-refused, and never a partially replayed engine.
+    """
+    import os
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.exceptions import StartupError
+
+    durability = None
+    if args.data_dir is not None:
+        data_path = Path(args.data_dir)
+        if data_path.exists():
+            if not data_path.is_dir():
+                raise StartupError(
+                    f"--data-dir {args.data_dir} is not a directory"
+                )
+            if not os.access(data_path, os.R_OK | os.W_OK | os.X_OK):
+                raise StartupError(
+                    f"--data-dir {args.data_dir} is not readable/writable"
+                )
+        from repro.durability import DurabilityManager
+
+        try:
+            durability = DurabilityManager(
+                args.data_dir,
+                wal_sync=args.wal_sync,
+                wal_sync_interval_ms=args.wal_sync_interval_ms,
+                checkpoint_every=args.checkpoint_every,
+            )
+        except OSError as exc:
+            raise StartupError(
+                f"cannot open --data-dir {args.data_dir}: {exc}"
+            ) from exc
+    service = OnexService(
+        QueryConfig(mode=args.mode, window=args.window),
+        default_build_workers=args.build_workers,
+        default_timeout_ms=args.default_timeout_ms,
+        durability=durability,
+    )
+    facade = service
+    supervisor = None
+    snapshot_tmp = None
+    if args.workers and args.workers > 0:
+        from repro.server.supervisor import Supervisor
+
+        snapshot_root = args.snapshot_dir
+        if snapshot_root is None:
+            if args.data_dir is not None:
+                snapshot_root = str(Path(args.data_dir) / "pool-snapshots")
+            else:
+                snapshot_root = snapshot_tmp = tempfile.mkdtemp(
+                    prefix="onex-pool-"
+                )
+        supervisor = facade = Supervisor(
+            service,
+            workers=args.workers,
+            snapshot_root=snapshot_root,
+            query_config_kwargs={"mode": args.mode, "window": args.window},
+            default_timeout_ms=args.default_timeout_ms,
+        )
+    # Bind before recovery so restarts never present connection-refused;
+    # the ready gate keeps /api shedding structured 503s until the
+    # engine is fully recovered and the pool (if any) is live.
+    needs_warmup = durability is not None or supervisor is not None
+    server = OnexHttpServer(
+        facade,
+        host=args.host,
+        port=args.port,
+        max_in_flight=args.max_in_flight,
+        max_queue=args.max_queue,
+        drain_timeout=args.drain_timeout,
+        read_timeout_s=args.read_timeout_s,
+        ready=not needs_warmup,
+    )
+    print(f"ONEX server v{repro.__version__} listening on {server.url} "
+          f"(Ctrl-C to stop)")
+    print(f"  POST {server.url}/api      JSON protocol envelopes")
+    print(f"  GET  {server.url}/health   liveness + dataset fingerprints")
+    print(f"  GET  {server.url}/ready    admission-gate readiness")
+    print(f"  GET  {server.url}/metrics  Prometheus text exposition")
+    if durability is not None:
+        print(f"  WAL  {durability.data_dir}  durable state "
+              f"(sync={args.wal_sync})")
+    try:
+        server.start()
+        if durability is not None:
+            report = facade.recover()
+            print(f"recovery: {len(report.datasets)} dataset(s), "
+                  f"{report.replayed_records} WAL record(s) replayed in "
+                  f"{report.duration_s:.3f}s"
+                  + (f", {len(report.errors)} failed" if report.errors else ""))
+        if supervisor is not None:
+            supervisor.start()
+            print(f"pool: {supervisor.pool.live_workers}/"
+                  f"{supervisor.pool.size} worker(s) live "
+                  f"(snapshots in {supervisor._root})")
+        if needs_warmup:
+            server.set_ready(True)
+        server._thread.join()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        server.stop()
+    finally:
+        facade.close()
+        if snapshot_tmp is not None:
+            shutil.rmtree(snapshot_tmp, ignore_errors=True)
+    return 0
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.log_level is not None:
@@ -316,54 +447,7 @@ def main(argv=None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "serve":
-        durability = None
-        if args.data_dir is not None:
-            from repro.durability import DurabilityManager
-
-            durability = DurabilityManager(
-                args.data_dir,
-                wal_sync=args.wal_sync,
-                wal_sync_interval_ms=args.wal_sync_interval_ms,
-                checkpoint_every=args.checkpoint_every,
-            )
-        service = OnexService(
-            QueryConfig(mode=args.mode, window=args.window),
-            default_build_workers=args.build_workers,
-            default_timeout_ms=args.default_timeout_ms,
-            durability=durability,
-        )
-        if durability is not None:
-            # Recover *before* binding: a dataset must never be briefly
-            # absent to clients that raced the restart.
-            report = service.recover()
-            print(f"recovery: {len(report.datasets)} dataset(s), "
-                  f"{report.replayed_records} WAL record(s) replayed in "
-                  f"{report.duration_s:.3f}s"
-                  + (f", {len(report.errors)} failed" if report.errors else ""))
-        server = OnexHttpServer(
-            service,
-            host=args.host,
-            port=args.port,
-            max_in_flight=args.max_in_flight,
-            max_queue=args.max_queue,
-            drain_timeout=args.drain_timeout,
-        )
-        print(f"ONEX server v{repro.__version__} listening on {server.url} "
-              f"(Ctrl-C to stop)")
-        print(f"  POST {server.url}/api      JSON protocol envelopes")
-        print(f"  GET  {server.url}/health   liveness + dataset fingerprints")
-        print(f"  GET  {server.url}/ready    admission-gate readiness")
-        print(f"  GET  {server.url}/metrics  Prometheus text exposition")
-        if durability is not None:
-            print(f"  WAL  {durability.data_dir}  durable state "
-                  f"(sync={args.wal_sync})")
-        try:
-            server.start()._thread.join()
-        except KeyboardInterrupt:  # pragma: no cover - interactive only
-            server.stop()
-        finally:
-            service.close()
-        return 0
+        return _serve(args)
 
     if args.server:
         service = OnexClient(args.server)

@@ -43,6 +43,7 @@ from repro.exceptions import (
     DatasetError,
     NotBuiltError,
     PersistenceError,
+    ReadOnlyBaseError,
     ValidationError,
 )
 from repro.obs.logs import get_logger, log_event
@@ -237,6 +238,35 @@ class RepresentativeSummary:
         self._endpoints = np.empty((cap, 4), dtype=np.float64)
         self._minmax = np.empty((cap, 2), dtype=np.float64)
 
+    @classmethod
+    def attached(
+        cls,
+        length: int,
+        radius: int,
+        env_lo: np.ndarray,
+        env_hi: np.ndarray,
+        endpoints: np.ndarray,
+        minmax: np.ndarray,
+    ) -> "RepresentativeSummary":
+        """Adopt persisted summary arrays *without copying them*.
+
+        The zero-copy sibling of the ``_grown``-based load path: the
+        stores are the given arrays themselves (capacity == count), so
+        mmap-backed arrays stay mmap-backed.  Only valid for read-only
+        bases — the first ``extend`` would try to write the stores in
+        place (and raise on a write-protected mmap).
+        """
+        self = object.__new__(cls)
+        self.length = int(length)
+        self.radius = int(radius)
+        self.width = int(env_lo.shape[1])
+        self._env_lo = env_lo
+        self._env_hi = env_hi
+        self._endpoints = endpoints
+        self._minmax = minmax
+        self._count = int(env_lo.shape[0])
+        return self
+
     @property
     def count(self) -> int:
         return self._count
@@ -411,6 +441,54 @@ class LengthBucket:
             )
         else:
             self._member_store = None
+
+    @classmethod
+    def attached(
+        cls,
+        length: int,
+        groups: list[SimilarityGroup],
+        member_matrix: np.ndarray,
+        centroids: np.ndarray,
+        ed_radii: np.ndarray,
+        cheb_radii: np.ndarray,
+        channels: int = 1,
+    ) -> "LengthBucket":
+        """Adopt already-stacked stores *without copying them*.
+
+        The zero-copy sibling of ``__init__``: the centroid/radius/member
+        stores are the given arrays themselves (capacity == count), so
+        mmap-backed arrays stay mmap-backed and N worker processes share
+        one page-cache copy.  Appends remain safe — the very first one
+        finds the store full and reallocates through ``_grown``, which
+        copies into a fresh private array — but a read-only base never
+        appends (its mutation paths are gated upstream).
+        """
+        self = object.__new__(cls)
+        self.length = int(length)
+        self.channels = int(channels)
+        self.groups = list(groups)
+        count = len(self.groups)
+        width = self.length * self.channels
+        if centroids.shape != (count, width):
+            raise ValidationError(
+                f"centroid stack shape {centroids.shape} != {(count, width)}"
+            )
+        self._centroid_store = centroids
+        self._ed_store = ed_radii
+        self._cheb_store = cheb_radii
+        offsets = np.cumsum([0] + [g.cardinality for g in self.groups])
+        self._rows = [
+            slice(int(offsets[g]), int(offsets[g + 1])) for g in range(count)
+        ]
+        self._row_count = int(offsets[-1])
+        self._rep_summary = None
+        expected = (self._row_count, width)
+        if member_matrix.shape != expected:
+            raise ValidationError(
+                f"member matrix shape {member_matrix.shape} != {expected}"
+            )
+        self._member_store = member_matrix
+        return self
 
     @property
     def group_count(self) -> int:
@@ -676,6 +754,10 @@ class OnexBase:
         self._stats: BaseStats | None = None
         #: Shards re-run serially after a worker crash in the last build.
         self.build_shard_retries = 0
+        #: True for mmap-attached bases served by pool workers: every
+        #: mutation path raises :class:`ReadOnlyBaseError` (writes belong
+        #: to the supervisor, which republishes a fresh snapshot).
+        self.read_only = False
 
     # ------------------------------------------------------------------
     # Construction
@@ -885,6 +967,36 @@ class OnexBase:
             channels=self._dataset.channels,
         )
 
+    @classmethod
+    def from_attached(
+        cls,
+        raw_dataset: TimeSeriesDataset,
+        norm_dataset: TimeSeriesDataset,
+        config: BuildConfig,
+        norm_bounds: tuple[float, float] | None,
+        buckets: dict[int, LengthBucket],
+        stats: "BaseStats",
+        *,
+        read_only: bool = False,
+    ) -> "OnexBase":
+        """Assemble a built base from pre-attached parts, copying nothing.
+
+        The mmap snapshot loader's constructor: unlike ``__init__`` it
+        does not renormalise the dataset (*norm_dataset* is handed in,
+        typically wrapping the snapshot's own normalised arrays), so an
+        entirely mmap-backed base touches no series values at open time.
+        """
+        self = object.__new__(cls)
+        self._config = config
+        self._raw_dataset = raw_dataset
+        self._norm_bounds = norm_bounds
+        self._dataset = norm_dataset
+        self._buckets = dict(buckets)
+        self._stats = stats
+        self.build_shard_retries = 0
+        self.read_only = read_only
+        return self
+
     # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
@@ -970,6 +1082,13 @@ class OnexBase:
         if not self._buckets:
             raise NotBuiltError("base not built yet; call build()")
 
+    def _require_writable(self) -> None:
+        if self.read_only:
+            raise ReadOnlyBaseError(
+                f"base over {self._raw_dataset.name!r} is read-only "
+                "(mmap-attached); mutations belong to the supervisor"
+            )
+
     # ------------------------------------------------------------------
     # Incremental updates
     # ------------------------------------------------------------------
@@ -998,6 +1117,7 @@ class OnexBase:
         from repro.data.timeseries import TimeSeries
 
         self._require_built()
+        self._require_writable()
         if not isinstance(series, TimeSeries):
             raise ValidationError(
                 f"expected TimeSeries, got {type(series).__name__}"
@@ -1036,6 +1156,7 @@ class OnexBase:
         start) order; stats are updated to match.
         """
         self._require_built()
+        self._require_writable()
         cfg = self._config
         values = self._dataset[series_index].values
         n = values.shape[0]

@@ -130,6 +130,7 @@ class OnexEngine:
         monitors=(),
         event_seq: int = 0,
         stream_counters: dict | None = None,
+        fingerprint: str | None = None,
     ) -> BaseStats:
         """Register an already-built *base* (checkpoint recovery path).
 
@@ -139,6 +140,9 @@ class OnexEngine:
         re-seed the streaming layer from the checkpoint manifest so a
         restarted server continues event numbering monotonically; the
         ingestor is created eagerly whenever any of them is present.
+        *fingerprint* supplies a precomputed structure fingerprint —
+        pool workers attaching an mmap snapshot pass the stored one so
+        registration does not fault every page in just to rehash it.
         """
         if dataset.name in self._loaded:
             raise DatasetError(f"dataset {dataset.name!r} already loaded")
@@ -147,7 +151,11 @@ class OnexEngine:
             base=base,
             processor=QueryProcessor(base, self._query_config),
             stats=base.stats,
-            fingerprint=base.structure_fingerprint(),
+            fingerprint=(
+                fingerprint
+                if fingerprint is not None
+                else base.structure_fingerprint()
+            ),
         )
         self._loaded[dataset.name] = entry
         if monitors or event_seq or stream_counters:

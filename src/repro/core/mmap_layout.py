@@ -1,0 +1,369 @@
+"""Raw, mmap-able on-disk layout of a built ONEX base.
+
+The ``.npz`` archive (:meth:`OnexBase.save`) is compact but *copies* on
+load: every array is decompressed into fresh private pages per process.
+The worker pool needs the opposite trade — N processes serving the same
+base should share one page-cache copy of the big stacks.  This module
+persists a base as a **directory of raw ``.npy`` files plus one
+``meta.json``**, so ``np.load(..., mmap_mode="r")`` maps each array
+directly:
+
+- cold start is an ``mmap(2)`` per array — no decompression, no copy;
+- every worker's member/centroid/summary stacks are views over the same
+  physical pages (the kernel shares the page cache across processes);
+- the mapping is write-protected, so an accidental in-place mutation in
+  a worker raises instead of corrupting sibling processes.
+
+Layout of one snapshot directory::
+
+    meta.json                   config, stats, dataset names/metadata,
+                                fingerprints, per-length radii
+    raw_<i>.npy                 raw series values, one file per series
+    norm_<i>.npy                normalised values (only when the base
+                                normalises; else raw_<i> is shared)
+    len<L>_centroids.npy        stacked group representatives
+    len<L>_ed_radii.npy         per-group ED_n radii
+    len<L>_cheb_radii.npy       per-group Chebyshev radii
+    len<L>_members.npy          (M, 2) int64 member handles
+    len<L>_offsets.npy          (G+1,) int64 group row offsets
+    len<L>_member_matrix.npy    stacked member values, group-contiguous
+    len<L>_rep_env_lo.npy       persisted representative summaries
+    len<L>_rep_env_hi.npy
+    len<L>_rep_endpoints.npy
+    len<L>_rep_minmax.npy
+
+Snapshots are written to a ``<dir>.tmp`` sibling and ``os.replace``\\ d
+into place, so a crash mid-write never publishes a half-written
+directory; :func:`clean_stale_snapshots` sweeps leftover ``*.tmp``
+debris (and superseded epochs) at supervisor start.
+
+Loading with ``mmap_mode="r"`` produces a **read-only** base: the
+mutation paths (:meth:`OnexBase.add_series`, streaming ingestion) raise
+:class:`~repro.exceptions.ReadOnlyBaseError`.  The attach path copies
+nothing — buckets and summaries adopt the mapped arrays via
+``LengthBucket.attached`` / ``RepresentativeSummary.attached``, and the
+dataset wraps them through ``TimeSeries._wrap``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import persist
+from repro.core.base import (
+    BaseStats,
+    LengthBucket,
+    LengthBuildStats,
+    OnexBase,
+    RepresentativeSummary,
+)
+from repro.core.config import BuildConfig
+from repro.core.grouping import SimilarityGroup
+from repro.data.dataset import SubsequenceRef, TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import PersistenceError
+from repro.obs.logs import get_logger, log_event
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "clean_stale_snapshots",
+    "load_base_snapshot",
+    "save_base_snapshot",
+]
+
+_LOG = get_logger("mmap")
+
+#: Version tag written into ``meta.json`` and checked on load.
+SNAPSHOT_FORMAT = 1
+
+
+def _write_array(directory: Path, name: str, array: np.ndarray) -> None:
+    np.save(directory / f"{name}.npy", np.ascontiguousarray(array))
+
+
+def save_base_snapshot(base: OnexBase, directory: str | Path) -> Path:
+    """Persist *base* (and its dataset) as an mmap-able snapshot directory.
+
+    Written atomically: everything lands in ``<directory>.tmp`` first and
+    is renamed into place, so *directory* either does not exist or holds
+    a complete snapshot.  *directory* must not already exist (publishers
+    use a fresh epoch directory per publication).  Returns the final
+    path.
+    """
+    final = Path(directory)
+    if final.exists():
+        raise PersistenceError(f"snapshot directory {final} already exists")
+    base._require_built()
+    tmp = final.with_name(final.name + ".tmp")
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        raw = base.raw_dataset
+        norm = base.dataset
+        normalized_stored = norm is not raw
+        for i, series in enumerate(raw):
+            _write_array(tmp, f"raw_{i}", series.values)
+        if normalized_stored:
+            for i, series in enumerate(norm):
+                _write_array(tmp, f"norm_{i}", series.values)
+        rep_radius: dict[str, int] = {}
+        for length in base.lengths:
+            bucket = base.bucket(length)
+            prefix = f"len{length}"
+            _write_array(tmp, f"{prefix}_centroids", bucket.centroids)
+            _write_array(tmp, f"{prefix}_ed_radii", bucket.ed_radii)
+            _write_array(tmp, f"{prefix}_cheb_radii", bucket.cheb_radii)
+            members = np.array(
+                [
+                    (m.series_index, m.start)
+                    for g in bucket.groups
+                    for m in g.members
+                ],
+                dtype=np.int64,
+            ).reshape(-1, 2)
+            _write_array(tmp, f"{prefix}_members", members)
+            _write_array(tmp, f"{prefix}_offsets", bucket.member_offsets)
+            _write_array(
+                tmp,
+                f"{prefix}_member_matrix",
+                bucket.stacked_member_matrix(norm),
+            )
+            summary = bucket.rep_summary
+            _write_array(tmp, f"{prefix}_rep_env_lo", summary.env_lo)
+            _write_array(tmp, f"{prefix}_rep_env_hi", summary.env_hi)
+            _write_array(tmp, f"{prefix}_rep_endpoints", summary.endpoints)
+            _write_array(tmp, f"{prefix}_rep_minmax", summary.minmax)
+            rep_radius[str(length)] = summary.radius
+        stats = base.stats
+        meta = {
+            "format": SNAPSHOT_FORMAT,
+            "config": {
+                "similarity_threshold": base.config.similarity_threshold,
+                "min_length": base.config.min_length,
+                "max_length": base.config.max_length,
+                "step": base.config.step,
+                "normalize": base.config.normalize,
+            },
+            "stats": {
+                "subsequences": stats.subsequences,
+                "groups": stats.groups,
+                "lengths": stats.lengths,
+                "build_seconds": stats.build_seconds,
+                "per_length": [s.as_dict() for s in stats.per_length],
+            },
+            "dataset": {
+                "name": raw.name,
+                "series": [
+                    {"name": s.name, "metadata": dict(s.metadata)} for s in raw
+                ],
+            },
+            "channels": base.channels,
+            "norm_bounds": (
+                list(base.normalization_bounds)
+                if base.normalization_bounds is not None
+                else None
+            ),
+            "normalized_stored": normalized_stored,
+            "lengths": list(base.lengths),
+            "rep_radius": rep_radius,
+            "structure_fingerprint": base.structure_fingerprint(),
+        }
+        with open(tmp / "meta.json", "w") as fh:
+            json.dump(meta, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except BaseException:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    persist.fsync_dir(final.parent)
+    return final
+
+
+def _load_array(
+    directory: Path, name: str, mmap_mode: str | None
+) -> np.ndarray:
+    path = directory / f"{name}.npy"
+    try:
+        return np.load(path, mmap_mode=mmap_mode, allow_pickle=False)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(
+            f"snapshot array {path} is missing or unreadable: {exc}"
+        ) from exc
+
+
+def load_base_snapshot(
+    directory: str | Path,
+    mmap_mode: str | None = "r",
+    *,
+    verify: bool = False,
+) -> tuple[OnexBase, dict]:
+    """Open a snapshot directory; returns ``(base, meta)``.
+
+    With the default ``mmap_mode="r"`` every array is a write-protected
+    memory map and the base is **read-only** (mutations raise); pass
+    ``mmap_mode=None`` to materialise private writable copies instead.
+    *verify* recomputes the structure fingerprint against the stored one
+    — it touches every page, so it is off by default (cold start stays
+    an mmap) and turned on by tests and offline integrity checks.
+    """
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    try:
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise PersistenceError(
+            f"snapshot meta {meta_path} is missing or unreadable: {exc}"
+        ) from exc
+    if meta.get("format") != SNAPSHOT_FORMAT:
+        raise PersistenceError(
+            f"snapshot {directory} has format {meta.get('format')!r}, "
+            f"expected {SNAPSHOT_FORMAT}"
+        )
+    ds_meta = meta["dataset"]
+    raw_series = [
+        TimeSeries._wrap(
+            entry["name"],
+            _load_array(directory, f"raw_{i}", mmap_mode),
+            entry.get("metadata") or {},
+        )
+        for i, entry in enumerate(ds_meta["series"])
+    ]
+    raw_dataset = TimeSeriesDataset(raw_series, name=ds_meta["name"])
+    if meta["normalized_stored"]:
+        norm_series = [
+            TimeSeries._wrap(
+                entry["name"],
+                _load_array(directory, f"norm_{i}", mmap_mode),
+                entry.get("metadata") or {},
+            )
+            for i, entry in enumerate(ds_meta["series"])
+        ]
+        norm_dataset = TimeSeriesDataset(norm_series, name=ds_meta["name"])
+    else:
+        norm_dataset = raw_dataset
+    channels = int(meta.get("channels", 1))
+    buckets: dict[int, LengthBucket] = {}
+    for length in meta["lengths"]:
+        length = int(length)
+        prefix = f"len{length}"
+        centroids = _load_array(directory, f"{prefix}_centroids", mmap_mode)
+        ed_radii = _load_array(directory, f"{prefix}_ed_radii", mmap_mode)
+        cheb_radii = _load_array(directory, f"{prefix}_cheb_radii", mmap_mode)
+        # Handles and offsets are small and drive python-level group
+        # reconstruction anyway — materialise them outright.
+        members = np.asarray(_load_array(directory, f"{prefix}_members", None))
+        offsets = np.asarray(
+            _load_array(directory, f"{prefix}_offsets", None)
+        ).tolist()
+        groups = []
+        for g in range(len(offsets) - 1):
+            chunk = members[offsets[g] : offsets[g + 1]]
+            refs = tuple(
+                SubsequenceRef(int(si), int(st), length) for si, st in chunk
+            )
+            groups.append(
+                SimilarityGroup(
+                    length=length,
+                    centroid=centroids[g],
+                    members=refs,
+                    ed_radius=float(ed_radii[g]),
+                    cheb_radius=float(cheb_radii[g]),
+                )
+            )
+        bucket = LengthBucket.attached(
+            length,
+            groups,
+            _load_array(directory, f"{prefix}_member_matrix", mmap_mode),
+            centroids,
+            ed_radii,
+            cheb_radii,
+            channels=channels,
+        )
+        bucket.attach_rep_summary(
+            RepresentativeSummary.attached(
+                length,
+                int(meta["rep_radius"][str(length)]),
+                _load_array(directory, f"{prefix}_rep_env_lo", mmap_mode),
+                _load_array(directory, f"{prefix}_rep_env_hi", mmap_mode),
+                _load_array(directory, f"{prefix}_rep_endpoints", mmap_mode),
+                _load_array(directory, f"{prefix}_rep_minmax", mmap_mode),
+            )
+        )
+        buckets[length] = bucket
+    stats_meta = meta["stats"]
+    stats = BaseStats(
+        subsequences=stats_meta["subsequences"],
+        groups=stats_meta["groups"],
+        lengths=stats_meta["lengths"],
+        build_seconds=stats_meta["build_seconds"],
+        per_length=tuple(
+            LengthBuildStats(**entry)
+            for entry in stats_meta.get("per_length", ())
+        ),
+    )
+    norm_bounds = meta.get("norm_bounds")
+    base = OnexBase.from_attached(
+        raw_dataset,
+        norm_dataset,
+        BuildConfig(**meta["config"]),
+        tuple(norm_bounds) if norm_bounds is not None else None,
+        buckets,
+        stats,
+        read_only=(mmap_mode == "r"),
+    )
+    if verify:
+        actual = base.structure_fingerprint()
+        if actual != meta["structure_fingerprint"]:
+            raise PersistenceError(
+                f"snapshot {directory} failed its structure fingerprint "
+                "(truncated or tampered with)"
+            )
+    return base, meta
+
+
+def clean_stale_snapshots(root: str | Path, *, keep_latest: int = 1) -> list[str]:
+    """Sweep debris under snapshot root *root*; returns removed paths.
+
+    Removes every ``*.tmp`` directory (a publish that crashed mid-write)
+    and, per dataset directory, every ``epoch-<n>`` but the newest
+    *keep_latest* — the shared-memory leftovers of a previous crashed
+    run that nothing will ever map again.  Missing *root* is a no-op.
+    """
+    root = Path(root)
+    removed: list[str] = []
+    if not root.is_dir():
+        return removed
+    for dataset_dir in sorted(root.iterdir()):
+        if not dataset_dir.is_dir():
+            continue
+        if dataset_dir.name.endswith(".tmp"):
+            shutil.rmtree(dataset_dir, ignore_errors=True)
+            removed.append(str(dataset_dir))
+            continue
+        epochs = []
+        for entry in sorted(dataset_dir.iterdir()):
+            if not entry.is_dir():
+                continue
+            if entry.name.endswith(".tmp"):
+                shutil.rmtree(entry, ignore_errors=True)
+                removed.append(str(entry))
+            elif entry.name.startswith("epoch-"):
+                try:
+                    epochs.append((int(entry.name[len("epoch-") :]), entry))
+                except ValueError:
+                    continue
+        epochs.sort()
+        for _, entry in epochs[: max(0, len(epochs) - keep_latest)]:
+            shutil.rmtree(entry, ignore_errors=True)
+            removed.append(str(entry))
+    if removed:
+        log_event(_LOG, "info", "snapshot.cleaned", removed=len(removed))
+    return removed

@@ -37,6 +37,7 @@ from repro.exceptions import PersistenceError
 from repro.obs.logs import get_logger, log_event
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
+from repro.testing import faults
 
 __all__ = ["RecoveryReport", "recover_all"]
 
@@ -129,6 +130,10 @@ def recover_all(manager, engine, apply, mark=None) -> RecoveryReport:
 
 
 def _recover_one(manager, engine, apply, mark, name: str) -> dict:
+    # Chaos hook: the recovery x serving interleaving tests stretch this
+    # window (sleep) to observe /ready=false + clean 503s mid-recovery,
+    # or fail one dataset (raise) to observe degraded partial recovery.
+    faults.fire("recovery.dataset", dataset=name)
     handle, scan = manager.attach(name)
     entry = checkpoint_mod.latest_valid_checkpoint(handle.directory)
     if entry is None:

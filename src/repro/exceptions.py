@@ -118,8 +118,59 @@ class OverloadedError(OnexError):
     """Raised client-side when the server sheds load (HTTP 503) and the
     retry budget is exhausted.  ``retry_after`` echoes the server's last
     ``Retry-After`` hint in seconds, when one was given.
+
+    The server raises it too — out of the worker pool when no live
+    worker can take a dispatch — and the HTTP front end maps it to a
+    503 + ``Retry-After`` envelope exactly like an admission-gate shed.
     """
 
     def __init__(self, message: str, *, retry_after: float | None = None) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+class WorkerCrashedError(OnexError):
+    """A pool worker died (crash or hang-kill) while holding a request.
+
+    Read-only operations never surface this — the pool re-dispatches
+    them transparently to a surviving worker.  Mutating operations do:
+    the caller cannot know whether the op executed, so the error is
+    *retryable* (HTTP 503 + ``Retry-After``) and the client's stable
+    ``request_id`` lets the server's idempotency window absorb the
+    retry without double execution.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class NotReadyError(OnexError):
+    """The server is up but not yet (or no longer) able to serve ``/api``
+    — e.g. checkpoint+WAL recovery is still replaying, or snapshot
+    publication is mid-flight at startup.  Maps to a clean 503 +
+    ``Retry-After``: clients must retry, never read partially-replayed
+    state.
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class StartupError(OnexError):
+    """A structured ``serve`` startup failure (port already bound,
+    unreadable ``--data-dir``, ...): the CLI prints it as one
+    ``error:`` line and exits non-zero instead of dumping a traceback.
+    """
+
+
+class ReadOnlyBaseError(OnexError):
+    """A mutation was attempted on a read-only (mmap-attached) base.
+
+    Worker processes open bases with ``read_only=True``; every write
+    path belongs to the supervisor, which republishes a fresh snapshot
+    after mutating.
+    """

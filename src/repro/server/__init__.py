@@ -8,6 +8,12 @@
   admission control and graceful draining.
 - :mod:`repro.server.client` — a retrying HTTP client (read-only
   operations only; honours ``Retry-After``).
+- :mod:`repro.server.pool` — supervised pre-fork worker pool serving
+  read-only queries over mmap-shared base snapshots (crash isolation,
+  heartbeat hang detection, backoff restart, flap circuit breaker).
+- :mod:`repro.server.supervisor` — routes requests between the
+  authoritative single-process service and the pool; publishes base
+  snapshots lazily after mutations for read-your-writes.
 """
 
 from repro.server.client import OnexClient
@@ -17,8 +23,10 @@ from repro.server.http import (
     OnexHttpServer,
     ReadWriteLock,
 )
+from repro.server.pool import WorkerPool
 from repro.server.protocol import Request, Response
 from repro.server.service import OnexService
+from repro.server.supervisor import Supervisor
 
 __all__ = [
     "AdmissionGate",
@@ -29,4 +37,6 @@ __all__ = [
     "ReadWriteLock",
     "Request",
     "Response",
+    "Supervisor",
+    "WorkerPool",
 ]

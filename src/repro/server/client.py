@@ -40,6 +40,7 @@ import random
 import time
 import urllib.error
 import urllib.request
+from collections.abc import Callable
 from typing import Any
 
 from repro.exceptions import OverloadedError, ProtocolError, RemoteError
@@ -74,7 +75,7 @@ class OnexClient:
         backoff_cap_s: float = 2.0,
         retry_budget_s: float = 15.0,
         retry_mutating: bool = True,
-        sleep=time.sleep,
+        sleep: Callable[[float], None] = time.sleep,
         rng: random.Random | None = None,
     ) -> None:
         self.url = url.rstrip("/")
@@ -176,6 +177,15 @@ class OnexClient:
             if exc.code == 503:  # draining: a well-formed "not ready"
                 return False
             raise
+
+    def pool_status(self) -> dict | None:
+        """The worker pool's per-slot state from ``/health``.
+
+        ``None`` against a single-process server (no pool section).
+        Keys: ``size``, ``live``, ``failovers``, and ``workers`` —
+        one ``{slot, pid, state, restarts, crashes}`` per seat.
+        """
+        return self.health().get("pool")
 
     def metrics(self) -> dict:
         """This client's own call statistics.

@@ -63,16 +63,21 @@ import json
 import threading
 import time
 from collections import deque
+from collections.abc import Callable, Iterable, Iterator
 from contextlib import contextmanager
 from dataclasses import replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
 
 import repro
 from repro.exceptions import (
+    NotReadyError,
     OverloadedError,
     ProtocolError,
     ShutdownTimeoutError,
+    StartupError,
     ValidationError,
+    WorkerCrashedError,
 )
 from repro.obs.logs import get_logger, log_event
 from repro.obs.metrics import REGISTRY
@@ -154,7 +159,7 @@ class ReadWriteLock:
             self._cond.notify_all()
 
     @contextmanager
-    def read(self):
+    def read(self) -> Iterator[None]:
         """Context-managed shared acquisition."""
         self.acquire_read()
         try:
@@ -163,7 +168,7 @@ class ReadWriteLock:
             self.release_read()
 
     @contextmanager
-    def write(self):
+    def write(self) -> Iterator[None]:
         """Context-managed exclusive acquisition."""
         self.acquire_write()
         try:
@@ -184,7 +189,7 @@ class DatasetLockManager:
     unauthenticated input cannot grow the table; unload drops entries.
     """
 
-    def __init__(self, known=None) -> None:
+    def __init__(self, known: Callable[[], Iterable[str]] | None = None) -> None:
         self._mutex = threading.Lock()
         self._registry = ReadWriteLock()
         self._locks: dict[str, ReadWriteLock] = {}
@@ -206,13 +211,13 @@ class DatasetLockManager:
             self._locks.pop(dataset, None)
 
     @contextmanager
-    def registry_read(self):
+    def registry_read(self) -> Iterator[None]:
         """Shared hold on the dataset table (e.g. the health endpoint)."""
         with self._registry.read():
             yield
 
     @contextmanager
-    def guard(self, request: Request):
+    def guard(self, request: Request) -> Iterator[None]:
         """Hold the locks one request needs for its whole execution."""
         if request.op in ("load_dataset", "unload_dataset"):
             with self._registry.write():
@@ -314,6 +319,23 @@ class AdmissionGate:
             self._in_flight -= 1
             self._cond.notify_all()
 
+    def resize(self, max_in_flight: int) -> None:
+        """Change the concurrency cap in place (degraded-capacity mode).
+
+        The supervisor calls this as pool workers die and restart, so
+        the in-flight budget tracks live serving capacity.  Shrinking
+        never aborts requests already executing — the gate simply admits
+        nothing new until the count drains below the new cap; growing
+        wakes parked waiters immediately.
+        """
+        if not isinstance(max_in_flight, int) or max_in_flight < 1:
+            raise ValidationError(
+                f"max_in_flight must be a positive int, got {max_in_flight!r}"
+            )
+        with self._cond:
+            self.max_in_flight = max_in_flight
+            self._cond.notify_all()
+
     def close(self) -> None:
         """Stop admitting: shed new arrivals and wake parked waiters."""
         with self._cond:
@@ -385,16 +407,50 @@ def _make_handler(
     service: OnexService,
     gate: AdmissionGate,
     metrics: _ServerMetrics,
-    uptime_s=None,
-):
+    uptime_s: Callable[[], float] | None = None,
+    ready_fn: Callable[[], bool] | None = None,
+    read_timeout_s: float | None = 30.0,
+) -> type[BaseHTTPRequestHandler]:
     locks = DatasetLockManager(known=lambda: service.engine.dataset_names)
     if uptime_s is None:
         started = time.monotonic()
         uptime_s = lambda: time.monotonic() - started  # noqa: E731
+    if ready_fn is None:
+        ready_fn = lambda: True  # noqa: E731
+    pool_status = getattr(service, "pool_status", None)
 
     class Handler(BaseHTTPRequestHandler):
-        def log_message(self, fmt, *args):  # silence request logging
-            pass
+        """One request thread: admission, locking, envelopes."""
+
+        # Per-connection socket timeout (StreamRequestHandler.setup calls
+        # settimeout with this): a client that stalls mid-body cannot
+        # pin a handler thread forever — the read raises and maps to a
+        # structured 408 below.  Idle keep-alive connections time out in
+        # the stdlib's request-line read and are simply closed.
+        timeout = read_timeout_s
+
+        def log_message(self, fmt: str, *args: Any) -> None:
+            pass  # request logging is the structured logger's job
+
+        def _pool_summary(self) -> dict | None:
+            if pool_status is None:
+                return None
+            status = pool_status()
+            return {
+                "size": status["size"],
+                "live": status["live"],
+                "failovers": status["failovers"],
+                "workers": [
+                    {
+                        "slot": w["slot"],
+                        "pid": w["pid"],
+                        "state": w["state"],
+                        "restarts": w["restarts"],
+                        "crashes": w["crashes"],
+                    }
+                    for w in status["workers"]
+                ],
+            }
 
         def _send(self, status: int, payload: dict, headers: dict | None = None) -> None:
             body = json.dumps(payload).encode()
@@ -414,7 +470,7 @@ def _make_handler(
             self.end_headers()
             self.wfile.write(body)
 
-        def do_GET(self):  # noqa: N802 - stdlib naming
+        def do_GET(self) -> None:  # noqa: N802 - stdlib naming
             # Probes bypass the admission gate on purpose: an overloaded
             # or draining server must still answer health checks and
             # scrapers.
@@ -439,6 +495,10 @@ def _make_handler(
                     # and checkpoint positions plus the last recovery
                     # report (datasets, replayed records, torn bytes).
                     payload["durability"] = durability
+                payload["ready"] = ready_fn() and gate.is_open
+                pool = self._pool_summary()
+                if pool is not None:
+                    payload["pool"] = pool
                 self._send(200, payload)
             elif self.path == "/metrics":
                 # Point-in-time gauges are set at scrape; counters and
@@ -452,15 +512,17 @@ def _make_handler(
                     "text/plain; version=0.0.4; charset=utf-8",
                 )
             elif self.path == "/ready":
-                ready = gate.is_open
-                self._send(
-                    200 if ready else 503,
-                    {"ready": ready, "in_flight": gate.in_flight},
-                )
+                pool = self._pool_summary()
+                pool_ok = pool is None or pool["live"] > 0
+                ready = ready_fn() and gate.is_open and pool_ok
+                payload: dict = {"ready": ready, "in_flight": gate.in_flight}
+                if pool is not None:
+                    payload["pool"] = pool
+                self._send(200 if ready else 503, payload)
             else:
                 self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
 
-        def do_POST(self):  # noqa: N802 - stdlib naming
+        def do_POST(self) -> None:  # noqa: N802 - stdlib naming
             if self.path != "/api":
                 self._send(404, {"ok": False, "error": {"type": "NotFound", "message": self.path}})
                 return
@@ -482,7 +544,36 @@ def _make_handler(
                     ).to_dict(),
                 )
                 return
-            body = self.rfile.read(length)
+            # The body read honours the per-connection socket timeout: a
+            # slow client that never delivers its advertised bytes gets a
+            # structured 408 instead of pinning this handler thread (and
+            # an admission-gate slot's worth of goodwill) indefinitely.
+            try:
+                body = self.rfile.read(length)
+            except (TimeoutError, OSError) as exc:
+                self.close_connection = True
+                self._send(
+                    408,
+                    Response.failure(
+                        ProtocolError(
+                            "timed out reading the request body "
+                            f"({type(exc).__name__})"
+                        )
+                    ).to_dict(),
+                )
+                return
+            if len(body) != length:
+                self.close_connection = True
+                self._send(
+                    400,
+                    Response.failure(
+                        ProtocolError(
+                            f"request body truncated: got {len(body)} of "
+                            f"{length} bytes"
+                        )
+                    ).to_dict(),
+                )
+                return
             try:
                 request = Request.from_json(body)
             except ProtocolError as exc:
@@ -505,6 +596,26 @@ def _make_handler(
                 # without this front end.)
                 request = replace(request, request_id=new_request_id())
             rid_header = {"X-Request-Id": request.request_id}
+            if not ready_fn():
+                # Recovery (or another startup phase) is still running:
+                # shed cleanly rather than serve from a partially
+                # replayed engine.  /ready mirrors this state for load
+                # balancers.
+                retry_after = 1
+                not_ready = NotReadyError(
+                    "server is not ready (recovery in progress); "
+                    f"retry after {retry_after}s",
+                    retry_after=retry_after,
+                )
+                _REQUESTS_TOTAL.inc(op=request.op, code="503")
+                self._send(
+                    503,
+                    Response.failure(not_ready)
+                    .with_request_id(request.request_id)
+                    .to_dict(),
+                    headers={"Retry-After": str(retry_after), **rid_header},
+                )
+                return
             if not gate.try_acquire():
                 retry_after = 1
                 shed = OverloadedError(
@@ -529,6 +640,7 @@ def _make_handler(
                     headers={"Retry-After": str(retry_after), **rid_header},
                 )
                 return
+            extra_headers = dict(rid_header)
             try:
                 faults.fire("server.handle", op=request.op)
                 started = time.perf_counter()
@@ -538,6 +650,27 @@ def _make_handler(
                     request.op, (time.perf_counter() - started) * 1000.0
                 )
                 status, payload = 200, response.to_dict()
+            except (OverloadedError, WorkerCrashedError) as exc:
+                # Raised by the supervisor's pool dispatch: no live
+                # workers / all busy, or a worker died holding a
+                # non-read-only request.  Both are retryable — the
+                # client's stable request_id makes a mutating retry
+                # idempotent — so surface 503 + Retry-After rather than
+                # hanging or returning a 200 error envelope.
+                retry_after = getattr(exc, "retry_after", None) or 1
+                _REQUESTS_TOTAL.inc(op=request.op, code="503")
+                log_event(
+                    _LOG,
+                    "warning",
+                    "server.pool_unavailable",
+                    op=request.op,
+                    request_id=request.request_id,
+                    error=type(exc).__name__,
+                )
+                extra_headers["Retry-After"] = str(max(1, round(retry_after)))
+                status, payload = 503, Response.failure(exc).with_request_id(
+                    request.request_id
+                ).to_dict()
             except faults.FaultInjectedError as exc:
                 _REQUESTS_TOTAL.inc(op=request.op, code="500")
                 status, payload = 500, Response.internal_error(exc).with_request_id(
@@ -545,7 +678,7 @@ def _make_handler(
                 ).to_dict()
             finally:
                 gate.release()
-            self._send(status, payload, headers=rid_header)
+            self._send(status, payload, headers=extra_headers)
 
     return Handler
 
@@ -568,22 +701,44 @@ class OnexHttpServer:
         max_in_flight: int = 8,
         max_queue: int = 16,
         drain_timeout: float = 5.0,
+        read_timeout_s: float = 30.0,
+        ready: bool = True,
     ) -> None:
         self.service = service or OnexService()
         self.gate = AdmissionGate(max_in_flight, max_queue)
         self.metrics = _ServerMetrics()
         self._drain_timeout = float(drain_timeout)
+        self._ready = threading.Event()
+        if ready:
+            self._ready.set()
         self.started_monotonic = time.monotonic()
-        self._httpd = ThreadingHTTPServer(
-            (host, port),
-            _make_handler(
-                self.service,
-                self.gate,
-                self.metrics,
-                uptime_s=lambda: time.monotonic() - self.started_monotonic,
-            ),
-        )
+        try:
+            self._httpd = ThreadingHTTPServer(
+                (host, port),
+                _make_handler(
+                    self.service,
+                    self.gate,
+                    self.metrics,
+                    uptime_s=lambda: time.monotonic() - self.started_monotonic,
+                    ready_fn=self._ready.is_set,
+                    read_timeout_s=float(read_timeout_s),
+                ),
+            )
+        except OSError as exc:
+            raise StartupError(
+                f"cannot bind {host}:{port}: {exc}"
+                + (
+                    " (is another server already listening there?)"
+                    if getattr(exc, "errno", None) in (13, 48, 98)
+                    else ""
+                )
+            ) from exc
         self._thread: threading.Thread | None = None
+        # A supervisor-backed service scales the admission cap with live
+        # worker capacity; the plain single-process service has no hook.
+        attach_gate = getattr(self.service, "attach_gate", None)
+        if callable(attach_gate):
+            attach_gate(self.gate)
 
     @property
     def address(self) -> tuple[str, int]:
@@ -594,6 +749,23 @@ class OnexHttpServer:
     def url(self) -> str:
         host, port = self.address
         return f"http://{host}:{port}"
+
+    @property
+    def is_ready(self) -> bool:
+        return self._ready.is_set()
+
+    def set_ready(self, ready: bool = True) -> None:
+        """Flip the readiness gate (the CLI keeps it down during recovery).
+
+        While down, ``/api`` sheds with a structured 503 +
+        ``Retry-After`` (``NotReadyError`` envelope) and ``/ready``
+        reports false — a client can never observe a partially replayed
+        engine.  ``/health`` and ``/metrics`` stay up throughout.
+        """
+        if ready:
+            self._ready.set()
+        else:
+            self._ready.clear()
 
     def start(self) -> "OnexHttpServer":
         if self._thread is not None:
@@ -640,5 +812,5 @@ class OnexHttpServer:
     def __enter__(self) -> "OnexHttpServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

@@ -22,6 +22,7 @@ __all__ = [
     "DURABLE_OPERATIONS",
     "OPERATIONS",
     "OPERATION_OPTIONS",
+    "POOL_DISPATCHED_OPERATIONS",
     "READ_ONLY_OPERATIONS",
     "Request",
     "Response",
@@ -108,6 +109,27 @@ READ_ONLY_OPERATIONS: frozenset[str] = frozenset(
         "sensitivity",
         "thresholds",
         "poll_events",
+    }
+)
+
+#: Read-only operations the supervisor hands to pool workers: everything
+#: answerable from an mmap-attached base snapshot alone.
+#: ``list_datasets`` and ``poll_events`` stay supervisor-local — the
+#: dataset table and the streaming event registry live in the supervisor
+#: process, not in the published snapshots.  A worker crash mid-dispatch
+#: re-dispatches any of these transparently (they provably ran read-only).
+POOL_DISPATCHED_OPERATIONS: frozenset[str] = frozenset(
+    {
+        "describe",
+        "overview",
+        "query_preview",
+        "best_match",
+        "k_best",
+        "query_batch",
+        "matches_within",
+        "seasonal",
+        "sensitivity",
+        "thresholds",
     }
 )
 

@@ -11,7 +11,7 @@ loads archive-format files.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.config import QueryConfig
 from repro.core.deadline import Deadline
@@ -21,6 +21,10 @@ from repro.data.electricity import build_electricity_collection
 from repro.data.matters import build_matters_collection
 from repro.data.ucr_format import load_ucr_file
 from repro.durability.idempotency import IdempotencyWindow
+
+if TYPE_CHECKING:
+    from repro.durability import DurabilityManager
+    from repro.durability.recovery import RecoveryReport
 from repro.exceptions import DeadlineExceeded, OnexError, ProtocolError
 from repro.obs.logs import get_logger, log_event
 from repro.obs.metrics import REGISTRY
@@ -87,7 +91,7 @@ class OnexService:
         *,
         default_build_workers: int | None = None,
         default_timeout_ms: float | None = None,
-        durability=None,
+        durability: DurabilityManager | None = None,
         idempotency_window: int = 1024,
     ) -> None:
         self._engine = OnexEngine(query_config)
@@ -110,7 +114,7 @@ class OnexService:
         return self._engine
 
     @property
-    def durability(self):
+    def durability(self) -> DurabilityManager | None:
         return self._durability
 
     # ------------------------------------------------------------------
@@ -279,7 +283,7 @@ class OnexService:
                 error=str(exc),
             )
 
-    def _apply_replayed(self, dataset_name: str, record) -> Response:
+    def _apply_replayed(self, dataset_name: str, record: Any) -> Response:
         """Replay one WAL record (recovery): execute without re-logging.
 
         The outcome is recorded in the idempotency window under the
@@ -293,7 +297,7 @@ class OnexService:
         self._idempotency.record(record.request_id, response)
         return response
 
-    def _mark_recovered(self, dataset_name: str, record) -> None:
+    def _mark_recovered(self, dataset_name: str, record: Any) -> None:
         """Reseed the dedup window for a checkpoint-covered WAL record.
 
         The record's effects are already inside the restored checkpoint,
@@ -314,7 +318,7 @@ class OnexService:
         ).with_request_id(record.request_id)
         self._idempotency.record(record.request_id, response)
 
-    def recover(self):
+    def recover(self) -> RecoveryReport | None:
         """Restore durable datasets (serve startup); returns the report."""
         if self._durability is None:
             return None
@@ -357,7 +361,7 @@ class OnexService:
         return as_bool_arg(params["explain"], "explain")
 
     def _attach_explain(
-        self, op: str, params: dict, result: Any, trace
+        self, op: str, params: dict, result: Any, trace: Any
     ) -> Any:
         explain: dict[str, Any] = {
             "request_id": trace.request_id,
@@ -505,7 +509,7 @@ class OnexService:
         get_metric(str(metric))
         return str(metric)
 
-    def _resolve_query(self, name: str, query) -> Any:
+    def _resolve_query(self, name: str, query: Any) -> Any:
         """Queries arrive as a value list or a brushed-series descriptor."""
         if isinstance(query, dict):
             return self._engine.query_from_series(
@@ -516,7 +520,7 @@ class OnexService:
             )
         return self._float_rows(query, "query")
 
-    def _match_payload(self, name: str, query, match) -> dict:
+    def _match_payload(self, name: str, query: Any, match: Any) -> dict:
         base = self._engine.base(name)
         query_values = (
             base.dataset.values(query)

@@ -59,7 +59,17 @@ Registered failpoint names (kept in sync with the call sites):
 - ``wal.fsync`` — immediately before the WAL file is fsynced (receives
   ``path``);
 - ``checkpoint.manifest`` — after checkpoint artifacts are written,
-  before the manifest rename commits them (receives ``path``).
+  before the manifest rename commits them (receives ``path``);
+- ``recovery.dataset`` — at the top of each dataset's recovery pass
+  (receives ``dataset``); ``sleep`` stretches the not-ready window for
+  the recovery x serving tests, ``raise`` degrades one dataset;
+- ``worker.kill`` — in the pool worker's request loop, before the
+  dispatched operation executes (receives ``op``); the natural target
+  for ``kill-worker``, which the fork-inherited registry turns into a
+  hard worker death while the supervisor survives;
+- ``worker.hang`` — same site; a ``sleep`` longer than the worker's
+  stall limit makes its heartbeat go quiet, so the supervisor's monitor
+  SIGKILLs it — the hang-detection path end to end.
 """
 
 from __future__ import annotations

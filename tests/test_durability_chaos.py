@@ -94,18 +94,37 @@ class ServerProcess:
             raise RuntimeError(
                 f"server never announced a URL:\n" + "\n".join(self.banner)
             )
-        self._wait_healthy()
+        # The server binds (and prints the URL) *before* recovery runs,
+        # so later startup lines — the recovery report, the pool banner
+        # — arrive on stdout after this point; keep draining them.
+        self._drain = threading.Thread(target=self._drain_stdout, daemon=True)
+        self._drain.start()
+        self._wait_ready()
 
-    def _wait_healthy(self):
+    def _drain_stdout(self):
+        for line in self.proc.stdout:
+            self.banner.append(line.rstrip("\n"))
+
+    def _wait_ready(self):
+        """Ready flips only after recovery completes (bind-first serve)."""
         deadline = time.monotonic() + 60
         while time.monotonic() < deadline:
             try:
-                with urllib.request.urlopen(f"{self.url}/health", timeout=5) as r:
-                    json.loads(r.read())
-                return
+                with urllib.request.urlopen(f"{self.url}/ready", timeout=5) as r:
+                    if json.loads(r.read()).get("ready"):
+                        return
             except Exception:
                 time.sleep(0.05)
-        raise RuntimeError("server never became healthy")
+        raise RuntimeError("server never became ready")
+
+    def wait_banner_line(self, needle, timeout=10.0):
+        """Whether *needle* shows up in the drained stdout lines."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if any(needle in line for line in self.banner):
+                return True
+            time.sleep(0.02)
+        return any(needle in line for line in self.banner)
 
     def kill9(self):
         self.proc.kill()  # SIGKILL: no handlers, no flush, no goodbye
@@ -115,6 +134,9 @@ class ServerProcess:
         if self.proc.poll() is None:
             self.proc.kill()
             self.proc.wait(timeout=30)
+        drain = getattr(self, "_drain", None)
+        if drain is not None:
+            drain.join(timeout=10)  # EOF after the process died
         self.proc.stdout.close()
 
 
@@ -174,8 +196,8 @@ class TestKillAndRecover:
         server.kill9()
 
         revived = spawn(tmp_path, "--checkpoint-every", "100")
-        assert any(
-            "recovery: 1 dataset(s)" in line for line in revived.banner
+        assert revived.wait_banner_line(
+            "recovery: 1 dataset(s)"
         ), revived.banner
         client = OnexClient(revived.url)
         ref_fingerprint, ref_matches = _reference_state(chunks)

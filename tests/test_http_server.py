@@ -400,3 +400,66 @@ class TestMalformedRequestsSurvived:
         status, payload = post(server, {"op": "list_datasets", "params": {}})
         assert status == 200
         assert payload["ok"] is True
+
+
+class TestSlowClientTimeout:
+    """Regression: a client that sends headers with a Content-Length but
+    then stalls used to pin a handler thread forever in the body read.
+    The per-connection read timeout turns the stall into a 408 envelope;
+    a half-body followed by EOF is a clean 400, never a hang."""
+
+    def test_stalled_body_gets_408(self):
+        import socket
+        import time
+
+        svc = OnexService()
+        with OnexHttpServer(svc, read_timeout_s=0.5) as srv:
+            host, port = srv.address
+            started = time.monotonic()
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(
+                    b"POST /api HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: 64\r\n\r\n"
+                    b'{"op": "list'  # ... and then the client goes quiet
+                )
+                chunks = []
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+            elapsed = time.monotonic() - started
+            status, payload = parse_raw(b"".join(chunks))
+            assert status == 408
+            assert payload["ok"] is False
+            assert payload["error"]["type"] == "ProtocolError"
+            assert "timed out" in payload["error"]["message"]
+            assert elapsed < 5.0  # bounded by read_timeout_s, not 30s
+            # The handler thread is free again: the server still serves.
+            status, payload = get(srv, "/health")
+            assert status == 200 and payload["status"] == "ok"
+
+    def test_truncated_body_gets_400(self):
+        import socket
+
+        svc = OnexService()
+        with OnexHttpServer(svc, read_timeout_s=5.0) as srv:
+            host, port = srv.address
+            with socket.create_connection((host, port), timeout=30) as sock:
+                sock.sendall(
+                    b"POST /api HTTP/1.1\r\nHost: t\r\n"
+                    b"Content-Length: 64\r\n\r\n"
+                    b'{"op":'
+                )
+                sock.shutdown(socket.SHUT_WR)  # EOF long before 64 bytes
+                chunks = []
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        break
+                    chunks.append(data)
+            status, payload = parse_raw(b"".join(chunks))
+            assert status == 400
+            assert payload["ok"] is False
+            assert "truncated" in payload["error"]["message"]

@@ -1,0 +1,151 @@
+"""The raw mmap-able snapshot layout (worker-pool shared bases, PR 10).
+
+The pool's zero-copy contract: a snapshot loads as write-protected
+memory maps (cold start is an ``mmap`` per array, page-cache shared
+across forked workers), queries against the attached base are
+bit-identical to the original, and every mutation path raises
+``ReadOnlyBaseError`` instead of corrupting sibling processes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.core.engine import OnexEngine
+from repro.core.mmap_layout import (
+    clean_stale_snapshots,
+    load_base_snapshot,
+    save_base_snapshot,
+)
+from repro.core.query import QueryProcessor
+from repro.data.dataset import TimeSeriesDataset
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import PersistenceError, ReadOnlyBaseError
+
+
+@pytest.fixture(scope="module")
+def built_base():
+    rng = np.random.default_rng(7)
+    dataset = TimeSeriesDataset(
+        [TimeSeries(f"s{i}", rng.normal(size=64).cumsum()) for i in range(5)],
+        name="mmap-toy",
+    )
+    engine = OnexEngine(QueryConfig())
+    engine.load_dataset(
+        dataset,
+        similarity_threshold=0.3,
+        min_length=10,
+        max_length=14,
+        step=2,
+    )
+    return engine.base("mmap-toy")
+
+
+@pytest.fixture()
+def snapshot(built_base, tmp_path):
+    return save_base_snapshot(built_base, tmp_path / "epoch-1")
+
+
+class TestRoundTrip:
+    def test_structure_fingerprint_survives(self, built_base, snapshot):
+        base, meta = load_base_snapshot(snapshot, verify=True)
+        assert meta["structure_fingerprint"] == built_base.structure_fingerprint()
+        assert base.structure_fingerprint() == built_base.structure_fingerprint()
+
+    def test_queries_bit_identical(self, built_base, snapshot):
+        attached, _ = load_base_snapshot(snapshot)
+        rng = np.random.default_rng(3)
+        query = rng.normal(size=12).cumsum()
+        for mode in ("fast", "exact"):
+            original = QueryProcessor(built_base, QueryConfig(mode=mode))
+            mapped = QueryProcessor(attached, QueryConfig(mode=mode))
+            a = original.k_best_matches(query, 3)
+            b = mapped.k_best_matches(query, 3)
+            assert [(m.series_name, m.start) for m in a] == [
+                (m.series_name, m.start) for m in b
+            ]
+            assert [m.distance for m in a] == [m.distance for m in b]
+
+    def test_arrays_are_write_protected_memmaps(self, snapshot):
+        base, _ = load_base_snapshot(snapshot)
+        length = base.lengths[0]
+        bucket = base.bucket(length)
+        matrix = bucket.stacked_member_matrix(base.dataset)
+        assert isinstance(matrix, np.memmap)
+        assert not matrix.flags.writeable
+        assert isinstance(bucket.centroids, np.memmap)
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1.0  # write-protected: raises, never corrupts
+
+    def test_stats_and_meta_survive(self, built_base, snapshot):
+        base, meta = load_base_snapshot(snapshot)
+        assert base.stats.subsequences == built_base.stats.subsequences
+        assert base.stats.groups == built_base.stats.groups
+        assert list(base.lengths) == list(built_base.lengths)
+        assert meta["dataset"]["name"] == "mmap-toy"
+
+
+class TestReadOnlyGates:
+    def test_mutations_raise_read_only(self, snapshot):
+        base, _ = load_base_snapshot(snapshot)
+        assert base.read_only
+        with pytest.raises(ReadOnlyBaseError):
+            base.add_series(TimeSeries("nope", np.arange(30.0)))
+
+    def test_materialised_copy_is_writable(self, snapshot):
+        base, _ = load_base_snapshot(snapshot, mmap_mode=None)
+        assert not base.read_only
+        rng = np.random.default_rng(11)
+        summary = base.add_series(
+            TimeSeries("grown", rng.normal(size=40).cumsum())
+        )
+        assert summary["windows"] > 0
+
+
+class TestDurabilityOfWrites:
+    def test_refuses_existing_directory(self, built_base, tmp_path):
+        target = tmp_path / "epoch-1"
+        save_base_snapshot(built_base, target)
+        with pytest.raises(PersistenceError):
+            save_base_snapshot(built_base, target)
+
+    def test_verify_detects_tampering(self, built_base, tmp_path):
+        path = save_base_snapshot(built_base, tmp_path / "epoch-1")
+        length = built_base.lengths[0]
+        victim = path / f"len{length}_centroids.npy"
+        data = np.load(victim)
+        data = np.ascontiguousarray(data)
+        data[0, 0] += 1.0
+        np.save(victim, data)
+        with pytest.raises(PersistenceError):
+            load_base_snapshot(path, verify=True)
+        # Without verify the mmap open stays cheap and trusting.
+        base, _ = load_base_snapshot(path, verify=False)
+        assert base.read_only
+
+    def test_format_version_checked(self, built_base, tmp_path):
+        path = save_base_snapshot(built_base, tmp_path / "epoch-1")
+        meta = json.loads((path / "meta.json").read_text())
+        meta["format"] = 999
+        (path / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(PersistenceError):
+            load_base_snapshot(path)
+
+
+class TestStaleSweep:
+    def test_removes_tmp_debris_and_old_epochs(self, tmp_path):
+        root = tmp_path / "snaps"
+        ds = root / "toy-abc123"
+        for name in ("epoch-1", "epoch-2", "epoch-3", "epoch-4.tmp"):
+            (ds / name).mkdir(parents=True)
+            (ds / name / "meta.json").write_text("{}")
+        (root / "other.tmp").mkdir()
+        removed = clean_stale_snapshots(root)
+        removed_names = {p.rsplit("/", 1)[-1] for p in removed}
+        assert removed_names == {"epoch-1", "epoch-2", "epoch-4.tmp", "other.tmp"}
+        assert (ds / "epoch-3").is_dir()
+
+    def test_missing_root_is_noop(self, tmp_path):
+        assert clean_stale_snapshots(tmp_path / "absent") == []
